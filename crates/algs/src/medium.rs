@@ -1,0 +1,355 @@
+//! Algorithm **AlmostUniform** + **Elevator** for medium tasks
+//! (Theorem 2, §5): a `(2+ε)`-approximation for δ-large, `(1−2β)`-small
+//! instances.
+//!
+//! Framework (Algorithm 2 of the paper):
+//!
+//! 1. for every `k`, solve the "almost uniform" class
+//!    `J^{k,ℓ} = { j : 2^k ≤ b(j) < 2^{k+ℓ} }` with a **β-elevated
+//!    2-approximation** (*Elevator*): compute an optimal solution for the
+//!    class (Lemma 13) and split it into two β-elevated halves
+//!    (Lemma 14 / Fig. 6), keeping the heavier;
+//! 2. for every residue `r ∈ {0, …, ℓ+q−1}` (where `q = log₂(1/β)`),
+//!    stack the classes `k ≡ r (mod ℓ+q)` — elevation makes the stack
+//!    feasible (Lemma 8);
+//! 3. return the heaviest residue; every task lies in exactly `ℓ` classes,
+//!    so the best residue loses only `(ℓ+q)/ℓ = 1+ε` (Lemmas 9–10).
+//!
+//! **Integrality.** The elevation threshold `β·2^k` must be an integer
+//! height; the instance is scaled by `2^q` internally (capacities and
+//! demands ×`2^q`), making every threshold `2^{k−q}` exact, and the final
+//! solution is re-grounded in original units via canonical heights.
+//!
+//! **Elevator's optimal sub-solver.** Lemma 13's dynamic program is
+//! polynomial for constant `ℓ, δ` but with an impractical exponent
+//! (`n^{O((2^ℓ/δ)²)}`); we use the equivalent exact state-space search of
+//! [`crate::exact`] (same output — an optimal class solution) and fall
+//! back to the greedy baseline when a class exceeds the search budget.
+//! The `T2` experiment reports how often the fallback fires (never, on
+//! the evaluation workloads).
+
+use rayon::prelude::*;
+use sap_core::{
+    canonical_heights, classes_k_ell, clip_to_band, elevation_split, stack, Instance,
+    SapSolution, Task, TaskId,
+};
+
+use crate::baselines::greedy_sap_best;
+use crate::exact::{solve_exact_sap, ExactConfig};
+use crate::lemma13::{solve_lemma13_dp, Lemma13Config};
+
+/// Which optimal sub-solver Elevator uses per class (both are exact; they
+/// cross-validate each other in the test-suite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElevatorSolver {
+    /// The state-space search of [`crate::exact`] (default; fastest).
+    Search,
+    /// The paper's Lemma 13 proper-pair DP ([`crate::lemma13`]).
+    Lemma13Dp,
+}
+
+/// Parameters of the medium-task algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct MediumParams {
+    /// `β = 2^{-q}`; the paper uses β = ¼ (`q = 2`). Tasks must be
+    /// `(1−2β)`-small for the elevation split to be feasible.
+    pub q: u32,
+    /// Class width ℓ; the framework ratio is `α·(ℓ+q)/ℓ`, so
+    /// `ℓ = q/ε` gives `(1+ε)·α`.
+    pub ell: u32,
+    /// Budget of the per-class exact solver.
+    pub exact: ExactConfig,
+    /// Per-class task-count cap beyond which the greedy fallback is used
+    /// (the exact search is limited to 64 tasks).
+    pub max_class_size: usize,
+    /// Which exact sub-solver Elevator runs per class.
+    pub solver: ElevatorSolver,
+}
+
+impl Default for MediumParams {
+    fn default() -> Self {
+        MediumParams {
+            q: 2,
+            ell: 4,
+            // A tighter budget than the standalone exact solver: classes
+            // that blow past it fall back to the greedy (reported in
+            // `MediumStats::exact_classes`).
+            exact: ExactConfig { max_states: 400_000 },
+            max_class_size: 28,
+            solver: ElevatorSolver::Search,
+        }
+    }
+}
+
+impl MediumParams {
+    /// The ℓ achieving ratio `(1+ε)·2` for `ε = 1/eps_inv`: `ℓ = q·eps_inv`.
+    pub fn for_epsilon(q: u32, eps_inv: u32) -> Self {
+        MediumParams { q, ell: q * eps_inv, ..Default::default() }
+    }
+}
+
+/// Statistics of a [`solve_medium_with_stats`] run.
+#[derive(Debug, Clone, Default)]
+pub struct MediumStats {
+    /// Number of non-empty classes solved.
+    pub classes: usize,
+    /// Classes solved exactly (vs greedy fallback).
+    pub exact_classes: usize,
+    /// The winning residue.
+    pub best_residue: u32,
+}
+
+/// Runs AlmostUniform on the medium tasks `ids`. See [`solve_medium_with_stats`].
+pub fn solve_medium(instance: &Instance, ids: &[TaskId], params: MediumParams) -> SapSolution {
+    solve_medium_with_stats(instance, ids, params).0
+}
+
+/// Runs AlmostUniform and also reports solver statistics.
+pub fn solve_medium_with_stats(
+    instance: &Instance,
+    ids: &[TaskId],
+    params: MediumParams,
+) -> (SapSolution, MediumStats) {
+    let q = params.q;
+    let ell = params.ell.max(1);
+    assert!(q >= 2 && q + ell <= 14, "q ≥ 2 (β < ½) and q + ℓ ≤ 14 supported");
+
+    // Lemma 14's elevation split needs every task to be (1−2β)-small;
+    // tasks outside that regime carry no guarantee here and are dropped
+    // (the combined algorithm routes them to the large-task solver).
+    let smallness = sap_core::Ratio::new((1u64 << q) - 2, 1u64 << q);
+    let ids: Vec<TaskId> = ids
+        .iter()
+        .copied()
+        .filter(|&j| smallness.le_scaled(instance.demand(j), instance.bottleneck(j)))
+        .collect();
+    if ids.is_empty() {
+        return (SapSolution::empty(), MediumStats::default());
+    }
+    let ids = &ids[..];
+
+    // Scale by 2^{q+ℓ} so that (i) every elevation threshold `β·2^k` is
+    // integral and (ii) every class index k satisfies k > q (scaled
+    // bottlenecks are ≥ 2^{q+ℓ}, so strata start at t = q+ℓ).
+    let factor = 1u64 << (q + ell);
+    let scaled_net = instance
+        .network()
+        .map_capacities(|c| c * factor)
+        .expect("scaling stays within capacity limits");
+    let scaled_tasks: Vec<Task> = instance
+        .tasks()
+        .iter()
+        .map(|t| Task { demand: t.demand * factor, ..*t })
+        .collect();
+    let scaled = Instance::new(scaled_net, scaled_tasks).expect("scaled instance is valid");
+
+    // Classes over the scaled bottlenecks (all k ≥ q since b ≥ 2^q).
+    let classes = classes_k_ell(&scaled, ids, ell);
+    let stats_exact: Vec<(u32, SapSolution, bool)> = classes
+        .par_iter()
+        .map(|(k, members)| {
+            let (sol, was_exact) = elevator(&scaled, *k, ell, q, members, &params);
+            (*k, sol, was_exact)
+        })
+        .collect();
+
+    let mut stats = MediumStats {
+        classes: stats_exact.len(),
+        exact_classes: stats_exact.iter().filter(|(_, _, e)| *e).count(),
+        best_residue: 0,
+    };
+
+    // Residue sweep.
+    let period = ell + q;
+    let mut best: Option<(u64, SapSolution, u32)> = None;
+    for r in 0..period {
+        let parts: Vec<SapSolution> = stats_exact
+            .iter()
+            .filter(|(k, _, _)| k % period == r)
+            .map(|(_, s, _)| s.clone())
+            .collect();
+        let union = stack(&parts);
+        debug_assert!(union.validate(&scaled).is_ok(), "Lemma 8 stack must be feasible");
+        let w = union.weight(&scaled);
+        if best.as_ref().map_or(true, |(bw, _, _)| w > *bw) {
+            best = Some((w, union, r));
+        }
+    }
+    let (_, scaled_sol, r) = best.expect("at least one residue");
+    stats.best_residue = r;
+
+    // Re-ground in original units, preserving the vertical order.
+    let mut order: Vec<(u64, TaskId)> =
+        scaled_sol.placements.iter().map(|p| (p.height, p.task)).collect();
+    order.sort_unstable();
+    let ids_in_order: Vec<TaskId> = order.into_iter().map(|(_, j)| j).collect();
+    let sol = canonical_heights(instance, &ids_in_order)
+        .expect("scaled-feasible order re-grounds feasibly");
+    debug_assert!(sol.validate(instance).is_ok());
+    (sol, stats)
+}
+
+/// Elevator (Lemma 15): a β-elevated 2-approximation for one class.
+/// Returns the solution in the *scaled* instance's coordinates and
+/// whether the optimal sub-solver succeeded.
+fn elevator(
+    scaled: &Instance,
+    k: u32,
+    ell: u32,
+    q: u32,
+    members: &[TaskId],
+    params: &MediumParams,
+) -> (SapSolution, bool) {
+    debug_assert!(k > q, "scaling guarantees every class index exceeds q");
+    let band_lo = 1u64 << k;
+    let band_hi = 1u64 << (k + ell);
+    let threshold = 1u64 << (k - q); // β·2^k, exact after scaling
+
+    // Clip capacities to 2^{k+ℓ} (Observation 7): lossless for the class
+    // and keeps the sub-solver's search space small.
+    let (sub, map) = match clip_to_band(scaled, members, band_lo, band_hi) {
+        Ok(x) => x,
+        Err(_) => return (SapSolution::empty(), true),
+    };
+    let sub_ids = sub.all_ids();
+    let (opt, was_exact) = if sub_ids.len() <= params.max_class_size.min(64) {
+        let solved = match params.solver {
+            ElevatorSolver::Search => solve_exact_sap(&sub, &sub_ids, params.exact),
+            ElevatorSolver::Lemma13Dp => solve_lemma13_dp(
+                &sub,
+                &sub_ids,
+                Lemma13Config { max_states: params.exact.max_states, max_heights: 4096 },
+            ),
+        };
+        match solved {
+            Some(s) => (s, true),
+            None => (greedy_sap_best(&sub, &sub_ids), false),
+        }
+    } else {
+        (greedy_sap_best(&sub, &sub_ids), false)
+    };
+
+    // Lemma 14: split at β·2^k, keep the heavier β-elevated half.
+    let split = elevation_split(&sub, &opt, threshold);
+    let chosen = if split.lifted.weight(&sub) >= split.kept.weight(&sub) {
+        split.lifted
+    } else {
+        split.kept
+    };
+    // Map back to the scaled instance's task ids.
+    let mapped = SapSolution::from_pairs(
+        chosen.placements.iter().map(|p| (map[p.task], p.height)),
+    );
+    (mapped, was_exact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sap_core::{is_delta_small, PathNetwork, Ratio};
+
+    /// Medium workload: 1/8-large and ½-small tasks over mixed strata.
+    fn medium_instance(seed: u64, m: usize, n: usize) -> Instance {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let caps: Vec<u64> = (0..m).map(|_| 32 << (next() % 3)).collect();
+        let net = PathNetwork::new(caps).unwrap();
+        let mut tasks = Vec::new();
+        for _ in 0..n {
+            let lo = (next() % m as u64) as usize;
+            let hi = (lo + 1 + (next() % (m as u64 - lo as u64)) as usize).min(m);
+            let b = net.bottleneck(sap_core::Span { lo, hi });
+            let d = b / 8 + 1 + next() % (b / 2 - b / 8);
+            tasks.push(Task::of(lo, hi, d.min(b / 2).max(1), 1 + next() % 40));
+        }
+        Instance::new(net, tasks).unwrap()
+    }
+
+    #[test]
+    fn output_is_feasible() {
+        for seed in 0..6 {
+            let inst = medium_instance(seed, 6, 24);
+            let ids = inst.all_ids();
+            // Confirm the workload really is ½-small.
+            for &j in &ids {
+                assert!(is_delta_small(&inst, j, Ratio::new(1, 2)));
+            }
+            let (sol, stats) = solve_medium_with_stats(&inst, &ids, MediumParams::default());
+            sol.validate(&inst).unwrap();
+            assert!(!sol.is_empty(), "seed {seed}");
+            assert!(stats.classes > 0);
+        }
+    }
+
+    #[test]
+    fn ratio_against_exact_on_small_instances() {
+        // Thm 2: ratio ≤ (1+ε)·2 with ε = q/ℓ = 2/4 → 3. Measure ≤ 3.
+        for seed in 0..6 {
+            let inst = medium_instance(seed + 20, 5, 12);
+            let ids = inst.all_ids();
+            let opt = solve_exact_sap(&inst, &ids, ExactConfig::default())
+                .expect("budget")
+                .weight(&inst);
+            let sol = solve_medium(&inst, &ids, MediumParams::default());
+            let w = sol.weight(&inst);
+            assert!(3 * w >= opt, "seed {seed}: medium {w} vs opt {opt}");
+        }
+    }
+
+    #[test]
+    fn elevation_threshold_is_respected_in_scaled_space() {
+        // Indirect check: the final solution validates and selects tasks
+        // from multiple strata without collisions.
+        let inst = medium_instance(3, 8, 40);
+        let sol = solve_medium(&inst, &inst.all_ids(), MediumParams::default());
+        sol.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn empty_input() {
+        let inst = medium_instance(0, 4, 8);
+        assert!(solve_medium(&inst, &[], MediumParams::default()).is_empty());
+    }
+
+    #[test]
+    fn both_elevator_solvers_satisfy_the_bound() {
+        // Both sub-solvers are exact in *weight* per class, but different
+        // optimal *height assignments* split differently under Lemma 14,
+        // so the framework outputs may differ — each must stay within the
+        // Theorem-2 bound (ℓ=4, q=2 ⇒ 3) of the true optimum.
+        use crate::exact::{solve_exact_sap, ExactConfig};
+        for seed in 0..2 {
+            let inst = medium_instance(seed + 40, 4, 9);
+            let ids = inst.all_ids();
+            let opt = solve_exact_sap(&inst, &ids, ExactConfig::default())
+                .expect("budget")
+                .weight(&inst);
+            for solver in [ElevatorSolver::Search, ElevatorSolver::Lemma13Dp] {
+                let sol = solve_medium(
+                    &inst,
+                    &ids,
+                    MediumParams { solver, ..Default::default() },
+                );
+                sol.validate(&inst).unwrap();
+                let w = sol.weight(&inst);
+                assert!(w <= opt);
+                assert!(3 * w >= opt, "seed {seed} {solver:?}: {w} vs opt {opt}");
+            }
+        }
+    }
+
+    #[test]
+    fn wider_ell_does_not_break_feasibility() {
+        let inst = medium_instance(9, 6, 20);
+        for ell in [1u32, 2, 6, 8] {
+            let params = MediumParams { ell, ..Default::default() };
+            let sol = solve_medium(&inst, &inst.all_ids(), params);
+            sol.validate(&inst).unwrap();
+        }
+    }
+}

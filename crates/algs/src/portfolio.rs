@@ -1,0 +1,130 @@
+//! Parallel batch solving and algorithm portfolios.
+//!
+//! Experiment sweeps and service-style deployments solve many instances
+//! at once; these helpers fan the work out with rayon and, per instance,
+//! can race an algorithm portfolio and keep the best result.
+
+use rayon::prelude::*;
+use sap_core::{Instance, SapSolution};
+
+use crate::baselines::greedy_sap_best;
+use crate::combined::{solve, SapParams};
+
+/// Which algorithms a portfolio run includes.
+#[derive(Debug, Clone)]
+pub struct Portfolio {
+    /// Parameters for the combined `(9+ε)` algorithm.
+    pub params: SapParams,
+    /// Also run the greedy baselines and keep the best.
+    pub include_greedy: bool,
+}
+
+impl Default for Portfolio {
+    fn default() -> Self {
+        Portfolio { params: SapParams::default(), include_greedy: true }
+    }
+}
+
+impl Portfolio {
+    /// Solves one instance with every member and returns the heaviest
+    /// feasible solution.
+    pub fn solve(&self, instance: &Instance) -> SapSolution {
+        let ids = instance.all_ids();
+        let mut best = solve(instance, &ids, &self.params);
+        if self.include_greedy {
+            let greedy = greedy_sap_best(instance, &ids);
+            if greedy.weight(instance) > best.weight(instance) {
+                best = greedy;
+            }
+        }
+        debug_assert!(best.validate(instance).is_ok());
+        best
+    }
+}
+
+/// Solves a batch of instances in parallel with the given portfolio;
+/// results are returned in input order.
+pub fn solve_batch(instances: &[Instance], portfolio: &Portfolio) -> Vec<SapSolution> {
+    instances
+        .par_iter()
+        .map(|inst| portfolio.solve(inst))
+        .collect()
+}
+
+/// Runs the combined algorithm over a parameter grid in parallel and
+/// returns `(params, weight)` for each point — the engine behind the
+/// ablation experiments.
+pub fn sweep_params(instance: &Instance, grid: &[SapParams]) -> Vec<(SapParams, u64)> {
+    let ids = instance.all_ids();
+    grid.par_iter()
+        .map(|p| {
+            let sol = solve(instance, &ids, p);
+            (p.clone(), sol.weight(instance))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sap_core::{PathNetwork, Ratio, Task};
+
+    fn instances(count: usize) -> Vec<Instance> {
+        (0..count)
+            .map(|seed| {
+                let mut s = (seed as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+                let mut next = move || {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    s
+                };
+                let m = 6;
+                let net = PathNetwork::uniform(m, 64).unwrap();
+                let tasks: Vec<Task> = (0..20)
+                    .map(|_| {
+                        let lo = (next() % m as u64) as usize;
+                        let hi = (lo + 1 + (next() % (m as u64 - lo as u64)) as usize).min(m);
+                        Task::of(lo, hi, 1 + next() % 64, 1 + next() % 30)
+                    })
+                    .collect();
+                Instance::new(net, tasks).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_returns_in_order_and_validates() {
+        let batch = instances(6);
+        let sols = solve_batch(&batch, &Portfolio::default());
+        assert_eq!(sols.len(), batch.len());
+        for (inst, sol) in batch.iter().zip(&sols) {
+            sol.validate(inst).unwrap();
+            assert!(!sol.is_empty());
+        }
+    }
+
+    #[test]
+    fn portfolio_never_below_combined_alone() {
+        for inst in instances(4) {
+            let ids = inst.all_ids();
+            let combined = solve(&inst, &ids, &SapParams::default());
+            let portfolio = Portfolio::default().solve(&inst);
+            assert!(portfolio.weight(&inst) >= combined.weight(&inst));
+        }
+    }
+
+    #[test]
+    fn sweep_covers_grid() {
+        let inst = &instances(1)[0];
+        let grid: Vec<SapParams> = [4u64, 16, 64]
+            .into_iter()
+            .map(|d| SapParams { delta_small: Ratio::new(1, d), ..Default::default() })
+            .collect();
+        let results = sweep_params(inst, &grid);
+        assert_eq!(results.len(), 3);
+        for (_, w) in &results {
+            assert!(*w > 0);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Algorithm **Strip-Pack** for δ-small instances (Theorem 1, §4).
+//!
+//! Pipeline, per bottleneck stratum `J_t = { j : 2^t ≤ b(j) < 2^{t+1} }`:
+//!
+//! 1. clip capacities to `2^{t+1}` (Observation 2 / Fig. 3 — lossless);
+//! 2. compute a `2^{t−1}`-packable UFPP solution: either the LP-rounding
+//!    route of §4.1 (scale the fractional optimum by ¼ and round —
+//!    Lemma 5, ratio `4+ε`) or the local-ratio Algorithm Strip of the
+//!    appendix (ratio `5+ε`);
+//! 3. convert it into a `2^{t−1}`-packable **SAP** solution via the
+//!    Lemma-4 strip engine (DSA + window selection);
+//! 4. lift by `2^{t−1}` into the strip `[2^{t−1}, 2^t)`.
+//!
+//! Stacking the strips yields a feasible solution for the whole instance
+//! (Fig. 4): strip `t` lives strictly below `2^t ≤ b(j)` for every
+//! `j ∈ J_t`, and different strips are vertically disjoint.
+//!
+//! Strata are processed in parallel (rayon) — they are independent
+//! subproblems.
+
+use rayon::prelude::*;
+use sap_core::{
+    clip_to_band, lift, stack, strata_by_bottleneck, Instance, SapSolution, TaskId,
+};
+
+/// Which per-stratum UFPP packer to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmallAlgo {
+    /// §4.1: LP relaxation, scale by ¼, greedy rounding (ratio `4+ε`).
+    LpRounding,
+    /// Appendix: local-ratio Algorithm Strip (ratio `5+ε`), LP-free.
+    LocalRatio,
+}
+
+/// Runs Strip-Pack on the δ-small tasks `ids` of `instance`.
+///
+/// The caller is responsible for passing δ-small tasks (the theorem's
+/// guarantee only holds then); the output is a feasible SAP solution for
+/// any input.
+pub fn solve_small(instance: &Instance, ids: &[TaskId], algo: SmallAlgo) -> SapSolution {
+    let strata = strata_by_bottleneck(instance, ids);
+    let parts: Vec<SapSolution> = strata
+        .par_iter()
+        .map(|(t, members)| pack_stratum(instance, *t, members, algo))
+        .collect();
+    let combined = stack(&parts);
+    debug_assert!(combined.validate(instance).is_ok());
+    combined
+}
+
+/// Packs one stratum `J_t` into the strip `[2^{t−1}, 2^t)` (tasks of
+/// stratum 0 — bottleneck 1, demand 1 — cannot be half-packed; the strip
+/// bound `2^{t−1}` is 0 there and the stratum yields nothing, matching the
+/// theory: δ-small tasks with integer demands have `b(j) ≥ 1/δ > 2`).
+fn pack_stratum(
+    instance: &Instance,
+    t: u32,
+    members: &[TaskId],
+    algo: SmallAlgo,
+) -> SapSolution {
+    if t == 0 {
+        return SapSolution::empty();
+    }
+    let band_lo = 1u64 << t;
+    let band_hi = 2 * band_lo;
+    let half = band_lo / 2; // 2^{t−1}: strip height and lift amount
+    let (sub, map) = match clip_to_band(instance, members, band_lo, band_hi) {
+        Ok(x) => x,
+        Err(_) => return SapSolution::empty(),
+    };
+    let sub_ids = sub.all_ids();
+    // Step 2: half-B-packable UFPP solution.
+    let ufpp_sol = match algo {
+        SmallAlgo::LpRounding => {
+            ufpp::round_scaled_lp(&sub, &sub_ids, half).solution
+        }
+        SmallAlgo::LocalRatio => ufpp::strip_local_ratio(&sub, &sub_ids, band_lo),
+    };
+    debug_assert!(ufpp_sol.validate_packable(&sub, half).is_ok());
+    // Step 3: SAP in the strip [0, half).
+    let packing = dsa::pack_into_strip(&sub, &ufpp_sol.tasks, half);
+    debug_assert!(packing.solution.validate_packable(&sub, half).is_ok());
+    // Step 4: lift into [half, 2^t) and translate ids back.
+    let lifted = lift(&packing.solution, half);
+    SapSolution::from_pairs(
+        lifted.placements.iter().map(|p| (map[p.task], p.height)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sap_core::{is_delta_small, PathNetwork, Ratio, Task};
+
+    fn small_instance(seed: u64, m: usize, n: usize) -> Instance {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        // Capacities spread over several strata.
+        let caps: Vec<u64> = (0..m).map(|_| 128 << (next() % 4)).collect();
+        let net = PathNetwork::new(caps).unwrap();
+        let mut tasks = Vec::new();
+        for _ in 0..n {
+            let lo = (next() % m as u64) as usize;
+            let hi = (lo + 1 + (next() % (m as u64 - lo as u64)) as usize).min(m);
+            let b = net.bottleneck(sap_core::Span { lo, hi });
+            let d = 1 + next() % (b / 16); // 1/16-small
+            tasks.push(Task::of(lo, hi, d, 1 + next() % 50));
+        }
+        Instance::new(net, tasks).unwrap()
+    }
+
+    #[test]
+    fn output_is_feasible_for_both_algorithms() {
+        for seed in 0..8 {
+            let inst = small_instance(seed, 10, 80);
+            let ids = inst.all_ids();
+            for algo in [SmallAlgo::LpRounding, SmallAlgo::LocalRatio] {
+                let sol = solve_small(&inst, &ids, algo);
+                sol.validate(&inst).unwrap();
+                assert!(!sol.is_empty(), "seed {seed}, {algo:?}");
+                // Inputs really were δ-small.
+                for j in &ids {
+                    assert!(is_delta_small(&inst, *j, Ratio::new(1, 16)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strips_do_not_interleave() {
+        let inst = small_instance(3, 8, 60);
+        let sol = solve_small(&inst, &inst.all_ids(), SmallAlgo::LpRounding);
+        for p in &sol.placements {
+            let t = sap_core::stratum_of(&inst, p.task);
+            let lo = 1u64 << (t - 1);
+            let hi = 1u64 << t;
+            assert!(
+                p.height >= lo && p.height + inst.demand(p.task) <= hi,
+                "task {} must stay inside its strip [{lo},{hi})",
+                p.task
+            );
+        }
+    }
+
+    #[test]
+    fn weight_respects_lp_ratio_loosely() {
+        // Measured check (the formal one is experiment T1): against the LP
+        // upper bound, Strip-Pack should stay within factor ~6 for
+        // 1/16-small tasks.
+        let mut total_ratio = 0.0;
+        let runs = 6;
+        for seed in 0..runs {
+            let inst = small_instance(seed + 100, 8, 100);
+            let ids = inst.all_ids();
+            let (_, bound) = ufpp::lp_upper_bound(&inst, &ids);
+            let sol = solve_small(&inst, &ids, SmallAlgo::LpRounding);
+            total_ratio += bound / sol.weight(&inst).max(1) as f64;
+        }
+        let avg = total_ratio / runs as f64;
+        assert!(avg <= 6.0, "average ratio {avg} too large");
+    }
+
+    #[test]
+    fn empty_input() {
+        let inst = small_instance(0, 4, 10);
+        let sol = solve_small(&inst, &[], SmallAlgo::LpRounding);
+        assert!(sol.is_empty());
+    }
+
+    #[test]
+    fn stratum_zero_tasks_are_dropped_gracefully() {
+        let net = PathNetwork::new(vec![1, 1]).unwrap();
+        let inst = Instance::new(net, vec![Task::of(0, 2, 1, 5)]).unwrap();
+        let sol = solve_small(&inst, &inst.all_ids(), SmallAlgo::LpRounding);
+        sol.validate(&inst).unwrap();
+        assert!(sol.is_empty(), "b(j)=1 tasks cannot be strip-packed");
+    }
+}

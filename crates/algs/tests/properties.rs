@@ -1,0 +1,99 @@
+//! Property tests for the algorithm crate: on arbitrary random instances
+//! every algorithm must return a feasible solution that never beats the
+//! exact optimum, and the combined algorithm must stay within its proved
+//! factor of it.
+
+use proptest::prelude::*;
+use sap_algs::{
+    baselines::greedy_sap_best, solve, solve_exact_sap, solve_large, solve_medium,
+    solve_small, ExactConfig, MediumParams, SapParams, SmallAlgo,
+};
+use sap_core::{Instance, PathNetwork, Span, Task};
+
+fn arb_instance(max_tasks: usize) -> impl Strategy<Value = Instance> {
+    (2usize..=5, 1usize..=max_tasks).prop_flat_map(|(m, n)| {
+        let caps = proptest::collection::vec(8u64..=64, m);
+        let tasks = proptest::collection::vec((0..m, 1..=m, 1u64..=64, 1u64..=25), n);
+        (caps, tasks).prop_map(move |(caps, raw)| {
+            let net = PathNetwork::new(caps).unwrap();
+            let tasks: Vec<Task> = raw
+                .into_iter()
+                .map(|(lo, len, d, w)| {
+                    let lo = lo.min(m - 1);
+                    let hi = (lo + len).min(m).max(lo + 1);
+                    let b = net.bottleneck(Span::new(lo, hi).unwrap());
+                    Task::of(lo, hi, d.min(b).max(1), w)
+                })
+                .collect();
+            Instance::new(net, tasks).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The combined algorithm: feasible, ≤ OPT, and ≥ OPT/10 (Theorem 4
+    /// with slack for the ε terms).
+    #[test]
+    fn combined_sandwiched_by_exact(inst in arb_instance(9)) {
+        let ids = inst.all_ids();
+        let opt = solve_exact_sap(&inst, &ids, ExactConfig::default())
+            .expect("budget")
+            .weight(&inst);
+        let sol = solve(&inst, &ids, &SapParams::default());
+        sol.validate(&inst).unwrap();
+        let w = sol.weight(&inst);
+        prop_assert!(w <= opt);
+        prop_assert!(10 * w >= opt, "combined {w} vs opt {opt}");
+    }
+
+    /// Every per-regime algorithm is feasible on arbitrary inputs (their
+    /// ratio only holds on their regime, but feasibility must always).
+    #[test]
+    fn all_algorithms_always_feasible(inst in arb_instance(12)) {
+        let ids = inst.all_ids();
+        solve_small(&inst, &ids, SmallAlgo::LpRounding).validate(&inst).unwrap();
+        solve_small(&inst, &ids, SmallAlgo::LocalRatio).validate(&inst).unwrap();
+        solve_medium(&inst, &ids, MediumParams::default()).validate(&inst).unwrap();
+        if let Some(s) = solve_large(&inst, &ids) {
+            s.validate(&inst).unwrap();
+        }
+        greedy_sap_best(&inst, &ids).validate(&inst).unwrap();
+    }
+
+    /// The exact solver is monotone: adding tasks never lowers OPT.
+    #[test]
+    fn exact_is_monotone_in_task_set(inst in arb_instance(8)) {
+        let ids = inst.all_ids();
+        let full = solve_exact_sap(&inst, &ids, ExactConfig::default())
+            .expect("budget")
+            .weight(&inst);
+        let half: Vec<_> = ids.iter().copied().take(ids.len() / 2).collect();
+        let sub = solve_exact_sap(&inst, &half, ExactConfig::default())
+            .expect("budget")
+            .weight(&inst);
+        prop_assert!(sub <= full);
+    }
+
+    /// Uniform-capacity instances: the Chen et al. column DP agrees with
+    /// the search-based exact solver (two independent exact algorithms).
+    #[test]
+    fn sapu_dp_cross_validates_exact(m in 2usize..=5, k in 2u64..=5, raw in proptest::collection::vec((0usize..5, 1usize..=5, 1u64..=5, 1u64..=20), 1..=9)) {
+        let net = PathNetwork::uniform(m, k).unwrap();
+        let tasks: Vec<Task> = raw
+            .into_iter()
+            .map(|(lo, len, d, w)| {
+                let lo = lo.min(m - 1);
+                let hi = (lo + len).min(m).max(lo + 1);
+                Task::of(lo, hi, d.min(k), w)
+            })
+            .collect();
+        let inst = Instance::new(net, tasks).unwrap();
+        let ids = inst.all_ids();
+        let dp = sap_algs::solve_sapu_exact_dp(&inst, &ids);
+        dp.validate(&inst).unwrap();
+        let search = solve_exact_sap(&inst, &ids, ExactConfig::default()).expect("budget");
+        prop_assert_eq!(dp.weight(&inst), search.weight(&inst));
+    }
+}

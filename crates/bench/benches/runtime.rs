@@ -1,0 +1,87 @@
+//! RT — runtime-scaling benches for every algorithm (the paper's
+//! "polynomial time" claims, measured).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sap_algs::{solve_large, solve_medium, solve_small, MediumParams, SapParams, SmallAlgo};
+use sap_bench::workloads::{large_workload, medium_workload, mixed_workload, small_workload};
+
+fn bench_small(c: &mut Criterion) {
+    let mut g = c.benchmark_group("strip_pack_small");
+    g.sample_size(10);
+    for &n in &[100usize, 200, 400] {
+        let inst = small_workload(1, n, 32);
+        let ids = inst.all_ids();
+        g.bench_with_input(BenchmarkId::new("lp_rounding", n), &n, |b, _| {
+            b.iter(|| solve_small(&inst, &ids, SmallAlgo::LpRounding));
+        });
+        g.bench_with_input(BenchmarkId::new("local_ratio", n), &n, |b, _| {
+            b.iter(|| solve_small(&inst, &ids, SmallAlgo::LocalRatio));
+        });
+    }
+    g.finish();
+}
+
+fn bench_medium(c: &mut Criterion) {
+    let mut g = c.benchmark_group("almost_uniform_medium");
+    g.sample_size(10);
+    for &n in &[20usize, 40, 80] {
+        let inst = medium_workload(2, 10, n);
+        let ids = inst.all_ids();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| solve_medium(&inst, &ids, MediumParams::default()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_large(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rectangle_packing_large");
+    g.sample_size(10);
+    for &n in &[50usize, 100, 200] {
+        let inst = large_workload(3, 25, n, 2);
+        let ids = inst.all_ids();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| solve_large(&inst, &ids).expect("budget"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_combined(c: &mut Criterion) {
+    let mut g = c.benchmark_group("combined_9eps");
+    g.sample_size(10);
+    for &n in &[50usize, 100, 200] {
+        let inst = mixed_workload(4, 20, n);
+        let ids = inst.all_ids();
+        let params = SapParams::default();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| sap_algs::solve(&inst, &ids, &params));
+        });
+    }
+    g.finish();
+}
+
+fn bench_ring(c: &mut Criterion) {
+    use sap_gen::{generate_ring, CapacityProfile, RingGenConfig};
+    let mut g = c.benchmark_group("ring_10eps");
+    g.sample_size(10);
+    for &n in &[50usize, 100] {
+        let inst = generate_ring(
+            &RingGenConfig {
+                num_edges: 16,
+                num_tasks: n,
+                profile: CapacityProfile::Random { lo: 64, hi: 512 },
+                max_demand: 128,
+                max_weight: 60,
+            },
+            5,
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| sap_algs::solve_ring(&inst, &sap_algs::RingParams::default()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_small, bench_medium, bench_large, bench_combined, bench_ring);
+criterion_main!(benches);

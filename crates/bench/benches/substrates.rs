@@ -1,0 +1,88 @@
+//! RT — substrate benches: the building blocks the algorithms are
+//! assembled from (simplex, DSA, rectangle MWIS, knapsack, validators).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sap_bench::workloads::{large_workload, mixed_workload, small_workload};
+
+fn bench_lp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simplex_ufpp_relaxation");
+    g.sample_size(10);
+    for &n in &[100usize, 200, 400] {
+        let inst = small_workload(10, n, 16);
+        let ids = inst.all_ids();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let lp = ufpp::build_relaxation(&inst, &ids);
+                lp.solve(0)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_dsa(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dsa_first_fit");
+    g.sample_size(10);
+    for &n in &[200usize, 400, 800] {
+        let inst = small_workload(11, n, 16);
+        let ids = inst.all_ids();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| dsa::allocate(&inst, &ids, dsa::DsaOrder::LeftEndpoint));
+        });
+    }
+    g.finish();
+}
+
+fn bench_rect_mwis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rectpack_exact_mwis");
+    g.sample_size(10);
+    for &n in &[50usize, 100, 200] {
+        let inst = large_workload(12, 25, n, 2);
+        let ids = inst.all_ids();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                rectpack::max_weight_packing(&inst, &ids, rectpack::MwisConfig::default())
+                    .expect("budget")
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_knapsack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("knapsack");
+    g.sample_size(20);
+    let items: Vec<knapsack::Item> = (0..200)
+        .map(|i| knapsack::Item { size: 1 + (i * 13) % 50, weight: 1 + (i * 7) % 90 })
+        .collect();
+    g.bench_function("exact_by_capacity_200", |b| {
+        b.iter(|| knapsack::solve_exact_by_capacity(&items, 500));
+    });
+    g.bench_function("fptas_200_eps_0.1", |b| {
+        b.iter(|| knapsack::fptas(&items, 500, 1, 10));
+    });
+    g.finish();
+}
+
+fn bench_validator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sap_validator");
+    g.sample_size(20);
+    for &n in &[500usize, 1000] {
+        let inst = mixed_workload(13, 50, n);
+        let sol = sap_algs::baselines::greedy_sap_best(&inst, &inst.all_ids());
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| sol.validate(&inst).expect("feasible"));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lp,
+    bench_dsa,
+    bench_rect_mwis,
+    bench_knapsack,
+    bench_validator
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! **DS — DSA allocator comparison** (the Lemma-4 engine choices).
+//!
+//! First-fit by left endpoint vs first-fit decreasing, measured as
+//! makespan/LOAD across task-size regimes. The strip engine tries both
+//! and keeps the better window; this table shows why both are worth
+//! trying.
+
+use dsa::{allocate, makespan_lower_bound, DsaOrder};
+use rayon::prelude::*;
+use sap_gen::{generate, CapacityProfile, DemandRegime, GenConfig};
+
+use crate::table::Table;
+
+const SEEDS: u64 = 8;
+
+/// Runs DS.
+pub fn run() -> Vec<Table> {
+    let mut t = Table::new(
+        "DS",
+        "DSA allocators: makespan / LOAD by regime",
+        "first-fit-decreasing wins on mixed sizes; both near 1 on δ-small \
+         (the regime Lemma 4 uses them in)",
+        &["regime", "left-endpoint mean", "demand-decreasing mean", "best-of mean"],
+    );
+    let regimes: [(&str, DemandRegime); 3] = [
+        ("δ-small (1/32)", DemandRegime::Small { delta_inv: 32 }),
+        ("medium", DemandRegime::Medium { delta_inv: 8 }),
+        ("mixed", DemandRegime::Mixed),
+    ];
+    for (name, regime) in regimes {
+        let triples: Vec<(f64, f64, f64)> = (0..SEEDS)
+            .into_par_iter()
+            .map(|seed| {
+                let inst = generate(
+                    &GenConfig {
+                        num_edges: 20,
+                        num_tasks: 300,
+                        profile: CapacityProfile::Uniform(1 << 30),
+                        regime,
+                        max_span: 10,
+                        max_weight: 10,
+                    },
+                    seed + 6000,
+                );
+                let ids = inst.all_ids();
+                let load = makespan_lower_bound(&inst, &ids).max(1) as f64;
+                let le = allocate(&inst, &ids, DsaOrder::LeftEndpoint)
+                    .max_makespan(&inst) as f64
+                    / load;
+                let dd = allocate(&inst, &ids, DsaOrder::DemandDecreasing)
+                    .max_makespan(&inst) as f64
+                    / load;
+                (le, dd, le.min(dd))
+            })
+            .collect();
+        let mean = |f: fn(&(f64, f64, f64)) -> f64| {
+            triples.iter().map(f).sum::<f64>() / triples.len() as f64
+        };
+        t.push(vec![
+            name.into(),
+            format!("{:.3}", mean(|x| x.0)),
+            format!("{:.3}", mean(|x| x.1)),
+            format!("{:.3}", mean(|x| x.2)),
+        ]);
+    }
+    vec![t]
+}

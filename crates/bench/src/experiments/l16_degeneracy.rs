@@ -1,0 +1,72 @@
+//! **L16/L17 — Lemmas 16 & 17**: structural bounds on `1/k`-large SAP
+//! solutions.
+//!
+//! Lemma 16: at most `k` `1/k`-large tasks of a feasible solution share an
+//! edge. Lemma 17: the rectangle intersection graph of a `1/k`-large
+//! solution is `(2k−2)`-degenerate (hence `2k−1`-colourable). We build
+//! random feasible `1/k`-large solutions and measure both quantities —
+//! and Fig. 8 shows the degeneracy bound is attained for k = 2.
+
+use rayon::prelude::*;
+use rectpack::{degeneracy_order, greedy_coloring, intersection_graph};
+use sap_core::canonical_heights;
+
+use crate::table::Table;
+use crate::workloads::large_workload;
+
+const SEEDS: u64 = 10;
+
+/// Runs L16/L17.
+pub fn run() -> Vec<Table> {
+    let mut t = Table::new(
+        "L16",
+        "Structure of random 1/k-large feasible solutions",
+        "max tasks/edge ≤ k (Lemma 16); rectangle degeneracy ≤ 2k−2 and \
+         colours ≤ 2k−1 (Lemma 17); Fig. 8 attains degeneracy 2 at k=2",
+        &["k", "max tasks/edge", "bound k", "max degeneracy", "bound 2k−2", "max colours"],
+    );
+    for k in [2u64, 3, 4] {
+        let results: Vec<(u64, usize, usize)> = (0..SEEDS)
+            .into_par_iter()
+            .map(|seed| {
+                let inst = large_workload(seed + 200 * k, 10, 60, k);
+                // Greedy feasible solution (insertion order by id).
+                let mut chosen = Vec::new();
+                for j in inst.all_ids() {
+                    chosen.push(j);
+                    if canonical_heights(&inst, &chosen).is_none() {
+                        chosen.pop();
+                    }
+                }
+                let max_per_edge = inst
+                    .loads(&chosen)
+                    .iter()
+                    .enumerate()
+                    .map(|(e, _)| {
+                        chosen.iter().filter(|&&j| inst.span(j).contains(e)).count()
+                    })
+                    .max()
+                    .unwrap_or(0) as u64;
+                let adj = intersection_graph(&inst, &chosen);
+                let (order, degeneracy) = degeneracy_order(&adj);
+                let colors = greedy_coloring(&adj, &order);
+                let ncolors = rectpack::coloring::num_colors(&colors);
+                (max_per_edge, degeneracy, ncolors)
+            })
+            .collect();
+        let max_edge = results.iter().map(|r| r.0).max().unwrap_or(0);
+        let max_deg = results.iter().map(|r| r.1).max().unwrap_or(0);
+        let max_col = results.iter().map(|r| r.2).max().unwrap_or(0);
+        assert!(max_edge <= k, "Lemma 16 violated at k={k}");
+        assert!(max_deg as u64 <= 2 * k - 2, "Lemma 17 violated at k={k}");
+        t.push(vec![
+            k.to_string(),
+            max_edge.to_string(),
+            k.to_string(),
+            max_deg.to_string(),
+            (2 * k - 2).to_string(),
+            max_col.to_string(),
+        ]);
+    }
+    vec![t]
+}

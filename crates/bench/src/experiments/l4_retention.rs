@@ -1,0 +1,94 @@
+//! **L4 — Lemma 4 substitution**: the UFPP→SAP strip transformation
+//! (DESIGN.md §3, substitution 2).
+//!
+//! Paper: a `B`-packable UFPP solution of δ-small tasks becomes a
+//! `B`-packable SAP solution keeping ≥ `1−4δ` of the weight (via the
+//! Buchsbaum DSA algorithm). We measure the retention of the first-fit +
+//! window engine against that target, and the DSA makespan/LOAD ratio
+//! driving it.
+
+use rayon::prelude::*;
+use sap_core::{Instance, UfppSolution};
+
+use crate::table::Table;
+use crate::workloads::small_workload;
+
+const SEEDS: u64 = 8;
+
+/// Runs L4.
+pub fn run() -> Vec<Table> {
+    vec![retention_table(), makespan_table()]
+}
+
+/// Builds a greedy B-packable UFPP solution over δ-small tasks.
+fn packable_subset(inst: &Instance, bound: u64) -> Vec<usize> {
+    let mut sel = Vec::new();
+    for j in inst.all_ids() {
+        sel.push(j);
+        if UfppSolution::new(sel.clone()).validate_packable(inst, bound).is_err() {
+            sel.pop();
+        }
+    }
+    sel
+}
+
+fn retention_table() -> Table {
+    let mut t = Table::new(
+        "L4a",
+        "Strip transformation retention vs δ",
+        "retention ≥ 1−4δ (the paper's Lemma 4 target), rising as δ shrinks",
+        &["δ", "paper target 1−4δ", "mean retention", "min retention"],
+    );
+    for delta_inv in [8u64, 16, 32, 64] {
+        let rets: Vec<f64> = (0..SEEDS)
+            .into_par_iter()
+            .map(|seed| {
+                let inst = small_workload(seed + 80, 250, delta_inv);
+                let bound = inst.network().min_capacity() / 2;
+                let sel = packable_subset(&inst, bound);
+                let input: u64 = inst.total_weight(&sel);
+                let packing = dsa::pack_into_strip(&inst, &sel, bound);
+                packing
+                    .solution
+                    .validate_packable(&inst, bound)
+                    .expect("strip bound respected");
+                packing.solution.weight(&inst) as f64 / input.max(1) as f64
+            })
+            .collect();
+        let mean = rets.iter().sum::<f64>() / rets.len() as f64;
+        let min = rets.iter().cloned().fold(f64::NAN, f64::min);
+        let target = 1.0 - 4.0 / delta_inv as f64;
+        t.push(vec![
+            format!("1/{delta_inv}"),
+            format!("{target:.3}"),
+            format!("{mean:.3}"),
+            format!("{min:.3}"),
+        ]);
+    }
+    t
+}
+
+fn makespan_table() -> Table {
+    let mut t = Table::new(
+        "L4b",
+        "First-fit DSA makespan / LOAD on δ-small tasks",
+        "ratio → 1 as δ → 0 (the Buchsbaum bound is 1+O(δ^{1/7}))",
+        &["δ", "mean makespan/LOAD", "max makespan/LOAD"],
+    );
+    for delta_inv in [4u64, 8, 16, 32, 64] {
+        let ratios: Vec<f64> = (0..SEEDS)
+            .into_par_iter()
+            .map(|seed| {
+                let inst = small_workload(seed + 85, 250, delta_inv);
+                let ids = inst.all_ids();
+                let load = dsa::makespan_lower_bound(&inst, &ids);
+                let alloc = dsa::allocate(&inst, &ids, dsa::DsaOrder::LeftEndpoint);
+                alloc.max_makespan(&inst) as f64 / load.max(1) as f64
+            })
+            .collect();
+        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        let max = ratios.iter().cloned().fold(f64::NAN, f64::max);
+        t.push(vec![format!("1/{delta_inv}"), format!("{mean:.3}"), format!("{max:.3}")]);
+    }
+    t
+}

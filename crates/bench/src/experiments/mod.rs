@@ -1,0 +1,36 @@
+//! One module per experiment in DESIGN.md's index.
+
+pub mod a1_local_ratio;
+pub mod bl_baselines;
+pub mod ds_allocators;
+pub mod l16_degeneracy;
+pub mod l4_retention;
+pub mod pc_contiguity;
+pub mod t1_small;
+pub mod t2_medium;
+pub mod t3_large;
+pub mod t4_combined;
+pub mod t5_ring;
+pub mod t6_rounding;
+pub mod uf_combined;
+
+use crate::table::Table;
+
+/// All experiments in index order: `(id, runner)`.
+pub fn all() -> Vec<(&'static str, fn() -> Vec<Table>)> {
+    vec![
+        ("T1", t1_small::run as fn() -> Vec<Table>),
+        ("T2", t2_medium::run),
+        ("T3", t3_large::run),
+        ("T4", t4_combined::run),
+        ("T5", t5_ring::run),
+        ("T6", t6_rounding::run),
+        ("L4", l4_retention::run),
+        ("L16", l16_degeneracy::run),
+        ("A1", a1_local_ratio::run),
+        ("BL", bl_baselines::run),
+        ("PC", pc_contiguity::run),
+        ("UF", uf_combined::run),
+        ("DS", ds_allocators::run),
+    ]
+}

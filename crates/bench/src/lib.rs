@@ -1,0 +1,20 @@
+//! # sap-bench
+//!
+//! The experiment harness behind EXPERIMENTS.md. The `report` binary runs
+//! every experiment in DESIGN.md's index (T1–T6, L4, L16/17, A1, BL) and
+//! prints the markdown tables; the Criterion benches (`runtime`,
+//! `substrates`) cover the `RT` runtime-scaling claims.
+//!
+//! ```text
+//! cargo run -p sap-bench --release --bin report            # all tables
+//! cargo run -p sap-bench --release --bin report -- T1 T4   # a subset
+//! cargo bench -p sap-bench                                 # RT benches
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod table;
+pub mod workloads;
+
+pub use table::Table;

@@ -1,0 +1,94 @@
+//! Minimal markdown table builder used by every experiment.
+
+use serde::Serialize;
+
+/// An experiment result table: a title, a caption tying it to the paper,
+/// a header row and data rows. Serialisable so runs can be archived.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment id (e.g. `"T1"`).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// What the paper claims / what shape we expect.
+    pub expectation: String,
+    /// Column names.
+    pub header: Vec<String>,
+    /// Data rows (pre-formatted strings).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, expectation: &str, header: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            expectation: expectation.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row arity must match header");
+        self.rows.push(row);
+    }
+
+    /// Renders as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {} — {}\n\n", self.id, self.title);
+        out.push_str(&format!("*Expected:* {}\n\n", self.expectation));
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.header.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+/// Formats a ratio with 3 decimals.
+pub fn fmt_ratio(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a mean ± max pair.
+pub fn fmt_mean_max(values: &[f64]) -> (String, String) {
+    let mean = values.iter().sum::<f64>() / values.len().max(1) as f64;
+    let max = values.iter().cloned().fold(f64::NAN, f64::max);
+    (fmt_ratio(mean), fmt_ratio(max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_shape() {
+        let mut t = Table::new("T0", "demo", "nothing", &["a", "b"]);
+        t.push(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### T0 — demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("T0", "demo", "nothing", &["a", "b"]);
+        t.push(vec!["1".into()]);
+    }
+
+    #[test]
+    fn mean_max() {
+        let (mean, max) = fmt_mean_max(&[1.0, 2.0, 3.0]);
+        assert_eq!(mean, "2.000");
+        assert_eq!(max, "3.000");
+    }
+}

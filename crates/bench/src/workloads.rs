@@ -1,0 +1,104 @@
+//! Shared workload definitions so every experiment draws from the same
+//! seeded families.
+
+use sap_core::Instance;
+use sap_gen::{generate, CapacityProfile, DemandRegime, GenConfig};
+
+/// A δ-small workload in a two-band capacity range (`delta_inv = 1/δ`).
+pub fn small_workload(seed: u64, n: usize, delta_inv: u64) -> Instance {
+    generate(
+        &GenConfig {
+            num_edges: 12,
+            num_tasks: n,
+            profile: CapacityProfile::Random { lo: 32 * delta_inv, hi: 128 * delta_inv },
+            regime: DemandRegime::Small { delta_inv },
+            max_span: 6,
+            max_weight: 60,
+        },
+        seed,
+    )
+}
+
+/// A medium workload (δ-large, ½-small).
+pub fn medium_workload(seed: u64, m: usize, n: usize) -> Instance {
+    generate(
+        &GenConfig {
+            num_edges: m,
+            num_tasks: n,
+            profile: CapacityProfile::Random { lo: 64, hi: 255 },
+            regime: DemandRegime::Medium { delta_inv: 8 },
+            max_span: 4.min(m),
+            max_weight: 40,
+        },
+        seed,
+    )
+}
+
+/// A `1/k`-large workload.
+pub fn large_workload(seed: u64, m: usize, n: usize, k: u64) -> Instance {
+    generate(
+        &GenConfig {
+            num_edges: m,
+            num_tasks: n,
+            profile: CapacityProfile::Random { lo: 16, hi: 63 },
+            regime: DemandRegime::Large { k },
+            max_span: 4.min(m),
+            max_weight: 40,
+        },
+        seed,
+    )
+}
+
+/// A mixed workload over a random-walk capacity profile.
+pub fn mixed_workload(seed: u64, m: usize, n: usize) -> Instance {
+    generate(
+        &GenConfig {
+            num_edges: m,
+            num_tasks: n,
+            profile: CapacityProfile::RandomWalk { lo: 64, hi: 1024 },
+            regime: DemandRegime::Mixed,
+            max_span: (m / 2).max(1),
+            max_weight: 100,
+        },
+        seed,
+    )
+}
+
+/// A *tiny* mixed workload solvable by the exact reference solver.
+pub fn tiny_mixed_workload(seed: u64) -> Instance {
+    generate(
+        &GenConfig {
+            num_edges: 5,
+            num_tasks: 11,
+            profile: CapacityProfile::Random { lo: 32, hi: 127 },
+            regime: DemandRegime::Mixed,
+            max_span: 4,
+            max_weight: 40,
+        },
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_reproducible() {
+        assert_eq!(small_workload(1, 20, 16), small_workload(1, 20, 16));
+        assert_eq!(mixed_workload(2, 8, 20), mixed_workload(2, 8, 20));
+        assert_eq!(tiny_mixed_workload(3), tiny_mixed_workload(3));
+    }
+
+    #[test]
+    fn regimes_hold() {
+        let inst = large_workload(4, 8, 30, 2);
+        for j in 0..inst.num_tasks() {
+            assert!(2 * inst.demand(j) > inst.bottleneck(j));
+        }
+        let inst = small_workload(5, 30, 16);
+        for j in 0..inst.num_tasks() {
+            assert!(16 * inst.demand(j) <= inst.bottleneck(j), "1/16-small");
+        }
+    }
+}

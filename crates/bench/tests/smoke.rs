@@ -1,0 +1,59 @@
+//! Smoke tests for the experiment plumbing: the fast experiments (the
+//! ones with no exact-solver dependency) must produce well-formed,
+//! non-empty tables. The slow ones are exercised by the `report` binary.
+
+use sap_bench::experiments;
+
+fn run_and_check(id: &str) {
+    let (_, runner) = experiments::all()
+        .into_iter()
+        .find(|(eid, _)| *eid == id)
+        .unwrap_or_else(|| panic!("experiment {id} registered"));
+    let tables = runner();
+    assert!(!tables.is_empty(), "{id} returns tables");
+    for t in &tables {
+        assert!(!t.rows.is_empty(), "{}: rows", t.id);
+        assert!(!t.header.is_empty());
+        for row in &t.rows {
+            assert_eq!(row.len(), t.header.len(), "{}: row arity", t.id);
+        }
+        let md = t.to_markdown();
+        assert!(md.contains(&t.id));
+        assert!(md.contains("*Expected:*"));
+    }
+}
+
+#[test]
+fn t6_rounding_smoke() {
+    run_and_check("T6");
+}
+
+#[test]
+fn l4_retention_smoke() {
+    run_and_check("L4");
+}
+
+#[test]
+fn l16_degeneracy_smoke() {
+    run_and_check("L16");
+}
+
+#[test]
+fn ds_allocators_smoke() {
+    run_and_check("DS");
+}
+
+#[test]
+fn a1_local_ratio_smoke() {
+    run_and_check("A1");
+}
+
+#[test]
+fn all_experiment_ids_unique() {
+    let ids: Vec<&str> = experiments::all().iter().map(|(id, _)| *id).collect();
+    let mut dedup = ids.clone();
+    dedup.sort_unstable();
+    dedup.dedup();
+    assert_eq!(ids.len(), dedup.len(), "experiment ids must be unique");
+    assert!(ids.len() >= 10, "the full index is registered");
+}

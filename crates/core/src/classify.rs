@@ -1,0 +1,215 @@
+//! Task size classification and bottleneck strata (Fig. 2, §3, §4.2, §5.1).
+//!
+//! The paper's master algorithm (Theorem 4) splits the task set three ways:
+//!
+//! * **small** tasks are δ-small: `d_j ≤ δ·b(j)`;
+//! * **large** tasks are δ′-large: `d_j > δ′·b(j)` (the paper uses
+//!   δ′ = 1/k with k = 2);
+//! * **medium** tasks are everything in between (δ-large and δ′-small).
+//!
+//! Two stratifications by bottleneck are used by the sub-algorithms:
+//!
+//! * the strip strata `J_t = { j : 2^t ≤ b(j) < 2^{t+1} }` (Algorithm
+//!   Strip-Pack, §4.2);
+//! * the sliding classes `J^{k,ℓ} = { j : 2^k ≤ b(j) < 2^{k+ℓ} }`
+//!   (Algorithm AlmostUniform, §5.1) — each task lies in exactly `ℓ` of
+//!   them.
+
+use crate::instance::Instance;
+use crate::units::{Ratio, TaskId};
+
+/// Which of the three regimes a task belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SizeClass {
+    /// `d_j ≤ δ_small · b(j)`.
+    Small,
+    /// `δ_small · b(j) < d_j ≤ δ_large · b(j)`.
+    Medium,
+    /// `d_j > δ_large · b(j)`.
+    Large,
+}
+
+/// The three-way partition of task ids produced by [`classify_by_size`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClassifiedTasks {
+    /// δ-small task ids.
+    pub small: Vec<TaskId>,
+    /// Medium (δ-large and δ′-small) task ids.
+    pub medium: Vec<TaskId>,
+    /// δ′-large task ids.
+    pub large: Vec<TaskId>,
+}
+
+impl ClassifiedTasks {
+    /// Total number of classified tasks.
+    pub fn len(&self) -> usize {
+        self.small.len() + self.medium.len() + self.large.len()
+    }
+
+    /// True when no tasks were classified.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// True when task `j` is δ-small: `d_j ≤ δ·b(j)` (exact arithmetic).
+pub fn is_delta_small(instance: &Instance, j: TaskId, delta: Ratio) -> bool {
+    delta.le_scaled(instance.demand(j), instance.bottleneck(j))
+}
+
+/// True when task `j` is δ-large: `d_j > δ·b(j)`.
+pub fn is_delta_large(instance: &Instance, j: TaskId, delta: Ratio) -> bool {
+    !is_delta_small(instance, j, delta)
+}
+
+/// Classifies every task of `instance` into small / medium / large.
+///
+/// # Panics
+///
+/// Panics when `delta_small > delta_large` (the regimes would overlap).
+pub fn classify_by_size(
+    instance: &Instance,
+    delta_small: Ratio,
+    delta_large: Ratio,
+) -> ClassifiedTasks {
+    assert!(
+        delta_small.le(delta_large),
+        "small threshold must not exceed large threshold"
+    );
+    let mut out = ClassifiedTasks::default();
+    for j in 0..instance.num_tasks() {
+        if is_delta_small(instance, j, delta_small) {
+            out.small.push(j);
+        } else if is_delta_small(instance, j, delta_large) {
+            out.medium.push(j);
+        } else {
+            out.large.push(j);
+        }
+    }
+    out
+}
+
+/// The strip stratum index of a task: the `t` with `2^t ≤ b(j) < 2^{t+1}`.
+pub fn stratum_of(instance: &Instance, j: TaskId) -> u32 {
+    let b = instance.bottleneck(j);
+    debug_assert!(b >= 1, "tasks with zero bottleneck cannot be scheduled");
+    b.ilog2()
+}
+
+/// Groups task ids by stratum `J_t = { j : 2^t ≤ b(j) < 2^{t+1} }`,
+/// returning `(t, ids)` pairs sorted by `t`. Only non-empty strata are
+/// returned (there are at most `O(n)` of them — §4.2).
+pub fn strata_by_bottleneck(instance: &Instance, ids: &[TaskId]) -> Vec<(u32, Vec<TaskId>)> {
+    let mut map: std::collections::BTreeMap<u32, Vec<TaskId>> = std::collections::BTreeMap::new();
+    for &j in ids {
+        map.entry(stratum_of(instance, j)).or_default().push(j);
+    }
+    map.into_iter().collect()
+}
+
+/// Groups task ids into the sliding classes
+/// `J^{k,ℓ} = { j : 2^k ≤ b(j) < 2^{k+ℓ} }` for all `k` making the class
+/// non-empty, returning `(k, ids)` pairs sorted by `k`. A task with stratum
+/// `t` belongs to `J^{k,ℓ}` for `k ∈ {t−ℓ+1, …, t}` (clamped at 0), i.e. to
+/// exactly `ℓ` classes when `t ≥ ℓ−1`.
+pub fn classes_k_ell(
+    instance: &Instance,
+    ids: &[TaskId],
+    ell: u32,
+) -> Vec<(u32, Vec<TaskId>)> {
+    assert!(ell >= 1, "class width ℓ must be at least 1");
+    let mut map: std::collections::BTreeMap<u32, Vec<TaskId>> = std::collections::BTreeMap::new();
+    for &j in ids {
+        let t = stratum_of(instance, j);
+        let k_min = t.saturating_sub(ell - 1);
+        for k in k_min..=t {
+            map.entry(k).or_default().push(j);
+        }
+    }
+    map.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::PathNetwork;
+    use crate::task::Task;
+
+    fn instance() -> Instance {
+        let net = PathNetwork::new(vec![100, 10, 100]).unwrap();
+        let tasks = vec![
+            Task::of(0, 1, 5, 1),   // b=100, d=5  -> small at δ=1/10
+            Task::of(0, 3, 5, 1),   // b=10,  d=5  -> large at δ'=1/4
+            Task::of(2, 3, 30, 1),  // b=100, d=30 -> medium (δ=1/10, δ'=1/2)
+            Task::of(1, 2, 10, 1),  // b=10,  d=10 -> large
+        ];
+        Instance::new(net, tasks).unwrap()
+    }
+
+    #[test]
+    fn delta_small_boundary_is_inclusive() {
+        let inst = instance();
+        // d = 5, b = 100: δ = 1/20 ⇒ 5 ≤ 100/20 exactly.
+        assert!(is_delta_small(&inst, 0, Ratio::new(1, 20)));
+        assert!(!is_delta_small(&inst, 0, Ratio::new(1, 21)));
+        assert!(is_delta_large(&inst, 0, Ratio::new(1, 21)));
+    }
+
+    #[test]
+    fn three_way_classification() {
+        let inst = instance();
+        let c = classify_by_size(&inst, Ratio::new(1, 10), Ratio::new(1, 2));
+        assert_eq!(c.small, vec![0]);
+        // Task 1: d=5, b=10 — not 1/10-small, but 1/2-small ⇒ medium.
+        assert_eq!(c.medium, vec![1, 2]);
+        assert_eq!(c.large, vec![3]);
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "small threshold")]
+    fn inverted_thresholds_panic() {
+        let inst = instance();
+        classify_by_size(&inst, Ratio::new(1, 2), Ratio::new(1, 10));
+    }
+
+    #[test]
+    fn strata() {
+        let inst = instance();
+        // b values: 100 (t=6), 10 (t=3), 100 (t=6), 10 (t=3).
+        assert_eq!(stratum_of(&inst, 0), 6);
+        assert_eq!(stratum_of(&inst, 1), 3);
+        let strata = strata_by_bottleneck(&inst, &inst.all_ids());
+        assert_eq!(strata, vec![(3, vec![1, 3]), (6, vec![0, 2])]);
+    }
+
+    #[test]
+    fn classes_cover_each_task_ell_times() {
+        let inst = instance();
+        let ell = 3;
+        let classes = classes_k_ell(&inst, &inst.all_ids(), ell);
+        let mut count = vec![0usize; inst.num_tasks()];
+        for (k, ids) in &classes {
+            for &j in ids {
+                count[j] += 1;
+                let b = inst.bottleneck(j);
+                assert!(b >= 1u64 << k, "b(j) ≥ 2^k");
+                assert!(b < 1u64 << (k + ell), "b(j) < 2^(k+ℓ)");
+            }
+        }
+        for (j, &c) in count.iter().enumerate() {
+            let t = stratum_of(&inst, j);
+            let expected = (t.min(ell - 1) + 1) as usize; // clamped at k = 0
+            assert_eq!(c, expected, "task {j}");
+        }
+    }
+
+    #[test]
+    fn classes_with_width_one_equal_strata() {
+        let inst = instance();
+        let classes = classes_k_ell(&inst, &inst.all_ids(), 1);
+        let strata = strata_by_bottleneck(&inst, &inst.all_ids());
+        assert_eq!(classes, strata);
+    }
+}

@@ -1,0 +1,78 @@
+//! Capacity clipping (Observation 2, Fig. 3).
+//!
+//! When solving for a task subset whose bottlenecks all lie in a band
+//! `[lo, hi)`, Observation 2 lets us clamp every capacity to `hi`: any
+//! feasible SAP solution for these tasks has makespan at most
+//! `max_j b(j) < hi` on every edge, so the clamp loses nothing; and since
+//! capacities only decrease, solutions of the clipped instance remain
+//! feasible in the original. This reproduces Fig. 3.
+
+use crate::error::SapResult;
+use crate::instance::Instance;
+use crate::units::{Capacity, TaskId};
+
+/// Builds the clipped sub-instance for `ids`: same path, capacities
+/// clamped to `hi`, tasks restricted to `ids`. Returns the sub-instance
+/// and the id map back to the original instance.
+///
+/// # Panics
+///
+/// Debug-panics when a task in `ids` has bottleneck outside `[lo, hi)` —
+/// callers are expected to pass a bottleneck-banded subset (e.g. a stratum
+/// `J_t` or class `J^{k,ℓ}`).
+pub fn clip_to_band(
+    instance: &Instance,
+    ids: &[TaskId],
+    lo: Capacity,
+    hi: Capacity,
+) -> SapResult<(Instance, Vec<TaskId>)> {
+    debug_assert!(ids.iter().all(|&j| {
+        let b = instance.bottleneck(j);
+        lo <= b && b < hi
+    }));
+    let clipped = instance.network().map_capacities(|c| c.min(hi))?;
+    let tasks: Vec<_> = ids.iter().map(|&j| *instance.task(j)).collect();
+    let sub = Instance::new(clipped, tasks)?;
+    Ok((sub, ids.to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::PathNetwork;
+    use crate::solution::SapSolution;
+    use crate::task::Task;
+
+    #[test]
+    fn clipping_preserves_feasibility_both_ways() {
+        let net = PathNetwork::new(vec![8, 20, 9]).unwrap();
+        let tasks = vec![
+            Task::of(0, 3, 4, 3), // b = 8
+            Task::of(1, 3, 5, 2), // b = 9
+            Task::of(1, 2, 6, 1), // b = 20 — outside band [8, 16)
+        ];
+        let inst = Instance::new(net, tasks).unwrap();
+
+        let (sub, map) = clip_to_band(&inst, &[0, 1], 8, 16).unwrap();
+        assert_eq!(map, vec![0, 1]);
+        assert_eq!(sub.network().capacities(), &[8, 16, 9]);
+
+        // A solution of the clipped instance is feasible in the original.
+        let sol = SapSolution::from_pairs([(0, 0), (1, 4)]);
+        sol.validate(&sub).unwrap();
+        let orig = SapSolution::from_pairs(
+            sol.placements.iter().map(|p| (map[p.task], p.height)),
+        );
+        orig.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn clipping_bounds_bottlenecks() {
+        let net = PathNetwork::new(vec![100, 40]).unwrap();
+        let inst = Instance::new(net, vec![Task::of(0, 1, 10, 1)]).unwrap();
+        let (sub, _) = clip_to_band(&inst, &[0], 64, 128).unwrap();
+        // Capacities clamped to < 128, and unused low edges untouched.
+        assert_eq!(sub.network().capacities(), &[100, 40]);
+        assert_eq!(sub.bottleneck(0), 100);
+    }
+}

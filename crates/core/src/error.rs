@@ -1,0 +1,108 @@
+//! Error types.
+
+use std::fmt;
+
+use crate::units::{Capacity, EdgeId, TaskId};
+
+/// Result alias used throughout the workspace.
+pub type SapResult<T> = Result<T, SapError>;
+
+/// Errors raised by instance constructors and solution validators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SapError {
+    /// The path network has no edges.
+    EmptyNetwork,
+    /// An edge capacity exceeds [`crate::units::MAX_CAPACITY`].
+    CapacityTooLarge {
+        /// Offending edge.
+        edge: EdgeId,
+        /// Its capacity.
+        capacity: Capacity,
+    },
+    /// A task span is empty or out of the network's range.
+    InvalidSpan {
+        /// Offending task.
+        task: TaskId,
+    },
+    /// A task has zero demand.
+    ZeroDemand {
+        /// Offending task.
+        task: TaskId,
+    },
+    /// A task's demand exceeds its bottleneck capacity, so it can never be
+    /// scheduled. (Constructors accept such tasks only when explicitly
+    /// requested; validators treat scheduling them as infeasible.)
+    DemandExceedsBottleneck {
+        /// Offending task.
+        task: TaskId,
+    },
+    /// A solution references a task id outside the instance.
+    UnknownTask {
+        /// Offending task id.
+        task: TaskId,
+    },
+    /// A solution selects the same task twice.
+    DuplicateTask {
+        /// Offending task id.
+        task: TaskId,
+    },
+    /// A UFPP solution overflows the capacity of an edge.
+    LoadExceedsCapacity {
+        /// Offending edge.
+        edge: EdgeId,
+        /// Total demand of selected tasks using the edge.
+        load: u64,
+        /// Capacity of the edge.
+        capacity: Capacity,
+    },
+    /// A SAP placement pokes above the capacity of an edge on its path.
+    PlacementAboveCapacity {
+        /// Offending task id.
+        task: TaskId,
+        /// Edge where `h(j) + d_j > c_e`.
+        edge: EdgeId,
+    },
+    /// Two SAP placements overlap as rectangles.
+    OverlappingPlacements {
+        /// First offending task.
+        a: TaskId,
+        /// Second offending task.
+        b: TaskId,
+    },
+    /// A numeric overflow would occur (instance too large for internal
+    /// scaling).
+    Overflow,
+    /// An algorithm-specific parameter is out of its documented range.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for SapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SapError::EmptyNetwork => write!(f, "path network must have at least one edge"),
+            SapError::CapacityTooLarge { edge, capacity } => {
+                write!(f, "capacity {capacity} of edge {edge} exceeds the supported maximum")
+            }
+            SapError::InvalidSpan { task } => write!(f, "task {task} has an invalid span"),
+            SapError::ZeroDemand { task } => write!(f, "task {task} has zero demand"),
+            SapError::DemandExceedsBottleneck { task } => {
+                write!(f, "task {task} demands more than its bottleneck capacity")
+            }
+            SapError::UnknownTask { task } => write!(f, "unknown task id {task}"),
+            SapError::DuplicateTask { task } => write!(f, "task {task} selected more than once"),
+            SapError::LoadExceedsCapacity { edge, load, capacity } => {
+                write!(f, "load {load} exceeds capacity {capacity} on edge {edge}")
+            }
+            SapError::PlacementAboveCapacity { task, edge } => {
+                write!(f, "task {task} placed above the capacity of edge {edge}")
+            }
+            SapError::OverlappingPlacements { a, b } => {
+                write!(f, "tasks {a} and {b} overlap as rectangles")
+            }
+            SapError::Overflow => write!(f, "numeric overflow"),
+            SapError::InvalidParameter(p) => write!(f, "invalid parameter: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for SapError {}

@@ -1,0 +1,155 @@
+//! Gravity normalisation (Observation 11, Fig. 5).
+//!
+//! Observation 11 of the paper: there is always an optimal SAP solution in
+//! which every task either sits at height 0 or rests directly on top of
+//! another selected task. The constructive form used throughout this
+//! workspace is [`canonical_heights`]: given a *vertical order* of the
+//! selected tasks, place each task at the lowest position compatible with
+//! the tasks below it. Applying this to a feasible solution ordered by its
+//! current heights can only lower heights ([`apply_gravity`]), reproducing
+//! the figure's "after gravity" picture.
+
+use crate::instance::Instance;
+use crate::solution::{Placement, SapSolution};
+use crate::units::{Height, TaskId};
+
+/// Greedily assigns heights to `order` (bottom-most first): each task is
+/// placed at the maximum top among earlier, span-overlapping tasks (0 when
+/// none). Returns `None` when some task would poke above its bottleneck —
+/// i.e. the given order does not yield a feasible packing.
+///
+/// When `order` is the vertical order of an existing feasible solution the
+/// result is always `Some` and pointwise no higher (see [`apply_gravity`]).
+pub fn canonical_heights(instance: &Instance, order: &[TaskId]) -> Option<SapSolution> {
+    let mut placements: Vec<Placement> = Vec::with_capacity(order.len());
+    for &j in order {
+        let span = instance.span(j);
+        let mut h: Height = 0;
+        for p in &placements {
+            if instance.span(p.task).overlaps(span) {
+                h = h.max(p.height + instance.demand(p.task));
+            }
+        }
+        if h + instance.demand(j) > instance.bottleneck(j) {
+            return None;
+        }
+        placements.push(Placement { task: j, height: h });
+    }
+    Some(SapSolution::new(placements))
+}
+
+/// Applies gravity to a feasible solution: sorts by current height
+/// (ties by task id for determinism) and re-places greedily. The result is
+/// feasible, selects the same tasks, and has pointwise no larger heights.
+///
+/// # Panics
+///
+/// Panics when `solution` is not feasible for `instance` (gravity of a
+/// feasible solution cannot fail).
+pub fn apply_gravity(instance: &Instance, solution: &SapSolution) -> SapSolution {
+    let mut order: Vec<(Height, TaskId)> = solution
+        .placements
+        .iter()
+        .map(|p| (p.height, p.task))
+        .collect();
+    order.sort_unstable();
+    let ids: Vec<TaskId> = order.into_iter().map(|(_, j)| j).collect();
+    canonical_heights(instance, &ids)
+        .expect("gravity of a feasible solution stays feasible")
+}
+
+/// True when the solution is *grounded* in the sense of Observation 11:
+/// every task sits at height 0 or exactly on top of an overlapping task.
+pub fn is_grounded(instance: &Instance, solution: &SapSolution) -> bool {
+    solution.placements.iter().all(|p| {
+        p.height == 0
+            || solution.placements.iter().any(|q| {
+                q.task != p.task
+                    && instance.span(q.task).overlaps(instance.span(p.task))
+                    && q.height + instance.demand(q.task) == p.height
+            })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::PathNetwork;
+    use crate::task::Task;
+
+    fn instance() -> Instance {
+        let net = PathNetwork::uniform(4, 10).unwrap();
+        let tasks = vec![
+            Task::of(0, 2, 2, 1),
+            Task::of(1, 3, 3, 1),
+            Task::of(2, 4, 1, 1),
+            Task::of(0, 4, 2, 1),
+        ];
+        Instance::new(net, tasks).unwrap()
+    }
+
+    #[test]
+    fn canonical_heights_stack_in_order() {
+        let inst = instance();
+        let sol = canonical_heights(&inst, &[0, 1, 2, 3]).unwrap();
+        sol.validate(&inst).unwrap();
+        assert_eq!(sol.height_of(0), Some(0));
+        assert_eq!(sol.height_of(1), Some(2)); // rests on task 0
+        assert_eq!(sol.height_of(2), Some(5)); // rests on task 1
+        assert_eq!(sol.height_of(3), Some(6)); // rests on task 2 (max top)
+    }
+
+    #[test]
+    fn canonical_heights_detect_infeasible_order() {
+        let net = PathNetwork::uniform(2, 3).unwrap();
+        let tasks = vec![Task::of(0, 2, 2, 1), Task::of(0, 2, 2, 1)];
+        let inst = Instance::new(net, tasks).unwrap();
+        assert!(canonical_heights(&inst, &[0, 1]).is_none());
+        assert!(canonical_heights(&inst, &[0]).is_some());
+    }
+
+    #[test]
+    fn gravity_lowers_floating_tasks() {
+        let inst = instance();
+        // Feasible but floating: everything shifted up by 3.
+        let sol = SapSolution::from_pairs([(0, 3), (1, 5), (2, 8)]);
+        sol.validate(&inst).unwrap();
+        assert!(!is_grounded(&inst, &sol));
+        let dropped = apply_gravity(&inst, &sol);
+        dropped.validate(&inst).unwrap();
+        assert!(is_grounded(&inst, &dropped));
+        assert_eq!(dropped.height_of(0), Some(0));
+        assert_eq!(dropped.height_of(1), Some(2));
+        assert_eq!(dropped.height_of(2), Some(5));
+        // Pointwise no larger.
+        for p in &dropped.placements {
+            assert!(p.height <= sol.height_of(p.task).unwrap());
+        }
+    }
+
+    #[test]
+    fn gravity_is_idempotent() {
+        let inst = instance();
+        let sol = canonical_heights(&inst, &[3, 2, 1, 0]).unwrap();
+        let once = apply_gravity(&inst, &sol);
+        let twice = apply_gravity(&inst, &once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn grounded_detects_support() {
+        let inst = instance();
+        let sol = SapSolution::from_pairs([(0, 0), (1, 2)]);
+        assert!(is_grounded(&inst, &sol));
+        let sol = SapSolution::from_pairs([(0, 0), (1, 3)]);
+        assert!(!is_grounded(&inst, &sol));
+    }
+
+    #[test]
+    fn empty_solution_is_grounded() {
+        let inst = instance();
+        let sol = SapSolution::empty();
+        assert!(is_grounded(&inst, &sol));
+        assert_eq!(apply_gravity(&inst, &sol), SapSolution::empty());
+    }
+}

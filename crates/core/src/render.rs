@@ -1,0 +1,201 @@
+//! ASCII rendering of SAP solutions — used by the examples to reproduce
+//! the look of the paper's figures (rectangles under a capacity profile).
+
+use crate::instance::Instance;
+use crate::solution::SapSolution;
+
+/// Renders `solution` as an ASCII picture: columns are edges, rows are
+/// height units (top row = highest). Cells covered by a task show a label
+/// derived from the task id, free space under the capacity shows `.`, and
+/// space above an edge's capacity shows ` `. Pictures taller than
+/// `max_rows` are vertically scaled by an integer factor (a scaled cell
+/// shows the task covering the cell's bottom unit).
+#[must_use]
+pub fn render_solution(instance: &Instance, solution: &SapSolution, max_rows: usize) -> String {
+    let m = instance.num_edges();
+    let top = instance.network().max_capacity();
+    let scale = if max_rows == 0 {
+        1
+    } else {
+        (top as usize).div_ceil(max_rows).max(1) as u64
+    };
+    let rows = (top / scale.max(1)).max(1);
+
+    // Label for each task: letters, then digits, then '#'.
+    let label = |j: usize| -> char {
+        const ALPHABET: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+        if j < ALPHABET.len() {
+            ALPHABET[j] as char
+        } else {
+            '#'
+        }
+    };
+
+    let mut out = String::new();
+    for row in (0..rows).rev() {
+        let y = row * scale; // bottom ordinate of this display row
+        for e in 0..m {
+            let cap = instance.network().capacity(e);
+            let ch = if y >= cap {
+                ' '
+            } else {
+                let mut cell = '.';
+                for p in &solution.placements {
+                    let t = instance.task(p.task);
+                    if t.span.contains(e) && p.height <= y && y < p.height + t.demand {
+                        cell = label(p.task);
+                        break;
+                    }
+                }
+                cell
+            };
+            out.push(ch);
+            out.push(ch); // double-width cells read better
+        }
+        out.push('\n');
+    }
+    // Baseline and edge ruler.
+    out.push_str(&"--".repeat(m));
+    out.push('\n');
+    for e in 0..m {
+        let s = format!("{e:<2}");
+        out.push_str(&s[..2]);
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders `solution` as a standalone SVG document: the capacity profile
+/// as a grey silhouette, each placed task as a coloured rectangle with
+/// its id. `unit` is the pixel size of one edge/height unit (heights are
+/// auto-scaled when the tallest capacity exceeds 512 units).
+#[must_use]
+pub fn render_solution_svg(instance: &Instance, solution: &SapSolution, unit: f64) -> String {
+    let m = instance.num_edges();
+    let top = instance.network().max_capacity().max(1);
+    let yscale = if top > 512 { 512.0 / top as f64 } else { 1.0 };
+    let width = m as f64 * unit;
+    let height = top as f64 * yscale * unit;
+    let y_of = |h: u64| height - h as f64 * yscale * unit;
+
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" \
+         viewBox=\"0 0 {width:.2} {height:.2}\">\n",
+        width.ceil(),
+        height.ceil()
+    ));
+    // Capacity silhouette.
+    for e in 0..m {
+        let cap = instance.network().capacity(e);
+        svg.push_str(&format!(
+            "  <rect x=\"{:.2}\" y=\"{:.2}\" width=\"{unit:.2}\" height=\"{:.2}\" \
+             fill=\"#e8e8e8\" stroke=\"#bbbbbb\" stroke-width=\"0.5\"/>\n",
+            e as f64 * unit,
+            y_of(cap),
+            cap as f64 * yscale * unit,
+        ));
+    }
+    // Tasks.
+    const PALETTE: [&str; 8] = [
+        "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1", "#76b7b2", "#edc948", "#9c755f",
+    ];
+    for p in &solution.placements {
+        let t = instance.task(p.task);
+        let x = t.span.lo as f64 * unit;
+        let w = t.span.len() as f64 * unit;
+        let h = t.demand as f64 * yscale * unit;
+        let y = y_of(p.height + t.demand);
+        let color = PALETTE[p.task % PALETTE.len()];
+        svg.push_str(&format!(
+            "  <rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{w:.2}\" height=\"{h:.2}\" \
+             fill=\"{color}\" fill-opacity=\"0.85\" stroke=\"#333333\" stroke-width=\"0.6\"/>\n"
+        ));
+        if w >= 14.0 && h >= 10.0 {
+            svg.push_str(&format!(
+                "  <text x=\"{:.2}\" y=\"{:.2}\" font-size=\"{:.1}\" fill=\"#ffffff\" \
+                 font-family=\"monospace\">{}</text>\n",
+                x + 2.0,
+                y + h / 2.0 + 3.0,
+                (h / 2.0).min(12.0).max(7.0),
+                p.task
+            ));
+        }
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::PathNetwork;
+    use crate::task::Task;
+
+    #[test]
+    fn renders_rectangles_and_capacity_profile() {
+        let net = PathNetwork::new(vec![2, 3, 1]).unwrap();
+        let tasks = vec![Task::of(0, 2, 2, 1), Task::of(2, 3, 1, 1)];
+        let inst = Instance::new(net, tasks).unwrap();
+        let sol = SapSolution::from_pairs([(0, 0), (1, 0)]);
+        let pic = render_solution(&inst, &sol, 10);
+        let lines: Vec<&str> = pic.lines().collect();
+        // 3 height rows + ruler rows.
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[0], "  ..  "); // only edge 1 reaches height 2
+        assert_eq!(lines[1], "AAAA  ");
+        assert_eq!(lines[2], "AAAABB");
+        assert_eq!(lines[3], "------");
+    }
+
+    #[test]
+    fn tall_instances_are_scaled() {
+        let net = PathNetwork::uniform(2, 1000).unwrap();
+        let inst = Instance::new(net, vec![Task::of(0, 2, 500, 1)]).unwrap();
+        let sol = SapSolution::from_pairs([(0, 0)]);
+        let pic = render_solution(&inst, &sol, 10);
+        assert!(pic.lines().count() <= 12);
+        assert!(pic.contains('A'));
+    }
+
+    #[test]
+    fn empty_solution_renders_dots() {
+        let net = PathNetwork::uniform(3, 2).unwrap();
+        let inst = Instance::new(net, vec![]).unwrap();
+        let pic = render_solution(&inst, &SapSolution::empty(), 10);
+        assert!(pic.contains("......"));
+        assert!(!pic.contains('A'));
+    }
+
+    #[test]
+    fn svg_has_profile_and_task_rects() {
+        let net = PathNetwork::new(vec![2, 3, 1]).unwrap();
+        let tasks = vec![Task::of(0, 2, 2, 1), Task::of(2, 3, 1, 1)];
+        let inst = Instance::new(net, tasks).unwrap();
+        let sol = SapSolution::from_pairs([(0, 0), (1, 0)]);
+        let svg = render_solution_svg(&inst, &sol, 20.0);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        // 3 capacity rects + 2 task rects.
+        assert_eq!(svg.matches("<rect").count(), 5);
+        assert!(svg.contains("#4e79a7"), "first palette colour used");
+    }
+
+    #[test]
+    fn svg_scales_tall_instances() {
+        let net = PathNetwork::uniform(2, 100_000).unwrap();
+        let inst = Instance::new(net, vec![Task::of(0, 2, 50_000, 1)]).unwrap();
+        let sol = SapSolution::from_pairs([(0, 0)]);
+        let svg = render_solution_svg(&inst, &sol, 10.0);
+        // Height capped by the 512-unit auto-scale.
+        assert!(svg.contains("height=\"5120\""), "{}", &svg[..120]);
+    }
+
+    #[test]
+    fn svg_empty_solution_is_valid() {
+        let net = PathNetwork::uniform(3, 4).unwrap();
+        let inst = Instance::new(net, vec![]).unwrap();
+        let svg = render_solution_svg(&inst, &SapSolution::empty(), 10.0);
+        assert_eq!(svg.matches("<rect").count(), 3);
+    }
+}

@@ -1,0 +1,433 @@
+//! SAP on ring networks (§7).
+//!
+//! On a cycle `C = (V, E)` each task has **two** candidate paths between
+//! its endpoints — clockwise and counter-clockwise — and a feasible
+//! solution `(S, h, I)` additionally picks one of them per selected task.
+//! The paper's `(10+ε)`-approximation (Theorem 5) cuts the ring at a
+//! minimum-capacity edge, which this module supports through
+//! [`RingInstance::cut_open`].
+
+use crate::error::{SapError, SapResult};
+use crate::instance::Instance;
+use crate::network::PathNetwork;
+use crate::task::Task;
+use crate::units::{Capacity, Demand, EdgeId, Height, TaskId, Vertex, Weight, MAX_CAPACITY};
+
+/// A cyclic interval of edges on a ring with `m` edges: edges
+/// `start, start+1, …, start+len−1` (mod `m`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Arc {
+    /// First edge of the arc.
+    pub start: EdgeId,
+    /// Number of edges (1 ≤ len < m).
+    pub len: usize,
+}
+
+impl Arc {
+    /// Iterates the edges of the arc on a ring with `m` edges.
+    pub fn edges(&self, m: usize) -> impl Iterator<Item = EdgeId> + '_ {
+        let start = self.start;
+        (0..self.len).map(move |i| (start + i) % m)
+    }
+
+    /// True when the two cyclic intervals share an edge.
+    pub fn overlaps(&self, other: Arc, m: usize) -> bool {
+        let d_ab = (other.start + m - self.start) % m;
+        let d_ba = (self.start + m - other.start) % m;
+        d_ab < self.len || d_ba < other.len
+    }
+
+    /// True when the arc contains edge `e`.
+    pub fn contains(&self, e: EdgeId, m: usize) -> bool {
+        ((e + m - self.start) % m) < self.len
+    }
+}
+
+/// Which of a task's two candidate paths a solution routes it on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArcChoice {
+    /// The clockwise path from `from` to `to`.
+    Clockwise,
+    /// The counter-clockwise path (clockwise from `to` to `from`).
+    CounterClockwise,
+}
+
+/// A task on a ring: endpoints, demand and weight. The two candidate
+/// paths are the clockwise arc `from → to` and its complement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RingTask {
+    /// Start vertex.
+    pub from: Vertex,
+    /// End vertex (≠ `from`).
+    pub to: Vertex,
+    /// Demand.
+    pub demand: Demand,
+    /// Weight.
+    pub weight: Weight,
+}
+
+impl RingTask {
+    /// Convenience constructor (panics on `from == to` or zero demand).
+    #[must_use]
+    pub fn of(from: Vertex, to: Vertex, demand: Demand, weight: Weight) -> Self {
+        assert!(from != to, "ring task endpoints must differ");
+        assert!(demand > 0, "ring task demand must be positive");
+        RingTask { from, to, demand, weight }
+    }
+}
+
+/// A ring network: `m ≥ 2` edges, edge `e` connecting vertices `e` and
+/// `(e+1) mod m`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingNetwork {
+    capacities: Vec<Capacity>,
+}
+
+impl RingNetwork {
+    /// Creates a ring from per-edge capacities (at least 2 edges).
+    pub fn new(capacities: Vec<Capacity>) -> SapResult<Self> {
+        if capacities.len() < 2 {
+            return Err(SapError::EmptyNetwork);
+        }
+        for (edge, &c) in capacities.iter().enumerate() {
+            if c > MAX_CAPACITY {
+                return Err(SapError::CapacityTooLarge { edge, capacity: c });
+            }
+        }
+        Ok(RingNetwork { capacities })
+    }
+
+    /// Number of edges (= number of vertices).
+    pub fn num_edges(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Capacity of edge `e`.
+    pub fn capacity(&self, e: EdgeId) -> Capacity {
+        self.capacities[e]
+    }
+
+    /// The capacity profile.
+    pub fn capacities(&self) -> &[Capacity] {
+        &self.capacities
+    }
+
+    /// An edge of minimum capacity.
+    pub fn min_capacity_edge(&self) -> EdgeId {
+        (0..self.capacities.len())
+            .min_by_key(|&e| self.capacities[e])
+            .expect("ring has edges")
+    }
+
+    /// Minimum capacity over the ring.
+    pub fn min_capacity(&self) -> Capacity {
+        self.capacities.iter().copied().min().expect("ring has edges")
+    }
+}
+
+/// A SAP instance on a ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingInstance {
+    network: RingNetwork,
+    tasks: Vec<RingTask>,
+}
+
+/// A placement in a ring solution: task, routing choice, height.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingPlacement {
+    /// Id of the selected task.
+    pub task: TaskId,
+    /// Chosen path.
+    pub arc: ArcChoice,
+    /// Height.
+    pub height: Height,
+}
+
+/// A feasible-candidate solution for SAP on a ring.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RingSolution {
+    /// The placements.
+    pub placements: Vec<RingPlacement>,
+}
+
+impl RingInstance {
+    /// Creates a ring instance; validates endpoints.
+    pub fn new(network: RingNetwork, tasks: Vec<RingTask>) -> SapResult<Self> {
+        let m = network.num_edges();
+        for (id, t) in tasks.iter().enumerate() {
+            if t.from >= m || t.to >= m || t.from == t.to {
+                return Err(SapError::InvalidSpan { task: id });
+            }
+            if t.demand == 0 {
+                return Err(SapError::ZeroDemand { task: id });
+            }
+        }
+        Ok(RingInstance { network, tasks })
+    }
+
+    /// The ring network.
+    pub fn network(&self) -> &RingNetwork {
+        &self.network
+    }
+
+    /// The tasks.
+    pub fn tasks(&self) -> &[RingTask] {
+        &self.tasks
+    }
+
+    /// Number of tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// The arc a task occupies under a routing choice.
+    pub fn arc_of(&self, j: TaskId, choice: ArcChoice) -> Arc {
+        let m = self.network.num_edges();
+        let t = &self.tasks[j];
+        match choice {
+            ArcChoice::Clockwise => Arc { start: t.from, len: (t.to + m - t.from) % m },
+            ArcChoice::CounterClockwise => Arc { start: t.to, len: (t.from + m - t.to) % m },
+        }
+    }
+
+    /// Bottleneck capacity along the task's arc under a routing choice.
+    pub fn arc_bottleneck(&self, j: TaskId, choice: ArcChoice) -> Capacity {
+        self.arc_of(j, choice)
+            .edges(self.network.num_edges())
+            .map(|e| self.network.capacity(e))
+            .min()
+            .expect("arcs are non-empty")
+    }
+
+    /// Total weight of a set of task ids.
+    pub fn total_weight(&self, ids: &[TaskId]) -> Weight {
+        ids.iter().map(|&j| self.tasks[j].weight).sum()
+    }
+
+    /// Cuts the ring open at edge `cut`, producing the path instance on the
+    /// remaining `m − 1` edges. Each task is mapped to its unique path
+    /// avoiding `cut`; tasks that no longer fit under their (path)
+    /// bottleneck are pruned. Returns the path instance and the id map.
+    ///
+    /// Path edge `p` corresponds to ring edge `(cut + 1 + p) mod m`.
+    pub fn cut_open(&self, cut: EdgeId) -> SapResult<(Instance, Vec<TaskId>)> {
+        let m = self.network.num_edges();
+        assert!(cut < m, "cut edge out of range");
+        let caps: Vec<Capacity> = (0..m - 1)
+            .map(|p| self.network.capacity((cut + 1 + p) % m))
+            .collect();
+        let net = PathNetwork::new(caps)?;
+        let mut tasks = Vec::with_capacity(self.tasks.len());
+        let mut ids = Vec::with_capacity(self.tasks.len());
+        for (j, _) in self.tasks.iter().enumerate() {
+            let cw = self.arc_of(j, ArcChoice::Clockwise);
+            let arc = if cw.contains(cut, m) {
+                self.arc_of(j, ArcChoice::CounterClockwise)
+            } else {
+                cw
+            };
+            debug_assert!(!arc.contains(cut, m));
+            // Translate the arc to path coordinates.
+            let lo = (arc.start + m - (cut + 1)) % m;
+            let hi = lo + arc.len;
+            debug_assert!(hi <= m - 1);
+            let t = &self.tasks[j];
+            if t.demand <= net.bottleneck(crate::task::Span { lo, hi }) {
+                tasks.push(Task { span: crate::task::Span { lo, hi }, demand: t.demand, weight: t.weight });
+                ids.push(j);
+            }
+        }
+        let inst = Instance::new(net, tasks)?;
+        Ok((inst, ids))
+    }
+
+    /// The routing choice that avoids edge `cut` for task `j`.
+    pub fn avoiding_choice(&self, j: TaskId, cut: EdgeId) -> ArcChoice {
+        let m = self.network.num_edges();
+        if self.arc_of(j, ArcChoice::Clockwise).contains(cut, m) {
+            ArcChoice::CounterClockwise
+        } else {
+            ArcChoice::Clockwise
+        }
+    }
+}
+
+impl RingSolution {
+    /// Creates a solution from placements.
+    pub fn new(placements: Vec<RingPlacement>) -> Self {
+        RingSolution { placements }
+    }
+
+    /// Number of selected tasks.
+    pub fn len(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.placements.is_empty()
+    }
+
+    /// Total weight under `instance`.
+    pub fn weight(&self, instance: &RingInstance) -> Weight {
+        self.placements.iter().map(|p| instance.tasks()[p.task].weight).sum()
+    }
+
+    /// Validates the ring SAP feasibility conditions: heights fit under
+    /// every capacity along the chosen arc, and tasks whose chosen arcs
+    /// share an edge have vertically disjoint rectangles.
+    pub fn validate(&self, instance: &RingInstance) -> SapResult<()> {
+        let m = instance.network().num_edges();
+        let n = instance.num_tasks();
+        let mut seen = vec![false; n];
+        for p in &self.placements {
+            if p.task >= n {
+                return Err(SapError::UnknownTask { task: p.task });
+            }
+            if seen[p.task] {
+                return Err(SapError::DuplicateTask { task: p.task });
+            }
+            seen[p.task] = true;
+            let top = p
+                .height
+                .checked_add(instance.tasks()[p.task].demand)
+                .ok_or(SapError::Overflow)?;
+            let arc = instance.arc_of(p.task, p.arc);
+            for e in arc.edges(m) {
+                if top > instance.network().capacity(e) {
+                    return Err(SapError::PlacementAboveCapacity { task: p.task, edge: e });
+                }
+            }
+        }
+        for (i, a) in self.placements.iter().enumerate() {
+            let arc_a = instance.arc_of(a.task, a.arc);
+            let top_a = a.height + instance.tasks()[a.task].demand;
+            for b in &self.placements[i + 1..] {
+                let arc_b = instance.arc_of(b.task, b.arc);
+                if arc_a.overlaps(arc_b, m) {
+                    let top_b = b.height + instance.tasks()[b.task].demand;
+                    let disjoint = top_a <= b.height || top_b <= a.height;
+                    if !disjoint {
+                        return Err(SapError::OverlappingPlacements { a: a.task, b: b.task });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring() -> RingInstance {
+        let net = RingNetwork::new(vec![4, 6, 6, 2, 6]).unwrap();
+        let tasks = vec![
+            RingTask::of(0, 2, 3, 5), // cw arc edges {0,1}, ccw {2,3,4}
+            RingTask::of(3, 1, 2, 4), // cw arc edges {3,4,0}, ccw {1,2}
+            RingTask::of(4, 0, 1, 1), // cw arc {4}, ccw {0,1,2,3}
+        ];
+        RingInstance::new(net, tasks).unwrap()
+    }
+
+    #[test]
+    fn arc_geometry() {
+        let r = ring();
+        let a = r.arc_of(0, ArcChoice::Clockwise);
+        assert_eq!((a.start, a.len), (0, 2));
+        assert_eq!(a.edges(5).collect::<Vec<_>>(), vec![0, 1]);
+        let b = r.arc_of(0, ArcChoice::CounterClockwise);
+        assert_eq!((b.start, b.len), (2, 3));
+        assert_eq!(b.edges(5).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert!(!a.overlaps(b, 5) && !b.overlaps(a, 5));
+        let c = r.arc_of(1, ArcChoice::Clockwise); // {3,4,0}
+        assert!(c.overlaps(a, 5) && a.overlaps(c, 5));
+        assert!(c.contains(0, 5) && c.contains(4, 5) && !c.contains(1, 5));
+    }
+
+    #[test]
+    fn arc_bottlenecks() {
+        let r = ring();
+        assert_eq!(r.arc_bottleneck(0, ArcChoice::Clockwise), 4);
+        assert_eq!(r.arc_bottleneck(0, ArcChoice::CounterClockwise), 2);
+        assert_eq!(r.arc_bottleneck(2, ArcChoice::Clockwise), 6);
+    }
+
+    #[test]
+    fn ring_solution_validation() {
+        let r = ring();
+        // Route task 0 clockwise (edges 0,1; bottleneck 4), task 1
+        // counter-clockwise (edges 1,2; bottleneck 6); they overlap on
+        // edge 1, so stack them.
+        let sol = RingSolution::new(vec![
+            RingPlacement { task: 0, arc: ArcChoice::Clockwise, height: 0 },
+            RingPlacement { task: 1, arc: ArcChoice::CounterClockwise, height: 3 },
+        ]);
+        sol.validate(&r).unwrap();
+        assert_eq!(sol.weight(&r), 9);
+
+        // Same heights ⇒ overlap on edge 1.
+        let bad = RingSolution::new(vec![
+            RingPlacement { task: 0, arc: ArcChoice::Clockwise, height: 0 },
+            RingPlacement { task: 1, arc: ArcChoice::CounterClockwise, height: 0 },
+        ]);
+        assert!(matches!(
+            bad.validate(&r).unwrap_err(),
+            SapError::OverlappingPlacements { .. }
+        ));
+
+        // Above capacity on the cheap edge 3.
+        let bad = RingSolution::new(vec![RingPlacement {
+            task: 0,
+            arc: ArcChoice::CounterClockwise,
+            height: 0,
+        }]);
+        assert!(matches!(
+            bad.validate(&r).unwrap_err(),
+            SapError::PlacementAboveCapacity { task: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn cut_open_maps_edges_and_prunes() {
+        let r = ring();
+        let cut = r.network().min_capacity_edge();
+        assert_eq!(cut, 3);
+        let (path, ids) = r.cut_open(cut).unwrap();
+        // Path edges are ring edges 4, 0, 1, 2.
+        assert_eq!(path.network().capacities(), &[6, 4, 6, 6]);
+        // All three tasks avoid edge 3 on one of their arcs and fit.
+        assert_eq!(ids, vec![0, 1, 2]);
+        // Task 0 avoids cut on its clockwise arc {0,1} = path edges {1,2}.
+        assert_eq!(path.span(0), crate::task::Span { lo: 1, hi: 3 });
+        // Task 1 avoids cut on ccw arc {1,2} = path edges {2,3}.
+        assert_eq!(path.span(1), crate::task::Span { lo: 2, hi: 4 });
+        // Task 2 avoids cut on cw arc {4} = path edge {0}.
+        assert_eq!(path.span(2), crate::task::Span { lo: 0, hi: 1 });
+        path.network();
+    }
+
+    #[test]
+    fn avoiding_choice_matches_cut_open() {
+        let r = ring();
+        assert_eq!(r.avoiding_choice(0, 3), ArcChoice::Clockwise);
+        assert_eq!(r.avoiding_choice(1, 3), ArcChoice::CounterClockwise);
+        assert_eq!(r.avoiding_choice(2, 3), ArcChoice::Clockwise);
+        assert_eq!(r.avoiding_choice(0, 0), ArcChoice::CounterClockwise);
+    }
+
+    #[test]
+    fn tiny_ring_rejected() {
+        assert!(RingNetwork::new(vec![5]).is_err());
+    }
+
+    #[test]
+    fn invalid_ring_task_rejected() {
+        let net = RingNetwork::new(vec![5, 5, 5]).unwrap();
+        let bad = vec![RingTask { from: 0, to: 0, demand: 1, weight: 1 }];
+        assert!(RingInstance::new(net.clone(), bad).is_err());
+        let bad = vec![RingTask { from: 0, to: 7, demand: 1, weight: 1 }];
+        assert!(RingInstance::new(net, bad).is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! Sparse-table range-minimum queries.
+//!
+//! Bottleneck capacities `b(j) = min_{e ∈ I_j} c_e` are queried constantly
+//! by every algorithm in the workspace (classification, clipping, the
+//! rectangle reduction, validators). A sparse table answers range-minimum
+//! queries in O(1) after O(m log m) preprocessing, with no per-query
+//! allocation.
+
+/// Sparse table for idempotent range queries (minimum) over `u64`.
+#[derive(Debug, Clone)]
+pub struct RangeMin {
+    /// `table[k][i]` = min of `values[i .. i + 2^k]`.
+    table: Vec<Vec<u64>>,
+    len: usize,
+}
+
+impl RangeMin {
+    /// Builds the table over `values` in O(n log n).
+    pub fn new(values: &[u64]) -> Self {
+        let n = values.len();
+        let levels = if n <= 1 { 1 } else { n.ilog2() as usize + 1 };
+        let mut table = Vec::with_capacity(levels);
+        table.push(values.to_vec());
+        for k in 1..levels {
+            let half = 1usize << (k - 1);
+            let prev = &table[k - 1];
+            let width = n.saturating_sub((1usize << k) - 1);
+            let mut row = Vec::with_capacity(width);
+            for i in 0..width {
+                row.push(prev[i].min(prev[i + half]));
+            }
+            table.push(row);
+        }
+        RangeMin { table, len: n }
+    }
+
+    /// Number of underlying values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the underlying array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Minimum of the half-open range `lo .. hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty or out of bounds.
+    #[inline]
+    pub fn min(&self, lo: usize, hi: usize) -> u64 {
+        assert!(lo < hi && hi <= self.len, "invalid RMQ range {lo}..{hi}");
+        let k = (hi - lo).ilog2() as usize;
+        let row = &self.table[k];
+        row[lo].min(row[hi - (1usize << k)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_min(values: &[u64], lo: usize, hi: usize) -> u64 {
+        values[lo..hi].iter().copied().min().unwrap()
+    }
+
+    #[test]
+    fn single_element() {
+        let rm = RangeMin::new(&[7]);
+        assert_eq!(rm.min(0, 1), 7);
+        assert_eq!(rm.len(), 1);
+        assert!(!rm.is_empty());
+    }
+
+    #[test]
+    fn matches_naive_on_all_ranges() {
+        let values: Vec<u64> = vec![5, 3, 8, 8, 1, 9, 2, 2, 7, 4, 6, 0, 3];
+        let rm = RangeMin::new(&values);
+        for lo in 0..values.len() {
+            for hi in lo + 1..=values.len() {
+                assert_eq!(rm.min(lo, hi), naive_min(&values, lo, hi), "range {lo}..{hi}");
+            }
+        }
+    }
+
+    #[test]
+    fn power_of_two_lengths() {
+        for n in [1usize, 2, 4, 8, 16, 32] {
+            let values: Vec<u64> = (0..n as u64).map(|i| (i * 37 + 11) % 23).collect();
+            let rm = RangeMin::new(&values);
+            for lo in 0..n {
+                for hi in lo + 1..=n {
+                    assert_eq!(rm.min(lo, hi), naive_min(&values, lo, hi));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid RMQ range")]
+    fn empty_range_panics() {
+        let rm = RangeMin::new(&[1, 2, 3]);
+        rm.min(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid RMQ range")]
+    fn out_of_bounds_panics() {
+        let rm = RangeMin::new(&[1, 2, 3]);
+        rm.min(0, 4);
+    }
+}

@@ -1,0 +1,78 @@
+//! Lifting and stacking of strip solutions (Algorithm Strip-Pack, Fig. 4).
+//!
+//! Algorithm Strip-Pack computes, for each bottleneck stratum `J_t`, a
+//! `2^{t−1}`-packable solution, lifts it by `2^{t−1}` and takes the union.
+//! Feasibility of the union follows because the lifted solution for `J_t`
+//! lives in the vertical strip `[2^{t−1}, 2^t)` and the strips are disjoint.
+//! These helpers implement the lift and the union; the caller establishes
+//! (and the validator checks) the strip discipline.
+
+use crate::solution::{Placement, SapSolution};
+use crate::units::Height;
+
+/// Returns a copy of `solution` with every height increased by `dh`.
+#[must_use]
+pub fn lift(solution: &SapSolution, dh: Height) -> SapSolution {
+    SapSolution::new(
+        solution
+            .placements
+            .iter()
+            .map(|p| Placement { task: p.task, height: p.height + dh })
+            .collect(),
+    )
+}
+
+/// Unions several solutions (assumed to select disjoint task sets) into
+/// one. No feasibility is implied — run the validator on the result.
+#[must_use]
+pub fn stack(parts: &[SapSolution]) -> SapSolution {
+    let mut placements = Vec::with_capacity(parts.iter().map(|s| s.len()).sum());
+    for s in parts {
+        placements.extend_from_slice(&s.placements);
+    }
+    SapSolution::new(placements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+    use crate::network::PathNetwork;
+    use crate::task::Task;
+
+    #[test]
+    fn lift_shifts_heights() {
+        let sol = SapSolution::from_pairs([(0, 0), (1, 3)]);
+        let lifted = lift(&sol, 4);
+        assert_eq!(lifted.height_of(0), Some(4));
+        assert_eq!(lifted.height_of(1), Some(7));
+    }
+
+    #[test]
+    fn stacked_strips_validate() {
+        // Two strata on one path: capacities 8 everywhere.
+        // Stratum A (strip [0,2)): tasks of demand 1; stratum B (strip
+        // [2,6)): tasks of demand 2 lifted by 2.
+        let net = PathNetwork::uniform(3, 8).unwrap();
+        let tasks = vec![
+            Task::of(0, 3, 1, 1), // A
+            Task::of(0, 2, 1, 1), // A
+            Task::of(0, 3, 2, 1), // B
+            Task::of(1, 3, 2, 1), // B
+        ];
+        let inst = Instance::new(net, tasks).unwrap();
+        let a = SapSolution::from_pairs([(0, 0), (1, 1)]);
+        let b = SapSolution::from_pairs([(2, 0), (3, 2)]);
+        let combined = stack(&[a, lift(&b, 2)]);
+        combined.validate(&inst).unwrap();
+        assert_eq!(combined.len(), 4);
+        assert_eq!(combined.height_of(2), Some(2));
+        assert_eq!(combined.height_of(3), Some(4));
+    }
+
+    #[test]
+    fn stack_of_nothing_is_empty() {
+        assert!(stack(&[]).is_empty());
+        assert!(stack(&[SapSolution::empty(), SapSolution::empty()]).is_empty());
+    }
+}

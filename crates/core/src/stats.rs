@@ -1,0 +1,167 @@
+//! Instance and solution statistics — the numbers an operator wants
+//! before and after solving (used by the CLI's `info` command and the
+//! experiment reports).
+
+use crate::classify::{classify_by_size, strata_by_bottleneck};
+use crate::instance::Instance;
+use crate::solution::SapSolution;
+use crate::units::Ratio;
+
+/// Descriptive statistics of an instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceStats {
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Minimum / maximum capacity.
+    pub capacity_range: (u64, u64),
+    /// Minimum / maximum demand.
+    pub demand_range: (u64, u64),
+    /// Mean span length (edges).
+    pub mean_span: f64,
+    /// Total weight of all tasks.
+    pub total_weight: u64,
+    /// `LOAD(J)` — the maximum per-edge demand sum.
+    pub max_load: u64,
+    /// Maximum per-edge congestion `load / capacity` (can exceed 1: not
+    /// all tasks can be scheduled then).
+    pub max_congestion: f64,
+    /// Task counts per regime at δ = 1/16 and δ′ = ½ (the defaults of the
+    /// combined algorithm).
+    pub regime_counts: (usize, usize, usize),
+    /// Number of non-empty bottleneck strata `J_t`.
+    pub strata: usize,
+    /// Whether the no-bottleneck assumption holds.
+    pub nba: bool,
+}
+
+/// Computes [`InstanceStats`].
+pub fn instance_stats(instance: &Instance) -> InstanceStats {
+    let ids = instance.all_ids();
+    let loads = instance.loads(&ids);
+    let max_load = loads.iter().copied().max().unwrap_or(0);
+    let max_congestion = loads
+        .iter()
+        .enumerate()
+        .map(|(e, &l)| l as f64 / instance.network().capacity(e).max(1) as f64)
+        .fold(0.0, f64::max);
+    let classes = classify_by_size(instance, Ratio::new(1, 16), Ratio::new(1, 2));
+    let demands: Vec<u64> = instance.tasks().iter().map(|t| t.demand).collect();
+    let mean_span = if ids.is_empty() {
+        0.0
+    } else {
+        instance.tasks().iter().map(|t| t.span.len()).sum::<usize>() as f64 / ids.len() as f64
+    };
+    InstanceStats {
+        tasks: instance.num_tasks(),
+        edges: instance.num_edges(),
+        capacity_range: (instance.network().min_capacity(), instance.network().max_capacity()),
+        demand_range: (
+            demands.iter().copied().min().unwrap_or(0),
+            demands.iter().copied().max().unwrap_or(0),
+        ),
+        mean_span,
+        total_weight: instance.weight_sum(),
+        max_load,
+        max_congestion,
+        regime_counts: (classes.small.len(), classes.medium.len(), classes.large.len()),
+        strata: strata_by_bottleneck(instance, &ids).len(),
+        nba: instance.satisfies_nba(),
+    }
+}
+
+/// Descriptive statistics of a solution against its instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolutionStats {
+    /// Selected tasks / total tasks.
+    pub selected: (usize, usize),
+    /// Achieved weight / total weight.
+    pub weight: (u64, u64),
+    /// Mean capacity utilisation over edges under the solution
+    /// (`makespan(e) / c_e`, averaged).
+    pub mean_utilization: f64,
+    /// Highest single-edge utilisation.
+    pub max_utilization: f64,
+    /// Total empty area trapped *below* placed tasks (wasted by
+    /// fragmentation; 0 for a grounded solution on one edge).
+    pub max_makespan: u64,
+}
+
+/// Computes [`SolutionStats`]. The solution must be feasible.
+pub fn solution_stats(instance: &Instance, solution: &SapSolution) -> SolutionStats {
+    debug_assert!(solution.validate(instance).is_ok());
+    let ms = solution.makespans(instance);
+    let utils: Vec<f64> = ms
+        .iter()
+        .enumerate()
+        .map(|(e, &m)| m as f64 / instance.network().capacity(e).max(1) as f64)
+        .collect();
+    SolutionStats {
+        selected: (solution.len(), instance.num_tasks()),
+        weight: (solution.weight(instance), instance.weight_sum()),
+        mean_utilization: utils.iter().sum::<f64>() / utils.len().max(1) as f64,
+        max_utilization: utils.iter().copied().fold(0.0, f64::max),
+        max_makespan: solution.max_makespan(instance),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::PathNetwork;
+    use crate::task::Task;
+
+    fn instance() -> Instance {
+        let net = PathNetwork::new(vec![8, 16]).unwrap();
+        let tasks = vec![
+            Task::of(0, 2, 4, 5), // large at δ'=½ (b=8, d=4: 4 ≤ 4 → medium boundary)
+            Task::of(1, 2, 1, 3), // small (b=16, d=1 ≤ 1)
+            Task::of(0, 1, 8, 2), // large (d = b)
+        ];
+        Instance::new(net, tasks).unwrap()
+    }
+
+    #[test]
+    fn instance_stats_basics() {
+        let s = instance_stats(&instance());
+        assert_eq!(s.tasks, 3);
+        assert_eq!(s.edges, 2);
+        assert_eq!(s.capacity_range, (8, 16));
+        assert_eq!(s.demand_range, (1, 8));
+        assert_eq!(s.total_weight, 10);
+        assert_eq!(s.max_load, 12); // edge 0: 4 + 8
+        assert!((s.max_congestion - 1.5).abs() < 1e-9);
+        let (small, medium, large) = s.regime_counts;
+        assert_eq!(small + medium + large, 3);
+        assert_eq!(small, 1);
+        // max demand 8 = min capacity 8 ⇒ NBA holds (boundary inclusive).
+        assert!(s.nba);
+    }
+
+    #[test]
+    fn solution_stats_basics() {
+        let inst = instance();
+        let sol = SapSolution::from_pairs([(1, 0), (0, 1)]);
+        sol.validate(&inst).unwrap();
+        let s = solution_stats(&inst, &sol);
+        assert_eq!(s.selected, (2, 3));
+        assert_eq!(s.weight, (8, 10));
+        assert_eq!(s.max_makespan, 5);
+        // edge 0: makespan 5 / 8; edge 1: 5 / 16.
+        assert!((s.max_utilization - 5.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_instance_stats() {
+        let net = PathNetwork::uniform(2, 4).unwrap();
+        let inst = Instance::new(net, vec![]).unwrap();
+        let s = instance_stats(&inst);
+        assert_eq!(s.tasks, 0);
+        assert_eq!(s.max_load, 0);
+        assert_eq!(s.mean_span, 0.0);
+        let sol = solution_stats(&inst, &SapSolution::empty());
+        assert_eq!(sol.selected, (0, 0));
+        assert_eq!(sol.mean_utilization, 0.0);
+    }
+}

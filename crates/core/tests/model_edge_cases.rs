@@ -1,0 +1,184 @@
+//! Edge-case suite for the core model: the degenerate shapes every
+//! algorithm must survive (single-edge paths, capacity-1 edges, maximal
+//! spans, touching rectangles, saturated columns, huge capacities).
+
+use sap_core::prelude::*;
+use sap_core::ring::{Arc, ArcChoice, RingInstance, RingNetwork, RingTask};
+use sap_core::{
+    apply_gravity, canonical_heights, classes_k_ell, clip_to_band, lift, render_solution,
+    stack, strata_by_bottleneck, RangeMin,
+};
+
+#[test]
+fn single_edge_path_everything_works() {
+    let net = PathNetwork::new(vec![5]).unwrap();
+    let inst = Instance::new(
+        net,
+        vec![Task::of(0, 1, 2, 3), Task::of(0, 1, 3, 4), Task::of(0, 1, 5, 9)],
+    )
+    .unwrap();
+    // Tasks 0+1 stack to exactly the capacity.
+    let sol = canonical_heights(&inst, &[0, 1]).unwrap();
+    sol.validate(&inst).unwrap();
+    assert_eq!(sol.max_makespan(&inst), 5);
+    // Adding task 2 must fail (it alone fills the column).
+    assert!(canonical_heights(&inst, &[0, 1, 2]).is_none());
+    let strata = strata_by_bottleneck(&inst, &inst.all_ids());
+    assert_eq!(strata.len(), 1);
+}
+
+#[test]
+fn capacity_one_edges_only_admit_unit_tasks() {
+    let net = PathNetwork::new(vec![1, 1, 1]).unwrap();
+    let inst = Instance::new(net, vec![Task::of(0, 3, 1, 1), Task::of(1, 2, 1, 1)]).unwrap();
+    let sol = canonical_heights(&inst, &[0]).unwrap();
+    sol.validate(&inst).unwrap();
+    assert!(canonical_heights(&inst, &[0, 1]).is_none(), "no room for both");
+}
+
+#[test]
+fn maximal_span_task_touches_every_edge() {
+    let net = PathNetwork::new(vec![7, 3, 9, 4]).unwrap();
+    let inst = Instance::new(net, vec![Task::of(0, 4, 3, 1)]).unwrap();
+    assert_eq!(inst.bottleneck(0), 3);
+    assert_eq!(inst.loads(&[0]), vec![3, 3, 3, 3]);
+    let sol = canonical_heights(&inst, &[0]).unwrap();
+    assert_eq!(sol.height_of(0), Some(0));
+}
+
+#[test]
+fn touching_rectangles_never_conflict() {
+    // A full tower of touching unit tasks on one column.
+    let net = PathNetwork::new(vec![8]).unwrap();
+    let tasks: Vec<Task> = (0..8).map(|_| Task::of(0, 1, 1, 1)).collect();
+    let inst = Instance::new(net, tasks).unwrap();
+    let sol = canonical_heights(&inst, &inst.all_ids()).unwrap();
+    sol.validate(&inst).unwrap();
+    assert_eq!(sol.max_makespan(&inst), 8);
+    // One more unit cannot fit.
+    let net = PathNetwork::new(vec![8]).unwrap();
+    let tasks: Vec<Task> = (0..9).map(|_| Task::of(0, 1, 1, 1)).collect();
+    let inst = Instance::new(net, tasks).unwrap();
+    assert!(canonical_heights(&inst, &inst.all_ids()).is_none());
+}
+
+#[test]
+fn huge_capacities_do_not_overflow() {
+    let big = 1u64 << 48;
+    let net = PathNetwork::new(vec![big, big]).unwrap();
+    let inst = Instance::new(
+        net,
+        vec![Task::of(0, 2, big / 2, 1), Task::of(0, 2, big / 2, 1)],
+    )
+    .unwrap();
+    let sol = canonical_heights(&inst, &inst.all_ids()).unwrap();
+    sol.validate(&inst).unwrap();
+    assert_eq!(sol.max_makespan(&inst), big);
+}
+
+#[test]
+fn gravity_on_fully_saturated_column_is_identity() {
+    let net = PathNetwork::new(vec![4]).unwrap();
+    let tasks: Vec<Task> = (0..4).map(|_| Task::of(0, 1, 1, 1)).collect();
+    let inst = Instance::new(net, tasks).unwrap();
+    let sol = canonical_heights(&inst, &inst.all_ids()).unwrap();
+    let dropped = apply_gravity(&inst, &sol);
+    let mut a: Vec<_> = sol.placements.clone();
+    let mut b: Vec<_> = dropped.placements.clone();
+    a.sort_by_key(|p| p.task);
+    b.sort_by_key(|p| p.task);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn stacking_empty_and_single_parts() {
+    let net = PathNetwork::uniform(2, 10).unwrap();
+    let inst = Instance::new(net, vec![Task::of(0, 2, 2, 1)]).unwrap();
+    let single = canonical_heights(&inst, &[0]).unwrap();
+    let combined = stack(&[SapSolution::empty(), lift(&single, 3), SapSolution::empty()]);
+    combined.validate(&inst).unwrap();
+    assert_eq!(combined.height_of(0), Some(3));
+}
+
+#[test]
+fn classes_with_huge_ell_collapse_to_one_class_per_task_range() {
+    let net = PathNetwork::new(vec![4, 1024]).unwrap();
+    let inst = Instance::new(
+        net,
+        vec![Task::of(0, 1, 1, 1), Task::of(1, 2, 1, 1)],
+    )
+    .unwrap();
+    let classes = classes_k_ell(&inst, &inst.all_ids(), 12);
+    // Task 0 (b=4, t=2) in classes k=0..=2; task 1 (b=1024, t=10) in 0..=10.
+    let k0 = classes.iter().find(|(k, _)| *k == 0).unwrap();
+    assert_eq!(k0.1.len(), 2, "both tasks appear in the k=0 class at ℓ=12");
+}
+
+#[test]
+fn clip_band_with_min_band_edge() {
+    let net = PathNetwork::new(vec![2, 2]).unwrap();
+    let inst = Instance::new(net, vec![Task::of(0, 2, 1, 1)]).unwrap();
+    let (sub, _) = clip_to_band(&inst, &[0], 2, 4).unwrap();
+    assert_eq!(sub.network().capacities(), &[2, 2]);
+}
+
+#[test]
+fn rmq_on_large_uniform_array() {
+    let values = vec![9u64; 4096];
+    let rm = RangeMin::new(&values);
+    assert_eq!(rm.min(0, 4096), 9);
+    assert_eq!(rm.min(4095, 4096), 9);
+    assert_eq!(rm.min(1000, 3000), 9);
+}
+
+#[test]
+fn render_single_unit_instance() {
+    let net = PathNetwork::new(vec![1]).unwrap();
+    let inst = Instance::new(net, vec![Task::of(0, 1, 1, 1)]).unwrap();
+    let sol = canonical_heights(&inst, &[0]).unwrap();
+    let pic = render_solution(&inst, &sol, 4);
+    assert!(pic.contains("AA"));
+}
+
+#[test]
+fn two_edge_ring_arcs() {
+    let net = RingNetwork::new(vec![5, 3]).unwrap();
+    let inst = RingInstance::new(net, vec![RingTask::of(0, 1, 4, 1)]).unwrap();
+    // cw arc = edge {0} (cap 5); ccw arc = edge {1} (cap 3).
+    assert_eq!(inst.arc_bottleneck(0, ArcChoice::Clockwise), 5);
+    assert_eq!(inst.arc_bottleneck(0, ArcChoice::CounterClockwise), 3);
+    let a = Arc { start: 0, len: 1 };
+    let b = Arc { start: 1, len: 1 };
+    assert!(!a.overlaps(b, 2));
+    assert!(a.overlaps(a, 2));
+}
+
+#[test]
+fn ring_cut_open_two_edges() {
+    let net = RingNetwork::new(vec![5, 3]).unwrap();
+    let inst = RingInstance::new(net, vec![RingTask::of(0, 1, 4, 7)]).unwrap();
+    let (path, ids) = inst.cut_open(1).unwrap();
+    assert_eq!(path.network().capacities(), &[5]);
+    assert_eq!(ids, vec![0]);
+    // Cutting the other edge forces the task onto the cap-3 arc where it
+    // does not fit: pruned.
+    let (path2, ids2) = inst.cut_open(0).unwrap();
+    assert_eq!(path2.network().capacities(), &[3]);
+    assert!(ids2.is_empty());
+}
+
+#[test]
+fn ratio_arithmetic_extremes() {
+    let tiny = Ratio::new(1, u64::MAX);
+    assert!(tiny.le_scaled(0, 1));
+    assert!(!tiny.le_scaled(1, 1));
+    let one = Ratio::new(7, 7);
+    assert!(one.le_scaled(5, 5));
+    assert_eq!(one.floor_mul(9), 9);
+    assert_eq!(one.ceil_mul(9), 9);
+    let third = Ratio::new(1, 3);
+    assert_eq!(third.floor_mul(10), 3);
+    assert_eq!(third.ceil_mul(10), 4);
+    assert!(third.lt(Ratio::new(1, 2)));
+    assert!(third.le(Ratio::new(1, 3)));
+}

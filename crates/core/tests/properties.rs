@@ -1,0 +1,210 @@
+//! Property-based tests for the core model.
+//!
+//! These check the paper's structural observations on randomized instances:
+//! Observation 1 (UFPP load vs bottleneck), Observation 2 (SAP makespan vs
+//! bottleneck), Observation 11 (gravity), and Lemma 14 (elevation split).
+
+use proptest::prelude::*;
+use sap_core::prelude::*;
+use sap_core::{
+    apply_gravity, canonical_heights, elevation_split, is_delta_small, is_elevated, lift, stack,
+};
+
+/// Strategy: a random instance with `m` edges, `n` tasks, small capacities.
+fn arb_instance(max_edges: usize, max_tasks: usize, max_cap: u64) -> impl Strategy<Value = Instance> {
+    (2..=max_edges, 1..=max_tasks).prop_flat_map(move |(m, n)| {
+        let caps = proptest::collection::vec(1..=max_cap, m);
+        let tasks = proptest::collection::vec(
+            (0..m, 1..=m, 1..=max_cap, 0u64..100),
+            n,
+        );
+        (caps, tasks).prop_map(move |(caps, raw)| {
+            let net = PathNetwork::new(caps).unwrap();
+            let tasks: Vec<Task> = raw
+                .into_iter()
+                .map(|(lo, len, d, w)| {
+                    let lo = lo.min(m - 1);
+                    let hi = (lo + len).min(m).max(lo + 1);
+                    Task::of(lo, hi, d, w)
+                })
+                .collect();
+            Instance::new_pruning(net, tasks).unwrap().0
+        })
+    })
+}
+
+/// Builds a feasible SAP solution greedily from a random insertion order:
+/// place tasks via canonical heights, skipping tasks that no longer fit.
+fn greedy_feasible(inst: &Instance, order: &[TaskId]) -> SapSolution {
+    let mut chosen: Vec<TaskId> = Vec::new();
+    for &j in order {
+        chosen.push(j);
+        if canonical_heights(inst, &chosen).is_none() {
+            chosen.pop();
+        }
+    }
+    canonical_heights(inst, &chosen).expect("prefix-checked order is feasible")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Observation 2: any feasible SAP solution has makespan ≤ max_j b(j)
+    /// on every edge.
+    #[test]
+    fn observation_2_makespan_bounded_by_max_bottleneck(inst in arb_instance(8, 10, 16)) {
+        let order: Vec<TaskId> = inst.all_ids();
+        let sol = greedy_feasible(&inst, &order);
+        sol.validate(&inst).unwrap();
+        if !sol.is_empty() {
+            let max_b = sol.placements.iter().map(|p| inst.bottleneck(p.task)).max().unwrap();
+            for ms in sol.makespans(&inst) {
+                prop_assert!(ms <= max_b, "makespan {ms} exceeds max bottleneck {max_b}");
+            }
+        }
+    }
+
+    /// Observation 1: any feasible UFPP solution has load ≤ 2·max_j b(j)
+    /// on every edge.
+    #[test]
+    fn observation_1_load_bounded_by_twice_max_bottleneck(inst in arb_instance(8, 10, 16)) {
+        // Build a feasible UFPP solution greedily.
+        let mut sel: Vec<TaskId> = Vec::new();
+        for j in inst.all_ids() {
+            sel.push(j);
+            if UfppSolution::new(sel.clone()).validate(&inst).is_err() {
+                sel.pop();
+            }
+        }
+        let sol = UfppSolution::new(sel);
+        sol.validate(&inst).unwrap();
+        if !sol.is_empty() {
+            let max_b = sol.tasks.iter().map(|&j| inst.bottleneck(j)).max().unwrap();
+            for load in inst.loads(&sol.tasks) {
+                prop_assert!(load <= 2 * max_b);
+            }
+        }
+    }
+
+    /// Gravity keeps feasibility, selects the same tasks, never raises a
+    /// task, and is idempotent (Observation 11 / Fig. 5).
+    #[test]
+    fn gravity_properties(inst in arb_instance(8, 10, 16), seed in 0u64..1000) {
+        let mut order = inst.all_ids();
+        // Pseudo-shuffle determined by the seed.
+        let n = order.len();
+        for i in 0..n {
+            let j = ((seed as usize).wrapping_mul(31).wrapping_add(i * 17)) % n;
+            order.swap(i, j);
+        }
+        let sol = greedy_feasible(&inst, &order);
+        // Float the solution upward where possible to make gravity matter.
+        let floated = SapSolution::from_pairs(sol.placements.iter().map(|p| {
+            let slack = inst.bottleneck(p.task) - (p.height + inst.demand(p.task));
+            (p.task, p.height + slack.min(seed % 3))
+        }));
+        let subject = if floated.validate(&inst).is_ok() { floated } else { sol.clone() };
+        let dropped = apply_gravity(&inst, &subject);
+        dropped.validate(&inst).unwrap();
+        let mut a = dropped.task_ids();
+        let mut b = subject.task_ids();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        for p in &dropped.placements {
+            prop_assert!(p.height <= subject.height_of(p.task).unwrap());
+        }
+        // Idempotent up to placement order.
+        let mut again = apply_gravity(&inst, &dropped).placements;
+        let mut first = dropped.placements.clone();
+        again.sort_by_key(|p| p.task);
+        first.sort_by_key(|p| p.task);
+        prop_assert_eq!(again, first);
+        prop_assert!(sap_core::is_grounded(&inst, &dropped));
+    }
+
+    /// Stacking lifted strip solutions of bounded makespan is feasible:
+    /// if each part is `B_i`-packable and lifted so the strips
+    /// `[L_i, L_i + B_i)` are disjoint and below every used capacity,
+    /// the union validates.
+    #[test]
+    fn stacking_disjoint_strips_is_feasible(inst in arb_instance(6, 8, 8)) {
+        // Strip 1: tasks with even id, packed from 0 with bound floor(cap/2).
+        // Strip 2: odd ids, lifted by the bound.
+        let min_cap = inst.network().min_capacity();
+        let bound = min_cap / 2;
+        if bound == 0 { return Ok(()); }
+        let pack = |ids: Vec<TaskId>| -> SapSolution {
+            let mut chosen = Vec::new();
+            for j in ids {
+                if inst.demand(j) > bound { continue; }
+                chosen.push(j);
+                match canonical_heights(&inst, &chosen) {
+                    Some(s) if s.max_makespan(&inst) <= bound => {}
+                    _ => { chosen.pop(); }
+                }
+            }
+            canonical_heights(&inst, &chosen).unwrap()
+        };
+        let evens = pack((0..inst.num_tasks()).step_by(2).collect());
+        let odds = pack((1..inst.num_tasks()).step_by(2).collect());
+        let combined = stack(&[evens, lift(&odds, bound)]);
+        combined.validate(&inst).unwrap();
+    }
+
+    /// Lemma 14: splitting any feasible solution of (1−2β)-small tasks at
+    /// threshold β·2^k yields two feasible β-elevated solutions covering
+    /// all selected tasks. Here β = 1/4 and 2^k = smallest power of two
+    /// ≤ min capacity, so the threshold is exact.
+    #[test]
+    fn lemma_14_elevation_split(inst in arb_instance(8, 10, 64)) {
+        let two_k = {
+            let mc = inst.network().min_capacity();
+            if mc < 4 { return Ok(()); }
+            1u64 << mc.ilog2()
+        };
+        let beta = Ratio::new(1, 4);
+        let threshold = beta.floor_mul(two_k);
+        // Restrict to (1 − 2β) = ½-small tasks.
+        let half = Ratio::new(1, 2);
+        let ids: Vec<TaskId> = inst
+            .all_ids()
+            .into_iter()
+            .filter(|&j| is_delta_small(&inst, j, half))
+            .collect();
+        let sol = greedy_feasible(&inst, &ids);
+        let split = elevation_split(&inst, &sol, threshold);
+        split.lifted.validate(&inst).unwrap();
+        split.kept.validate(&inst).unwrap();
+        prop_assert!(is_elevated(&split.lifted, threshold));
+        prop_assert!(is_elevated(&split.kept, threshold));
+        prop_assert_eq!(split.lifted.len() + split.kept.len(), sol.len());
+    }
+
+    /// The SAP validator accepts exactly what a brute-force pairwise
+    /// rectangle-overlap check accepts.
+    #[test]
+    fn validator_matches_bruteforce(inst in arb_instance(6, 6, 8), heights in proptest::collection::vec(0u64..8, 6)) {
+        let placements: Vec<(TaskId, u64)> = inst
+            .all_ids()
+            .into_iter()
+            .zip(heights.iter().copied())
+            .collect();
+        let sol = SapSolution::from_pairs(placements.clone());
+        let fast = sol.validate(&inst).is_ok();
+        // Brute force.
+        let mut ok = true;
+        for &(j, h) in &placements {
+            if h + inst.demand(j) > inst.bottleneck(j) { ok = false; }
+        }
+        for (i, &(j1, h1)) in placements.iter().enumerate() {
+            for &(j2, h2) in &placements[i + 1..] {
+                if inst.span(j1).overlaps(inst.span(j2)) {
+                    let disjoint = h1 + inst.demand(j1) <= h2 || h2 + inst.demand(j2) <= h1;
+                    if !disjoint { ok = false; }
+                }
+            }
+        }
+        prop_assert_eq!(fast, ok);
+    }
+}

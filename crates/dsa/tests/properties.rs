@@ -1,0 +1,97 @@
+//! Property tests for the DSA crate.
+
+use dsa::{allocate, makespan_lower_bound, pack_into_strip, DsaOrder};
+use proptest::prelude::*;
+use sap_core::{Instance, PathNetwork, Task, UfppSolution};
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (2usize..=8, 1usize..=20).prop_flat_map(|(m, n)| {
+        let tasks = proptest::collection::vec((0..m, 1..=m, 1u64..=10, 1u64..=20), n);
+        tasks.prop_map(move |raw| {
+            let net = PathNetwork::uniform(m, 1 << 30).unwrap();
+            let tasks: Vec<Task> = raw
+                .into_iter()
+                .map(|(lo, len, d, w)| {
+                    let lo = lo.min(m - 1);
+                    let hi = (lo + len).min(m).max(lo + 1);
+                    Task::of(lo, hi, d, w)
+                })
+                .collect();
+            Instance::new(net, tasks).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Every allocator output is overlap-free, places all tasks, and
+    /// respects the LOAD lower bound.
+    #[test]
+    fn allocations_are_valid_and_bounded_below(inst in arb_instance()) {
+        let ids = inst.all_ids();
+        let load = makespan_lower_bound(&inst, &ids);
+        for order in [DsaOrder::LeftEndpoint, DsaOrder::DemandDecreasing, DsaOrder::AsGiven] {
+            let alloc = allocate(&inst, &ids, order);
+            prop_assert_eq!(alloc.len(), ids.len());
+            alloc.validate(&inst).unwrap();
+            prop_assert!(alloc.max_makespan(&inst) >= load);
+            prop_assert!(dsa::alloc::is_valid_allocation(&inst, &alloc));
+        }
+    }
+
+    /// Unit demands: first-fit by left endpoint is exactly LOAD
+    /// (interval-graph colouring is perfect).
+    #[test]
+    fn unit_demands_hit_load(m in 2usize..=8, spans in proptest::collection::vec((0usize..8, 1usize..=8), 1..=20)) {
+        let net = PathNetwork::uniform(m, 1 << 20).unwrap();
+        let tasks: Vec<Task> = spans
+            .into_iter()
+            .map(|(lo, len)| {
+                let lo = lo.min(m - 1);
+                let hi = (lo + len).min(m).max(lo + 1);
+                Task::of(lo, hi, 1, 1)
+            })
+            .collect();
+        let inst = Instance::new(net, tasks).unwrap();
+        let ids = inst.all_ids();
+        let alloc = allocate(&inst, &ids, DsaOrder::LeftEndpoint);
+        prop_assert_eq!(alloc.max_makespan(&inst), makespan_lower_bound(&inst, &ids));
+    }
+
+    /// The strip engine returns a bound-packable sub-solution whose kept
+    /// and dropped tasks partition the input.
+    #[test]
+    fn strip_partitions_and_respects_bound(inst in arb_instance(), bound in 1u64..=40) {
+        let ids = inst.all_ids();
+        let packing = pack_into_strip(&inst, &ids, bound);
+        packing.solution.validate_packable(&inst, bound).unwrap();
+        let mut seen: Vec<usize> = packing.solution.task_ids();
+        seen.extend(&packing.dropped);
+        seen.sort_unstable();
+        let mut expect = ids.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(seen, expect, "kept ∪ dropped = input");
+    }
+
+    /// When the input is already bound-packable as a UFPP solution and the
+    /// DSA lands within the bound, nothing is dropped.
+    #[test]
+    fn no_drops_when_dsa_fits(inst in arb_instance()) {
+        let ids = inst.all_ids();
+        let load = makespan_lower_bound(&inst, &ids);
+        // A bound comfortably above any first-fit outcome.
+        let bound = (2 * load + inst.max_demand()).max(1);
+        let sel: Vec<usize> = ids
+            .iter()
+            .copied()
+            .filter(|&j| inst.demand(j) <= bound)
+            .collect();
+        prop_assert!(UfppSolution::new(sel.clone()).validate_packable(&inst, 2 * bound).is_ok());
+        let packing = pack_into_strip(&inst, &sel, bound);
+        if packing.dsa_makespan <= bound {
+            prop_assert!(packing.dropped.is_empty());
+            prop_assert_eq!(packing.solution.len(), sel.len());
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Capacity profiles for the path network.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use sap_core::Capacity;
+
+/// Shapes of capacity profiles used across the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapacityProfile {
+    /// All edges share one capacity (SAP-U / UFPP-U).
+    Uniform(Capacity),
+    /// Independent uniform draws from `[lo, hi]`.
+    Random {
+        /// Minimum capacity.
+        lo: Capacity,
+        /// Maximum capacity.
+        hi: Capacity,
+    },
+    /// Doubling staircase `base, 2·base, 4·base, …` up then back down —
+    /// produces many bottleneck strata `J_t`, stressing Strip-Pack.
+    Staircase {
+        /// Capacity of the outermost edges.
+        base: Capacity,
+        /// Number of doubling steps.
+        steps: u32,
+    },
+    /// High plateaus with a low valley in the middle — makes bottleneck
+    /// edges matter (stresses the rectangle reduction and Observation 2).
+    Valley {
+        /// Plateau capacity.
+        high: Capacity,
+        /// Valley capacity.
+        low: Capacity,
+    },
+    /// Multiplicative random walk: each edge is the previous times a
+    /// factor in `{1/2, 1, 2}`, clamped to `[lo, hi]`.
+    RandomWalk {
+        /// Lower clamp.
+        lo: Capacity,
+        /// Upper clamp.
+        hi: Capacity,
+    },
+}
+
+impl CapacityProfile {
+    /// Materialises the profile over `m` edges.
+    pub fn build(&self, m: usize, rng: &mut ChaCha8Rng) -> Vec<Capacity> {
+        assert!(m > 0, "profiles need at least one edge");
+        match *self {
+            CapacityProfile::Uniform(c) => vec![c; m],
+            CapacityProfile::Random { lo, hi } => {
+                (0..m).map(|_| rng.gen_range(lo..=hi)).collect()
+            }
+            CapacityProfile::Staircase { base, steps } => (0..m)
+                .map(|e| {
+                    // ramp up to the middle, then down.
+                    let half = m.div_ceil(2);
+                    let pos = if e < half { e } else { m - 1 - e };
+                    let level =
+                        ((pos * (steps as usize + 1)) / half.max(1)).min(steps as usize);
+                    base << level
+                })
+                .collect(),
+            CapacityProfile::Valley { high, low } => (0..m)
+                .map(|e| {
+                    let third = m / 3;
+                    if e >= third && e < m - third {
+                        low
+                    } else {
+                        high
+                    }
+                })
+                .collect(),
+            CapacityProfile::RandomWalk { lo, hi } => {
+                let mut c = rng.gen_range(lo..=hi);
+                (0..m)
+                    .map(|_| {
+                        match rng.gen_range(0..3) {
+                            0 => c = (c / 2).max(lo),
+                            1 => {}
+                            _ => c = (c * 2).min(hi),
+                        }
+                        c
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn uniform_profile() {
+        assert_eq!(CapacityProfile::Uniform(7).build(4, &mut rng()), vec![7; 4]);
+    }
+
+    #[test]
+    fn random_profile_within_bounds() {
+        let caps = CapacityProfile::Random { lo: 3, hi: 9 }.build(100, &mut rng());
+        assert!(caps.iter().all(|&c| (3..=9).contains(&c)));
+    }
+
+    #[test]
+    fn staircase_is_symmetric_and_doubling() {
+        let caps = CapacityProfile::Staircase { base: 2, steps: 3 }.build(9, &mut rng());
+        assert_eq!(caps[0], 2);
+        assert_eq!(caps.first(), caps.last());
+        let max = *caps.iter().max().unwrap();
+        assert_eq!(max, 2 << 3);
+        for &c in &caps {
+            assert!(c.is_power_of_two() || c == 2, "powers of the base: {c}");
+        }
+    }
+
+    #[test]
+    fn valley_has_low_middle() {
+        let caps = CapacityProfile::Valley { high: 10, low: 2 }.build(9, &mut rng());
+        assert_eq!(caps[0], 10);
+        assert_eq!(caps[4], 2);
+        assert_eq!(caps[8], 10);
+    }
+
+    #[test]
+    fn random_walk_clamped_and_deterministic() {
+        let a = CapacityProfile::RandomWalk { lo: 4, hi: 64 }.build(50, &mut rng());
+        let b = CapacityProfile::RandomWalk { lo: 4, hi: 64 }.build(50, &mut rng());
+        assert_eq!(a, b, "same seed ⇒ same profile");
+        assert!(a.iter().all(|&c| (4..=64).contains(&c)));
+    }
+}

@@ -1,0 +1,188 @@
+//! Random task workloads in the paper's size regimes.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sap_core::{Instance, PathNetwork, Span, Task};
+
+use crate::profiles::CapacityProfile;
+
+/// Which size regime (§3 of the paper) to draw demands from, relative to
+/// each task's bottleneck `b(j)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DemandRegime {
+    /// δ-small: `d ∈ [1, b/delta_inv]` (δ = 1/delta_inv).
+    Small {
+        /// `1/δ`.
+        delta_inv: u64,
+    },
+    /// Medium: `d ∈ (b/delta_inv, b/2]` — δ-large and ½-small.
+    Medium {
+        /// `1/δ` for the lower cutoff.
+        delta_inv: u64,
+    },
+    /// `1/k`-large: `d ∈ (b/k, b]`.
+    Large {
+        /// The `k` of `1/k`-large.
+        k: u64,
+    },
+    /// Uniform over `[1, b]` — a mix of all three regimes.
+    Mixed,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Number of edges.
+    pub num_edges: usize,
+    /// Number of tasks.
+    pub num_tasks: usize,
+    /// Capacity profile.
+    pub profile: CapacityProfile,
+    /// Demand regime.
+    pub regime: DemandRegime,
+    /// Maximum span length (edges); spans are uniform in `[1, max]`.
+    pub max_span: usize,
+    /// Weights are uniform in `[1, max_weight]`.
+    pub max_weight: u64,
+}
+
+impl GenConfig {
+    /// A reasonable default mixed workload.
+    pub fn mixed(num_edges: usize, num_tasks: usize) -> Self {
+        GenConfig {
+            num_edges,
+            num_tasks,
+            profile: CapacityProfile::RandomWalk { lo: 64, hi: 1024 },
+            regime: DemandRegime::Mixed,
+            max_span: num_edges,
+            max_weight: 100,
+        }
+    }
+}
+
+/// Generates a seeded instance. Demands always respect the bottleneck
+/// (`d ≤ b(j)`), so every task is individually schedulable.
+pub fn generate(config: &GenConfig, seed: u64) -> Instance {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let m = config.num_edges;
+    let caps = config.profile.build(m, &mut rng);
+    let net = PathNetwork::new(caps).expect("valid profile");
+    let mut tasks = Vec::with_capacity(config.num_tasks);
+    for _ in 0..config.num_tasks {
+        let lo = rng.gen_range(0..m);
+        let max_len = config.max_span.min(m - lo).max(1);
+        let len = rng.gen_range(1..=max_len);
+        let span = Span::new(lo, lo + len).expect("non-empty span");
+        let b = net.bottleneck(span);
+        let d = draw_demand(&mut rng, b, config.regime);
+        let w = rng.gen_range(1..=config.max_weight);
+        tasks.push(Task { span, demand: d, weight: w });
+    }
+    Instance::new(net, tasks).expect("generated tasks respect bottlenecks")
+}
+
+fn draw_demand(rng: &mut ChaCha8Rng, b: u64, regime: DemandRegime) -> u64 {
+    match regime {
+        DemandRegime::Small { delta_inv } => {
+            let hi = (b / delta_inv).max(1);
+            rng.gen_range(1..=hi)
+        }
+        DemandRegime::Medium { delta_inv } => {
+            let lo = (b / delta_inv + 1).min(b);
+            let hi = (b / 2).max(lo);
+            rng.gen_range(lo..=hi)
+        }
+        DemandRegime::Large { k } => {
+            let lo = (b / k + 1).min(b);
+            rng.gen_range(lo..=b)
+        }
+        DemandRegime::Mixed => rng.gen_range(1..=b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sap_core::{is_delta_large, is_delta_small, Ratio};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = GenConfig::mixed(20, 50);
+        let a = generate(&cfg, 7);
+        let b = generate(&cfg, 7);
+        assert_eq!(a, b);
+        let c = generate(&cfg, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn small_regime_produces_delta_small_tasks() {
+        let cfg = GenConfig {
+            num_edges: 16,
+            num_tasks: 200,
+            profile: CapacityProfile::Random { lo: 256, hi: 1024 },
+            regime: DemandRegime::Small { delta_inv: 16 },
+            max_span: 8,
+            max_weight: 50,
+        };
+        let inst = generate(&cfg, 3);
+        let delta = Ratio::new(1, 16);
+        for j in 0..inst.num_tasks() {
+            assert!(is_delta_small(&inst, j, delta), "task {j}");
+        }
+    }
+
+    #[test]
+    fn large_regime_produces_k_large_tasks() {
+        let cfg = GenConfig {
+            num_edges: 16,
+            num_tasks: 200,
+            profile: CapacityProfile::Random { lo: 16, hi: 64 },
+            regime: DemandRegime::Large { k: 2 },
+            max_span: 6,
+            max_weight: 50,
+        };
+        let inst = generate(&cfg, 4);
+        let half = Ratio::new(1, 2);
+        for j in 0..inst.num_tasks() {
+            assert!(is_delta_large(&inst, j, half), "task {j}");
+            assert!(inst.demand(j) <= inst.bottleneck(j));
+        }
+    }
+
+    #[test]
+    fn medium_regime_is_between() {
+        let cfg = GenConfig {
+            num_edges: 12,
+            num_tasks: 150,
+            profile: CapacityProfile::Uniform(1024),
+            regime: DemandRegime::Medium { delta_inv: 32 },
+            max_span: 12,
+            max_weight: 50,
+        };
+        let inst = generate(&cfg, 5);
+        for j in 0..inst.num_tasks() {
+            let b = inst.bottleneck(j);
+            let d = inst.demand(j);
+            assert!(d > b / 32, "task {j} too small");
+            assert!(d <= b / 2, "task {j} too large");
+        }
+    }
+
+    #[test]
+    fn spans_respect_limits() {
+        let cfg = GenConfig {
+            num_edges: 30,
+            num_tasks: 100,
+            profile: CapacityProfile::Uniform(10),
+            regime: DemandRegime::Mixed,
+            max_span: 3,
+            max_weight: 9,
+        };
+        let inst = generate(&cfg, 11);
+        for j in 0..inst.num_tasks() {
+            assert!(inst.span(j).len() <= 3);
+            assert!((1..=9).contains(&inst.weight(j)));
+        }
+    }
+}

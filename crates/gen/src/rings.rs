@@ -1,0 +1,94 @@
+//! Ring-network workloads (§7).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sap_core::ring::{RingInstance, RingNetwork, RingTask};
+
+use crate::profiles::CapacityProfile;
+
+/// Configuration for ring workloads.
+#[derive(Debug, Clone)]
+pub struct RingGenConfig {
+    /// Number of ring edges (≥ 3).
+    pub num_edges: usize,
+    /// Number of tasks.
+    pub num_tasks: usize,
+    /// Capacity profile (applied around the ring).
+    pub profile: CapacityProfile,
+    /// Demands are uniform in `[1, max_demand]`, clamped so that at least
+    /// one of the task's two arcs can carry it.
+    pub max_demand: u64,
+    /// Weights are uniform in `[1, max_weight]`.
+    pub max_weight: u64,
+}
+
+/// Generates a seeded ring instance. Every task fits on at least one of
+/// its two arcs.
+pub fn generate_ring(config: &RingGenConfig, seed: u64) -> RingInstance {
+    assert!(config.num_edges >= 3, "rings need at least 3 edges");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let m = config.num_edges;
+    let caps = config.profile.build(m, &mut rng);
+    let net = RingNetwork::new(caps.clone()).expect("valid ring");
+    let mut tasks = Vec::with_capacity(config.num_tasks);
+    for _ in 0..config.num_tasks {
+        let from = rng.gen_range(0..m);
+        let mut to = rng.gen_range(0..m);
+        while to == from {
+            to = rng.gen_range(0..m);
+        }
+        // Bottleneck of the better arc bounds the demand.
+        let cw: u64 = arc_min(&caps, from, to);
+        let ccw: u64 = arc_min(&caps, to, from);
+        let best = cw.max(ccw);
+        let d = rng.gen_range(1..=config.max_demand.min(best).max(1));
+        let w = rng.gen_range(1..=config.max_weight);
+        tasks.push(RingTask { from, to, demand: d, weight: w });
+    }
+    RingInstance::new(net, tasks).expect("generated ring tasks are valid")
+}
+
+fn arc_min(caps: &[u64], from: usize, to: usize) -> u64 {
+    let m = caps.len();
+    let len = (to + m - from) % m;
+    (0..len).map(|i| caps[(from + i) % m]).min().unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sap_core::ring::ArcChoice;
+
+    #[test]
+    fn ring_generation_is_deterministic_and_schedulable() {
+        let cfg = RingGenConfig {
+            num_edges: 12,
+            num_tasks: 40,
+            profile: CapacityProfile::Random { lo: 8, hi: 64 },
+            max_demand: 64,
+            max_weight: 20,
+        };
+        let a = generate_ring(&cfg, 9);
+        let b = generate_ring(&cfg, 9);
+        assert_eq!(a.tasks(), b.tasks());
+        assert_eq!(a.num_tasks(), 40);
+        for j in 0..a.num_tasks() {
+            let fits = a.tasks()[j].demand <= a.arc_bottleneck(j, ArcChoice::Clockwise)
+                || a.tasks()[j].demand <= a.arc_bottleneck(j, ArcChoice::CounterClockwise);
+            assert!(fits, "task {j} must fit on one arc");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_ring_panics() {
+        let cfg = RingGenConfig {
+            num_edges: 2,
+            num_tasks: 1,
+            profile: CapacityProfile::Uniform(4),
+            max_demand: 2,
+            max_weight: 2,
+        };
+        generate_ring(&cfg, 0);
+    }
+}

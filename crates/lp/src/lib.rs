@@ -1,0 +1,47 @@
+//! # lp-solver
+//!
+//! A from-scratch dense **bounded-variable revised simplex** solver for the
+//! packing linear programs that arise in this workspace:
+//!
+//! ```text
+//!   max  c·x
+//!   s.t. A x ≤ b        (A ≥ 0, b ≥ 0)
+//!        0 ≤ x_j ≤ u_j
+//! ```
+//!
+//! This is the fractional relaxation (1) of UFPP in the paper (§4.1): one
+//! row per edge, one column per task, `A[e][j] = d_j` when `e ∈ I_j`.
+//! The solver is used twice:
+//!
+//! 1. by the small-task algorithm, which scales the fractional optimum by
+//!    ¼ and rounds it (Lemma 5);
+//! 2. as an **upper bound on OPT** in the ratio experiments (weak duality:
+//!    any integral solution is a feasible LP point).
+//!
+//! Because `x = 0` is feasible for packing programs, no phase-1 is needed.
+//! The solver keeps an explicit dense basis inverse, prices with Dantzig's
+//! rule and falls back to Bland's rule when progress stalls (anti-cycling).
+//! [`LpSolution::duality_gap`] exposes an optimality certificate used by
+//! the tests: the returned duals are always dual-feasible, so a zero gap
+//! proves optimality.
+
+//! ## Example
+//!
+//! ```
+//! use lp_solver::LpProblem;
+//!
+//! // max 3a + 2b  s.t.  a + b ≤ 1,  a, b ∈ [0, 1]
+//! let mut lp = LpProblem::new(vec![1.0]);
+//! lp.add_var(3.0, 1.0, &[(0, 1.0)]);
+//! lp.add_var(2.0, 1.0, &[(0, 1.0)]);
+//! let sol = lp.solve(0);
+//! assert!((sol.objective - 3.0).abs() < 1e-9);
+//! assert!(sol.duality_gap(&lp).abs() < 1e-6);   // optimality certificate
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod simplex;
+
+pub use simplex::{LpProblem, LpSolution, LpStatus};

@@ -1,0 +1,591 @@
+//! Bounded-variable revised simplex for packing LPs.
+
+/// Numerical tolerance for feasibility / optimality decisions.
+const TOL: f64 = 1e-9;
+/// Pivot elements smaller than this are rejected for stability.
+const PIVOT_TOL: f64 = 1e-10;
+/// After this many consecutive non-improving iterations, switch to
+/// Bland's rule (anti-cycling).
+const STALL_LIMIT: usize = 64;
+
+/// Outcome of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal solution was found (packing LPs are never unbounded:
+    /// all variables have finite upper bounds).
+    Optimal,
+    /// The iteration limit was exceeded; the returned point is feasible
+    /// but possibly sub-optimal.
+    IterationLimit,
+}
+
+/// A packing LP: `max c·x, A x ≤ b, 0 ≤ x ≤ u` with `A, b ≥ 0`.
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    num_rows: usize,
+    rhs: Vec<f64>,
+    /// Sparse columns: `cols[j]` lists `(row, coefficient)` pairs.
+    cols: Vec<Vec<(usize, f64)>>,
+    obj: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+/// A primal solution with a dual-feasible certificate.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Solve status.
+    pub status: LpStatus,
+    /// Primal objective value `c·x`.
+    pub objective: f64,
+    /// Primal point (structural variables only).
+    pub x: Vec<f64>,
+    /// Row duals `y ≥ 0`.
+    pub row_duals: Vec<f64>,
+    /// Upper-bound duals `μ ≥ 0` (reduced costs clipped at zero).
+    pub bound_duals: Vec<f64>,
+}
+
+impl LpSolution {
+    /// The dual objective `y·b + μ·u`. By weak duality this upper-bounds
+    /// every feasible primal value — including every integral solution.
+    pub fn dual_objective(&self, problem: &LpProblem) -> f64 {
+        let yb: f64 = self
+            .row_duals
+            .iter()
+            .zip(problem.rhs.iter())
+            .map(|(y, b)| y * b)
+            .sum();
+        let mu: f64 = self
+            .bound_duals
+            .iter()
+            .zip(problem.upper.iter())
+            .map(|(m, u)| m * u)
+            .sum();
+        yb + mu
+    }
+
+    /// `dual_objective − objective` — zero (up to numerics) certifies
+    /// optimality of the primal point.
+    pub fn duality_gap(&self, problem: &LpProblem) -> f64 {
+        self.dual_objective(problem) - self.objective
+    }
+}
+
+impl LpProblem {
+    /// Creates an empty problem with `num_rows` packing rows of capacity
+    /// `rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when some capacity is negative or non-finite.
+    pub fn new(rhs: Vec<f64>) -> Self {
+        assert!(
+            rhs.iter().all(|b| b.is_finite() && *b >= 0.0),
+            "rhs must be finite and non-negative"
+        );
+        LpProblem { num_rows: rhs.len(), rhs, cols: Vec::new(), obj: Vec::new(), upper: Vec::new() }
+    }
+
+    /// Adds a variable with objective coefficient `obj`, upper bound
+    /// `upper` and sparse column `entries`; returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative coefficients, out-of-range rows or a
+    /// non-positive/non-finite upper bound.
+    pub fn add_var(&mut self, obj: f64, upper: f64, entries: &[(usize, f64)]) -> usize {
+        assert!(upper.is_finite() && upper > 0.0, "upper bound must be positive and finite");
+        assert!(obj.is_finite());
+        for &(r, a) in entries {
+            assert!(r < self.num_rows, "row {r} out of range");
+            assert!(a.is_finite() && a >= 0.0, "packing coefficients must be ≥ 0");
+        }
+        self.cols.push(entries.to_vec());
+        self.obj.push(obj);
+        self.upper.push(upper);
+        self.cols.len() - 1
+    }
+
+    /// Number of structural variables.
+    pub fn num_vars(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Row capacities.
+    pub fn rhs(&self) -> &[f64] {
+        &self.rhs
+    }
+
+    /// Evaluates `c·x` for an arbitrary point.
+    pub fn objective_of(&self, x: &[f64]) -> f64 {
+        self.obj.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Checks primal feasibility of `x` within tolerance `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.num_vars() {
+            return false;
+        }
+        for (j, &v) in x.iter().enumerate() {
+            if !(-tol..=self.upper[j] + tol).contains(&v) {
+                return false;
+            }
+        }
+        let mut row_sum = vec![0.0; self.num_rows];
+        for (j, col) in self.cols.iter().enumerate() {
+            for &(r, a) in col {
+                row_sum[r] += a * x[j];
+            }
+        }
+        row_sum.iter().zip(self.rhs.iter()).all(|(s, b)| *s <= b + tol)
+    }
+
+    /// Solves the LP. `max_iters = 0` selects an automatic limit of
+    /// `64·(n + m) + 4096` pivots.
+    pub fn solve(&self, max_iters: usize) -> LpSolution {
+        Simplex::new(self).run(if max_iters == 0 {
+            64 * (self.num_vars() + self.num_rows) + 4096
+        } else {
+            max_iters
+        })
+    }
+}
+
+/// Variable indices `0..n` are structural, `n..n+m` are slacks.
+struct Simplex<'a> {
+    p: &'a LpProblem,
+    n: usize,
+    m: usize,
+    /// Dense basis inverse, row-major `m × m`.
+    binv: Vec<f64>,
+    /// Basic variable of each row.
+    basis: Vec<usize>,
+    /// Where each variable currently is: `Basic(row)`, or non-basic at a
+    /// bound.
+    state: Vec<VarState>,
+    /// Current values of the basic variables.
+    xb: Vec<f64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum VarState {
+    Basic(usize),
+    AtLower,
+    AtUpper,
+}
+
+impl<'a> Simplex<'a> {
+    fn new(p: &'a LpProblem) -> Self {
+        let n = p.num_vars();
+        let m = p.num_rows;
+        // Initial basis: the slacks; all structural variables at lower
+        // bound 0, so x_B = b ≥ 0 is feasible.
+        let mut binv = vec![0.0; m * m];
+        for i in 0..m {
+            binv[i * m + i] = 1.0;
+        }
+        let basis: Vec<usize> = (n..n + m).collect();
+        let mut state = vec![VarState::AtLower; n + m];
+        for (row, &v) in basis.iter().enumerate() {
+            state[v] = VarState::Basic(row);
+        }
+        let xb = p.rhs.clone();
+        Simplex { p, n, m, binv, basis, state, xb }
+    }
+
+    #[inline]
+    fn obj_of(&self, var: usize) -> f64 {
+        if var < self.n {
+            self.p.obj[var]
+        } else {
+            0.0
+        }
+    }
+
+    #[inline]
+    fn upper_of(&self, var: usize) -> f64 {
+        if var < self.n {
+            self.p.upper[var]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// `B⁻¹ · A_var` for a variable's constraint column.
+    fn ftran(&self, var: usize) -> Vec<f64> {
+        let m = self.m;
+        let mut w = vec![0.0; m];
+        if var < self.n {
+            for &(r, a) in &self.p.cols[var] {
+                if a != 0.0 {
+                    for i in 0..m {
+                        w[i] += self.binv[i * m + r] * a;
+                    }
+                }
+            }
+        } else {
+            let r = var - self.n;
+            for i in 0..m {
+                w[i] = self.binv[i * m + r];
+            }
+        }
+        w
+    }
+
+    /// Row duals `y = c_B B⁻¹`.
+    fn duals(&self) -> Vec<f64> {
+        let m = self.m;
+        let mut y = vec![0.0; m];
+        for (i, &bv) in self.basis.iter().enumerate() {
+            let cb = self.obj_of(bv);
+            if cb != 0.0 {
+                for r in 0..m {
+                    y[r] += cb * self.binv[i * m + r];
+                }
+            }
+        }
+        y
+    }
+
+    /// Reduced cost `c_j − y·A_j`.
+    fn reduced_cost(&self, var: usize, y: &[f64]) -> f64 {
+        let mut d = self.obj_of(var);
+        if var < self.n {
+            for &(r, a) in &self.p.cols[var] {
+                d -= y[r] * a;
+            }
+        } else {
+            d -= y[var - self.n];
+        }
+        d
+    }
+
+    fn run(mut self, max_iters: usize) -> LpSolution {
+        let mut stall = 0usize;
+        let mut last_obj = f64::NEG_INFINITY;
+        let mut status = LpStatus::IterationLimit;
+        for _ in 0..max_iters {
+            let y = self.duals();
+            // Pricing: Dantzig (most attractive reduced cost), Bland when
+            // stalling.
+            let bland = stall >= STALL_LIMIT;
+            let mut entering: Option<(usize, f64, bool)> = None; // (var, d, from_lower)
+            for var in 0..self.n + self.m {
+                let (from_lower, sign) = match self.state[var] {
+                    VarState::AtLower => (true, 1.0),
+                    VarState::AtUpper => (false, -1.0),
+                    VarState::Basic(_) => continue,
+                };
+                let d = self.reduced_cost(var, &y);
+                if d * sign > TOL {
+                    let attractiveness = d * sign;
+                    match entering {
+                        Some((_, best, _)) if !bland && attractiveness <= best => {}
+                        Some(_) if bland => {} // Bland: first eligible index
+                        _ => {
+                            entering = Some((var, attractiveness, from_lower));
+                            if bland {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((evar, _, from_lower)) = entering else {
+                status = LpStatus::Optimal;
+                break;
+            };
+
+            // Direction of basic variables as the entering variable moves
+            // by +t (from lower) or −t (from upper): x_B changes by −t·w
+            // resp. +t·w.
+            let w = self.ftran(evar);
+            let dir = if from_lower { 1.0 } else { -1.0 };
+
+            // Ratio test: keep l_B ≤ x_B ≤ u_B, and t ≤ u_e (bound flip).
+            let mut t_max = self.upper_of(evar);
+            let mut leaving: Option<(usize, bool)> = None; // (row, leaves_at_upper)
+            for i in 0..self.m {
+                let delta = -dir * w[i]; // x_B[i] moves by delta·t
+                if delta < -PIVOT_TOL {
+                    // decreasing towards lower bound 0
+                    let t = self.xb[i] / (-delta);
+                    if t < t_max {
+                        t_max = t.max(0.0);
+                        leaving = Some((i, false));
+                    }
+                } else if delta > PIVOT_TOL {
+                    // increasing towards its upper bound
+                    let ub = self.upper_of(self.basis[i]);
+                    if ub.is_finite() {
+                        let t = (ub - self.xb[i]) / delta;
+                        if t < t_max {
+                            t_max = t.max(0.0);
+                            leaving = Some((i, true));
+                        }
+                    }
+                }
+            }
+
+            // Apply the step.
+            let t = t_max;
+            for i in 0..self.m {
+                self.xb[i] += -dir * w[i] * t;
+            }
+            match leaving {
+                None => {
+                    // Bound flip: the entering variable runs to its other
+                    // bound; the basis is unchanged.
+                    self.state[evar] = if from_lower { VarState::AtUpper } else { VarState::AtLower };
+                }
+                Some((row, leaves_at_upper)) => {
+                    let lvar = self.basis[row];
+                    // Pivot: entering variable becomes basic in `row`.
+                    let pivot = w[row];
+                    if pivot.abs() < PIVOT_TOL {
+                        // Numerically unusable pivot — treat as a stall and
+                        // try Bland next time.
+                        stall = STALL_LIMIT;
+                        continue;
+                    }
+                    let m = self.m;
+                    // Update B⁻¹: row `row` /= pivot; other rows eliminate.
+                    for r in 0..m {
+                        self.binv[row * m + r] /= pivot;
+                    }
+                    for i in 0..m {
+                        if i != row {
+                            let f = w[i];
+                            if f != 0.0 {
+                                for r in 0..m {
+                                    self.binv[i * m + r] -= f * self.binv[row * m + r];
+                                }
+                            }
+                        }
+                    }
+                    self.state[lvar] = if leaves_at_upper { VarState::AtUpper } else { VarState::AtLower };
+                    self.state[evar] = VarState::Basic(row);
+                    self.basis[row] = evar;
+                    // New basic value of the entering variable.
+                    self.xb[row] = if from_lower { t } else { self.upper_of(evar) - t };
+                }
+            }
+
+            let obj = self.current_objective();
+            if obj > last_obj + TOL {
+                stall = 0;
+                last_obj = obj;
+            } else {
+                stall += 1;
+            }
+        }
+        self.extract(status)
+    }
+
+    fn current_objective(&self) -> f64 {
+        let mut obj = 0.0;
+        for (i, &bv) in self.basis.iter().enumerate() {
+            obj += self.obj_of(bv) * self.xb[i];
+        }
+        for var in 0..self.n {
+            if self.state[var] == VarState::AtUpper {
+                obj += self.p.obj[var] * self.p.upper[var];
+            }
+        }
+        obj
+    }
+
+    fn extract(self, status: LpStatus) -> LpSolution {
+        let mut x = vec![0.0; self.n];
+        for var in 0..self.n {
+            match self.state[var] {
+                VarState::Basic(row) => x[var] = self.xb[row].clamp(0.0, self.p.upper[var]),
+                VarState::AtUpper => x[var] = self.p.upper[var],
+                VarState::AtLower => {}
+            }
+        }
+        let y_raw = self.duals();
+        // Clip tiny negative duals arising from round-off; packing duals
+        // are non-negative at optimality.
+        let row_duals: Vec<f64> = y_raw.iter().map(|&v| v.max(0.0)).collect();
+        let bound_duals: Vec<f64> = (0..self.n)
+            .map(|j| {
+                let mut d = self.p.obj[j];
+                for &(r, a) in &self.p.cols[j] {
+                    d -= row_duals[r] * a;
+                }
+                d.max(0.0)
+            })
+            .collect();
+        let objective = self.p.objective_of(&x);
+        LpSolution { status, objective, x, row_duals, bound_duals }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(p: &LpProblem) -> LpSolution {
+        let s = p.solve(0);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!(p.is_feasible(&s.x, 1e-7), "solution must be feasible: {:?}", s.x);
+        assert!(s.duality_gap(p).abs() < 1e-6, "gap {}", s.duality_gap(p));
+        s
+    }
+
+    #[test]
+    fn single_variable_capped_by_row() {
+        let mut p = LpProblem::new(vec![3.0]);
+        p.add_var(5.0, 10.0, &[(0, 1.0)]);
+        let s = solve(&p);
+        assert!((s.objective - 15.0).abs() < 1e-9);
+        assert!((s.x[0] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_variable_capped_by_upper_bound() {
+        let mut p = LpProblem::new(vec![100.0]);
+        p.add_var(5.0, 2.0, &[(0, 1.0)]);
+        let s = solve(&p);
+        assert!((s.objective - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractional_knapsack() {
+        // max 3a + 2b, a + b ≤ 1, 0 ≤ a,b ≤ 1 → a = 1.
+        let mut p = LpProblem::new(vec![1.0]);
+        p.add_var(3.0, 1.0, &[(0, 1.0)]);
+        p.add_var(2.0, 1.0, &[(0, 1.0)]);
+        let s = solve(&p);
+        assert!((s.objective - 3.0).abs() < 1e-9);
+        assert!((s.x[0] - 1.0).abs() < 1e-9);
+        assert!(s.x[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_rows_shared_column() {
+        // max x0 + x1 + x2 with x0 on row 0, x2 on row 1, x1 on both.
+        // caps (1, 1): optimum picks x0 = x2 = 1 (x1 dominated).
+        let mut p = LpProblem::new(vec![1.0, 1.0]);
+        p.add_var(1.0, 1.0, &[(0, 1.0)]);
+        p.add_var(1.5, 1.0, &[(0, 1.0), (1, 1.0)]);
+        p.add_var(1.0, 1.0, &[(1, 1.0)]);
+        let s = solve(&p);
+        assert!((s.objective - 2.0).abs() < 1e-9, "obj {}", s.objective);
+    }
+
+    #[test]
+    fn ufpp_path_relaxation() {
+        // Path with 3 edges, capacities (2, 4, 2); tasks:
+        //   t0: edges {0,1}, d=2, w=2
+        //   t1: edges {1,2}, d=2, w=2
+        //   t2: edges {0,1,2}, d=2, w=3
+        // Integral OPT = 4 (t0 + t1). LP can mix: x0 = x1 = x, x2 = y with
+        // 2x + 2y ≤ 2 on edges 0 and 2 ⇒ x + y ≤ 1; obj 4x + 3y maximized
+        // at x=1, y=0 → 4.
+        let mut p = LpProblem::new(vec![2.0, 4.0, 2.0]);
+        p.add_var(2.0, 1.0, &[(0, 2.0), (1, 2.0)]);
+        p.add_var(2.0, 1.0, &[(1, 2.0), (2, 2.0)]);
+        p.add_var(3.0, 1.0, &[(0, 2.0), (1, 2.0), (2, 2.0)]);
+        let s = solve(&p);
+        assert!((s.objective - 4.0).abs() < 1e-7, "obj {}", s.objective);
+    }
+
+    #[test]
+    fn fractional_optimum_beats_integral() {
+        // Knapsack row cap 3 with two items of size 2: LP packs 1.5 items.
+        let mut p = LpProblem::new(vec![3.0]);
+        p.add_var(1.0, 1.0, &[(0, 2.0)]);
+        p.add_var(1.0, 1.0, &[(0, 2.0)]);
+        let s = solve(&p);
+        assert!((s.objective - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_capacity_row() {
+        let mut p = LpProblem::new(vec![0.0, 5.0]);
+        p.add_var(7.0, 1.0, &[(0, 1.0), (1, 1.0)]);
+        p.add_var(1.0, 1.0, &[(1, 1.0)]);
+        let s = solve(&p);
+        assert!((s.objective - 1.0).abs() < 1e-9);
+        assert!(s.x[0].abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_variables() {
+        let p = LpProblem::new(vec![1.0, 2.0]);
+        let s = solve(&p);
+        assert_eq!(s.objective, 0.0);
+        assert!(s.x.is_empty());
+    }
+
+    #[test]
+    fn degenerate_ties_terminate() {
+        // Many identical columns force degenerate pivots.
+        let mut p = LpProblem::new(vec![1.0, 1.0, 1.0]);
+        for i in 0..12 {
+            p.add_var(1.0 + (i % 3) as f64 * 1e-12, 1.0, &[(0, 1.0), (1, 1.0), (2, 1.0)]);
+        }
+        let s = solve(&p);
+        assert!((s.objective - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn randomized_against_certificate() {
+        // Pseudo-random packing LPs; the duality-gap certificate inside
+        // `solve` is the oracle.
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _case in 0..30 {
+            let m = 1 + (next() % 6) as usize;
+            let n = 1 + (next() % 10) as usize;
+            let rhs: Vec<f64> = (0..m).map(|_| (next() % 20) as f64).collect();
+            let mut p = LpProblem::new(rhs);
+            for _ in 0..n {
+                let k = 1 + (next() % m as u64) as usize;
+                let start = (next() % m as u64) as usize;
+                let entries: Vec<(usize, f64)> = (0..k)
+                    .map(|i| ((start + i) % m, 1.0 + (next() % 5) as f64))
+                    .collect();
+                let obj = (next() % 50) as f64 / 7.0;
+                p.add_var(obj, 1.0, &entries);
+            }
+            solve(&p);
+        }
+    }
+
+    #[test]
+    fn iteration_limit_returns_feasible_point() {
+        let mut p = LpProblem::new(vec![5.0, 5.0]);
+        for _ in 0..8 {
+            p.add_var(1.0, 1.0, &[(0, 1.0), (1, 2.0)]);
+        }
+        let s = p.solve(1);
+        assert!(p.is_feasible(&s.x, 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "row 3 out of range")]
+    fn bad_row_panics() {
+        let mut p = LpProblem::new(vec![1.0]);
+        p.add_var(1.0, 1.0, &[(3, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "upper bound")]
+    fn bad_upper_panics() {
+        let mut p = LpProblem::new(vec![1.0]);
+        p.add_var(1.0, 0.0, &[(0, 1.0)]);
+    }
+}

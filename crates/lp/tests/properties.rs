@@ -1,0 +1,92 @@
+//! Property tests for the simplex: on random packing LPs the solver must
+//! return a feasible point whose optimality is certified by its own duals
+//! (weak duality makes the certificate sound regardless of the pivoting
+//! path taken).
+
+use lp_solver::{LpProblem, LpStatus};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomLp {
+    rhs: Vec<f64>,
+    cols: Vec<(f64, Vec<(usize, f64)>)>, // (objective, entries)
+}
+
+fn arb_lp() -> impl Strategy<Value = RandomLp> {
+    (1usize..=6, 1usize..=12).prop_flat_map(|(m, n)| {
+        let rhs = proptest::collection::vec(0u32..50, m);
+        let cols = proptest::collection::vec(
+            (
+                0u32..100,
+                proptest::collection::vec((0..m, 1u32..8), 1..=m),
+            ),
+            n,
+        );
+        (rhs, cols).prop_map(|(rhs, cols)| RandomLp {
+            rhs: rhs.into_iter().map(f64::from).collect(),
+            cols: cols
+                .into_iter()
+                .map(|(obj, entries)| {
+                    // deduplicate rows within a column (keep max coef)
+                    let mut per_row = std::collections::BTreeMap::new();
+                    for (r, a) in entries {
+                        let e = per_row.entry(r).or_insert(0.0f64);
+                        *e = e.max(f64::from(a));
+                    }
+                    (
+                        f64::from(obj) / 7.0,
+                        per_row.into_iter().collect::<Vec<_>>(),
+                    )
+                })
+                .collect(),
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn solver_is_feasible_and_certified(lp in arb_lp()) {
+        let mut p = LpProblem::new(lp.rhs.clone());
+        for (obj, entries) in &lp.cols {
+            p.add_var(*obj, 1.0, entries);
+        }
+        let s = p.solve(0);
+        prop_assert_eq!(s.status, LpStatus::Optimal);
+        prop_assert!(p.is_feasible(&s.x, 1e-6));
+        // Weak-duality certificate: gap ~ 0 at optimality.
+        let gap = s.duality_gap(&p);
+        prop_assert!(gap.abs() < 1e-5, "duality gap {gap}");
+        // The dual objective bounds any feasible point, e.g. 0 and e_j.
+        prop_assert!(s.dual_objective(&p) >= -1e-9);
+    }
+
+    #[test]
+    fn objective_monotone_in_capacity(lp in arb_lp()) {
+        let mut p1 = LpProblem::new(lp.rhs.clone());
+        let mut p2 = LpProblem::new(lp.rhs.iter().map(|b| b * 2.0).collect());
+        for (obj, entries) in &lp.cols {
+            p1.add_var(*obj, 1.0, entries);
+            p2.add_var(*obj, 1.0, entries);
+        }
+        let s1 = p1.solve(0);
+        let s2 = p2.solve(0);
+        prop_assert!(s2.objective + 1e-6 >= s1.objective,
+            "doubling capacities cannot lower the optimum: {} vs {}",
+            s2.objective, s1.objective);
+    }
+
+    #[test]
+    fn scaling_objective_scales_optimum(lp in arb_lp()) {
+        let mut p1 = LpProblem::new(lp.rhs.clone());
+        let mut p3 = LpProblem::new(lp.rhs.clone());
+        for (obj, entries) in &lp.cols {
+            p1.add_var(*obj, 1.0, entries);
+            p3.add_var(obj * 3.0, 1.0, entries);
+        }
+        let s1 = p1.solve(0);
+        let s3 = p3.solve(0);
+        prop_assert!((s3.objective - 3.0 * s1.objective).abs() < 1e-5 * (1.0 + s3.objective.abs()));
+    }
+}

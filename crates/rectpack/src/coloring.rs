@@ -1,0 +1,160 @@
+//! Rectangle intersection graphs, degeneracy orderings and greedy
+//! colouring — the machinery behind Lemma 17 and Theorem 3's
+//! `(2k−1)`-colour argument (and the Fig. 8 tightness example).
+
+use sap_core::{Instance, TaskId};
+
+use crate::reduction::{rect_of, rects_disjoint};
+
+/// Adjacency lists of the intersection graph of the rectangles
+/// `R(j)`, `j ∈ ids` (vertices are positions in `ids`).
+pub fn intersection_graph(instance: &Instance, ids: &[TaskId]) -> Vec<Vec<usize>> {
+    let rects: Vec<_> = ids.iter().map(|&j| rect_of(instance, j)).collect();
+    let n = rects.len();
+    let mut adj = vec![Vec::new(); n];
+    for i in 0..n {
+        for k in (i + 1)..n {
+            if !rects_disjoint(&rects[i], &rects[k]) {
+                adj[i].push(k);
+                adj[k].push(i);
+            }
+        }
+    }
+    adj
+}
+
+/// Smallest-last ordering [Matula–Beck]: repeatedly remove a vertex of
+/// minimum degree. Returns `(order, degeneracy)`; colouring greedily in
+/// *reverse* removal order uses at most `degeneracy + 1` colours.
+pub fn degeneracy_order(adj: &[Vec<usize>]) -> (Vec<usize>, usize) {
+    let n = adj.len();
+    let mut degree: Vec<usize> = adj.iter().map(|a| a.len()).collect();
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut degeneracy = 0;
+    for _ in 0..n {
+        let v = (0..n)
+            .filter(|&v| !removed[v])
+            .min_by_key(|&v| degree[v])
+            .expect("vertices remain");
+        degeneracy = degeneracy.max(degree[v]);
+        removed[v] = true;
+        order.push(v);
+        for &u in &adj[v] {
+            if !removed[u] {
+                degree[u] -= 1;
+            }
+        }
+    }
+    (order, degeneracy)
+}
+
+/// Greedy colouring in reverse removal order; returns the colour of each
+/// vertex. Uses at most `degeneracy + 1` colours.
+pub fn greedy_coloring(adj: &[Vec<usize>], order: &[usize]) -> Vec<usize> {
+    let n = adj.len();
+    let mut color = vec![usize::MAX; n];
+    for &v in order.iter().rev() {
+        let mut used: Vec<bool> = vec![false; adj[v].len() + 1];
+        for &u in &adj[v] {
+            if color[u] != usize::MAX && color[u] < used.len() {
+                used[color[u]] = true;
+            }
+        }
+        color[v] = used.iter().position(|&b| !b).expect("a free colour exists");
+    }
+    color
+}
+
+/// Number of colours used by a colouring.
+pub fn num_colors(colors: &[usize]) -> usize {
+    colors.iter().map(|&c| c + 1).max().unwrap_or(0)
+}
+
+/// Checks that a colouring is proper.
+pub fn is_proper(adj: &[Vec<usize>], colors: &[usize]) -> bool {
+    adj.iter()
+        .enumerate()
+        .all(|(v, nbrs)| nbrs.iter().all(|&u| colors[v] != colors[u]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sap_core::{PathNetwork, Task};
+
+    #[test]
+    fn path_graph_degeneracy_one() {
+        // Rects in a chain: A–B–C (A∩B, B∩C, A∥C).
+        let net = PathNetwork::new(vec![4, 4, 4]).unwrap();
+        let tasks = vec![
+            Task::of(0, 2, 2, 1), // R = [0,2) × [2,4)
+            Task::of(1, 3, 3, 1), // R = [1,3) × [1,4) — hits both
+            Task::of(2, 3, 1, 1), // R = [2,3) × [3,4)
+        ];
+        let inst = Instance::new(net, tasks).unwrap();
+        let adj = intersection_graph(&inst, &inst.all_ids());
+        assert_eq!(adj[0], vec![1]);
+        assert_eq!(adj[2], vec![1]);
+        let (order, degeneracy) = degeneracy_order(&adj);
+        assert_eq!(degeneracy, 1);
+        let colors = greedy_coloring(&adj, &order);
+        assert!(is_proper(&adj, &colors));
+        assert_eq!(num_colors(&colors), 2);
+    }
+
+    #[test]
+    fn independent_rectangles_use_one_color() {
+        let net = PathNetwork::uniform(4, 10).unwrap();
+        let tasks = vec![Task::of(0, 1, 2, 1), Task::of(2, 3, 2, 1)];
+        let inst = Instance::new(net, tasks).unwrap();
+        let adj = intersection_graph(&inst, &inst.all_ids());
+        let (order, degeneracy) = degeneracy_order(&adj);
+        assert_eq!(degeneracy, 0);
+        let colors = greedy_coloring(&adj, &order);
+        assert_eq!(num_colors(&colors), 1);
+    }
+
+    #[test]
+    fn clique_needs_full_palette() {
+        // All tasks cross one edge with equal tops ⇒ pairwise intersecting.
+        let net = PathNetwork::new(vec![8]).unwrap();
+        let tasks: Vec<Task> = (1..=4).map(|d| Task::of(0, 1, d, 1)).collect();
+        let inst = Instance::new(net, tasks).unwrap();
+        let adj = intersection_graph(&inst, &inst.all_ids());
+        let (order, degeneracy) = degeneracy_order(&adj);
+        assert_eq!(degeneracy, 3);
+        let colors = greedy_coloring(&adj, &order);
+        assert!(is_proper(&adj, &colors));
+        assert_eq!(num_colors(&colors), 4);
+    }
+
+    #[test]
+    fn greedy_never_exceeds_degeneracy_plus_one() {
+        let mut s = 0xDEADBEEFu64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for _ in 0..30 {
+            let m = 2 + (next() % 6) as usize;
+            let caps: Vec<u64> = (0..m).map(|_| 2 + next() % 20).collect();
+            let net = PathNetwork::new(caps).unwrap();
+            let mut tasks = Vec::new();
+            for _ in 0..(2 + next() % 12) {
+                let lo = (next() % m as u64) as usize;
+                let hi = (lo + 1 + (next() % (m as u64 - lo as u64)) as usize).min(m);
+                let b = net.bottleneck(sap_core::Span { lo, hi });
+                tasks.push(Task::of(lo, hi, 1 + next() % b, 1));
+            }
+            let inst = Instance::new(net, tasks).unwrap();
+            let adj = intersection_graph(&inst, &inst.all_ids());
+            let (order, degeneracy) = degeneracy_order(&adj);
+            let colors = greedy_coloring(&adj, &order);
+            assert!(is_proper(&adj, &colors));
+            assert!(num_colors(&colors) <= degeneracy + 1);
+        }
+    }
+}

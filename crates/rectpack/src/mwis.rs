@@ -1,0 +1,384 @@
+//! Exact maximum-weight independent set for top-drawn rectangles.
+//!
+//! This plays the role of Theorem 7 (Bonsma et al.'s `O(n⁴)` optimal
+//! rectangle packing for families `R(J)`). The structure it exploits:
+//!
+//! * Every rectangle `R(j)` has its top at `b(j)`, the minimum capacity
+//!   over `j`'s span.
+//! * Let `e*` be a minimum-capacity edge of the (sub-)path. Every
+//!   rectangle whose span contains `e*` has top exactly `c_{e*}`, so any
+//!   two of them intersect — **at most one can be selected**.
+//! * Once the crossing rectangle `j*` is fixed (or none), the remaining
+//!   candidates split into the sub-paths left and right of `e*`,
+//!   independent up to a *floor constraint*: within `I_{j*}`, selected
+//!   rectangles must have bottom `≥ c_{e*}` (they live above `j*`'s top,
+//!   which is possible because their own bottlenecks are `≥ c_{e*}`).
+//!
+//! The recursion memoises on `(range, canonical floor profile)`. For the
+//! `1/k`-large instances the paper feeds it, the profile stays shallow and
+//! the measured running time is polynomial (see the `T3` runtime
+//! experiment); a state budget keeps adversarial inputs from running away.
+
+use std::collections::HashMap;
+
+use sap_core::{EdgeId, Instance, TaskId};
+
+use crate::reduction::{is_valid_packing, rect_of};
+
+/// Budget knobs for the exact solver.
+#[derive(Debug, Clone, Copy)]
+pub struct MwisConfig {
+    /// Maximum number of distinct memoised states before giving up.
+    pub max_states: usize,
+}
+
+impl Default for MwisConfig {
+    fn default() -> Self {
+        MwisConfig { max_states: 2_000_000 }
+    }
+}
+
+/// A floor constraint: tasks whose span overlaps `lo..hi` must have
+/// `ℓ(j) ≥ floor`.
+type Constraint = (usize, usize, u64);
+
+/// Memo key: sub-range plus canonicalised constraints clipped to it.
+type StateKey = (usize, usize, Vec<Constraint>);
+
+struct Solver<'a> {
+    inst: &'a Instance,
+    ids: &'a [TaskId],
+    memo: HashMap<StateKey, (u64, Option<TaskId>)>,
+    max_states: usize,
+    exhausted: bool,
+}
+
+/// Computes a maximum-weight subset of `ids` whose rectangles `R(j)` are
+/// pairwise disjoint. Returns `None` when the state budget is exhausted
+/// (never observed on the paper's workloads; see `MwisConfig`).
+pub fn max_weight_packing(
+    instance: &Instance,
+    ids: &[TaskId],
+    config: MwisConfig,
+) -> Option<Vec<TaskId>> {
+    if ids.is_empty() {
+        return Some(Vec::new());
+    }
+    let mut solver = Solver {
+        inst: instance,
+        ids,
+        memo: HashMap::new(),
+        max_states: config.max_states,
+        exhausted: false,
+    };
+    let m = instance.num_edges();
+    let value = solver.solve(0, m, &[]);
+    if solver.exhausted {
+        return None;
+    }
+    let mut chosen = Vec::new();
+    solver.reconstruct(0, m, &[], &mut chosen);
+    debug_assert!(is_valid_packing(instance, &chosen));
+    debug_assert_eq!(instance.total_weight(&chosen), value);
+    Some(chosen)
+}
+
+impl<'a> Solver<'a> {
+    /// Canonicalises constraints for the sub-range `lo..hi`: clip, drop
+    /// non-overlapping, merge dominated entries, sort.
+    fn canonical(&self, lo: usize, hi: usize, cons: &[Constraint]) -> Vec<Constraint> {
+        let mut out: Vec<Constraint> = Vec::with_capacity(cons.len());
+        for &(clo, chi, f) in cons {
+            let nlo = clo.max(lo);
+            let nhi = chi.min(hi);
+            if nlo < nhi && f > 0 {
+                out.push((nlo, nhi, f));
+            }
+        }
+        out.sort_unstable();
+        // Remove entries dominated by another (contained x-range with a
+        // floor no larger).
+        let mut keep = vec![true; out.len()];
+        for i in 0..out.len() {
+            for j in 0..out.len() {
+                if i != j && keep[i] && keep[j] {
+                    let (ilo, ihi, fi) = out[i];
+                    let (jlo, jhi, fj) = out[j];
+                    let contained = jlo <= ilo && ihi <= jhi;
+                    let tie_break = fi < fj || (fi == fj && (jlo, jhi) != (ilo, ihi));
+                    if contained && fi <= fj && (tie_break || j < i) {
+                        keep[i] = false;
+                    }
+                }
+            }
+        }
+        out.iter()
+            .zip(keep)
+            .filter_map(|(c, k)| k.then_some(*c))
+            .collect()
+    }
+
+    /// True when task `j` (span within `lo..hi`) satisfies all floors.
+    fn eligible(&self, j: TaskId, lo: usize, hi: usize, cons: &[Constraint]) -> bool {
+        let span = self.inst.span(j);
+        if span.lo < lo || span.hi > hi {
+            return false;
+        }
+        let ell = self.inst.bottleneck(j) - self.inst.demand(j);
+        cons.iter()
+            .all(|&(clo, chi, f)| !(span.lo < chi && clo < span.hi) || ell >= f)
+    }
+
+    fn split_edge(&self, lo: usize, hi: usize) -> EdgeId {
+        self.inst
+            .network()
+            .bottleneck_edge(sap_core::Span { lo, hi })
+    }
+
+    fn solve(&mut self, lo: usize, hi: usize, cons: &[Constraint]) -> u64 {
+        if lo >= hi || self.exhausted {
+            return 0;
+        }
+        let cons = self.canonical(lo, hi, cons);
+        let key = (lo, hi, cons.clone());
+        if let Some(&(v, _)) = self.memo.get(&key) {
+            return v;
+        }
+        if self.memo.len() >= self.max_states {
+            self.exhausted = true;
+            return 0;
+        }
+
+        let candidates: Vec<TaskId> = self
+            .ids
+            .iter()
+            .copied()
+            .filter(|&j| self.eligible(j, lo, hi, &cons))
+            .collect();
+        if candidates.is_empty() {
+            self.memo.insert(key, (0, None));
+            return 0;
+        }
+
+        let e = self.split_edge(lo, hi);
+        let cap = self.inst.network().capacity(e);
+
+        // Branch: no task crosses e.
+        let mut best = self.solve(lo, e, &cons) + self.solve(e + 1, hi, &cons);
+        let mut best_choice: Option<TaskId> = None;
+
+        // Branch: j* crosses e.
+        let crossing: Vec<TaskId> = candidates
+            .iter()
+            .copied()
+            .filter(|&j| self.inst.span(j).contains(e))
+            .collect();
+        for j in crossing {
+            let span = self.inst.span(j);
+            debug_assert_eq!(self.inst.bottleneck(j), cap);
+            let mut with_floor: Vec<Constraint> = cons.clone();
+            with_floor.push((span.lo, span.hi, cap));
+            let v = self.inst.weight(j)
+                + self.solve(lo, e, &with_floor)
+                + self.solve(e + 1, hi, &with_floor);
+            if v > best {
+                best = v;
+                best_choice = Some(j);
+            }
+        }
+
+        self.memo.insert(key, (best, best_choice));
+        best
+    }
+
+    fn reconstruct(&self, lo: usize, hi: usize, cons: &[Constraint], out: &mut Vec<TaskId>) {
+        if lo >= hi {
+            return;
+        }
+        let cons = self.canonical(lo, hi, cons);
+        let key = (lo, hi, cons.clone());
+        let Some(&(v, choice)) = self.memo.get(&key) else {
+            return;
+        };
+        if v == 0 && choice.is_none() {
+            // Could still be the "no crossing task" branch with zero value;
+            // nothing to collect either way.
+            return;
+        }
+        let e = self.split_edge(lo, hi);
+        match choice {
+            None => {
+                self.reconstruct(lo, e, &cons, out);
+                self.reconstruct(e + 1, hi, &cons, out);
+            }
+            Some(j) => {
+                out.push(j);
+                let span = self.inst.span(j);
+                let cap = self.inst.network().capacity(e);
+                let mut with_floor = cons.clone();
+                with_floor.push((span.lo, span.hi, cap));
+                self.reconstruct(lo, e, &with_floor, out);
+                self.reconstruct(e + 1, hi, &with_floor, out);
+            }
+        }
+    }
+}
+
+/// Brute-force MWIS over rectangles, `O(2ⁿ·n²)` — the oracle for tests.
+///
+/// # Panics
+///
+/// Panics when more than 22 ids are given.
+pub fn max_weight_packing_bruteforce(instance: &Instance, ids: &[TaskId]) -> Vec<TaskId> {
+    let n = ids.len();
+    assert!(n <= 22, "brute force limited to 22 tasks");
+    let rects: Vec<_> = ids.iter().map(|&j| rect_of(instance, j)).collect();
+    let mut best_mask = 0u32;
+    let mut best_w = 0u64;
+    'mask: for mask in 0u32..(1u32 << n) {
+        let mut w = 0u64;
+        for i in 0..n {
+            if mask & (1 << i) == 0 {
+                continue;
+            }
+            for k in (i + 1)..n {
+                if mask & (1 << k) != 0 && !crate::reduction::rects_disjoint(&rects[i], &rects[k])
+                {
+                    continue 'mask;
+                }
+            }
+            w += instance.weight(ids[i]);
+        }
+        if w > best_w {
+            best_w = w;
+            best_mask = mask;
+        }
+    }
+    (0..n).filter(|&i| best_mask & (1 << i) != 0).map(|i| ids[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sap_core::{PathNetwork, Task};
+
+    fn solve_both(inst: &Instance) -> (u64, u64) {
+        let ids = inst.all_ids();
+        let exact = max_weight_packing(inst, &ids, MwisConfig::default()).expect("budget");
+        assert!(is_valid_packing(inst, &exact));
+        let brute = max_weight_packing_bruteforce(inst, &ids);
+        (inst.total_weight(&exact), inst.total_weight(&brute))
+    }
+
+    #[test]
+    fn single_task() {
+        let net = PathNetwork::uniform(3, 5).unwrap();
+        let inst = Instance::new(net, vec![Task::of(0, 3, 2, 7)]).unwrap();
+        let (a, b) = solve_both(&inst);
+        assert_eq!(a, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn crossing_min_edge_excludes_all_but_one() {
+        // All three tasks cross the min edge: tops all equal ⇒ pick max w.
+        let net = PathNetwork::new(vec![9, 3, 9]).unwrap();
+        let tasks = vec![
+            Task::of(0, 3, 1, 5),
+            Task::of(1, 2, 2, 7),
+            Task::of(0, 2, 3, 6),
+        ];
+        let inst = Instance::new(net, tasks).unwrap();
+        let (a, b) = solve_both(&inst);
+        assert_eq!(a, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stacking_above_the_crossing_task() {
+        // j* crosses the valley (top 4); side tasks with high residual can
+        // sit above it, low-residual ones cannot.
+        let net = PathNetwork::new(vec![10, 4, 10]).unwrap();
+        let tasks = vec![
+            Task::of(0, 3, 2, 10), // R = [0,3) × [2,4) — crosses valley
+            Task::of(0, 1, 5, 4),  // R = [0,1) × [5,10) — above, compatible
+            Task::of(2, 3, 7, 4),  // R = [2,3) × [3,10) — bottom 3 < 4 ⇒ conflict
+        ];
+        let inst = Instance::new(net, tasks).unwrap();
+        let ids = inst.all_ids();
+        let exact = max_weight_packing(&inst, &ids, MwisConfig::default()).unwrap();
+        let mut sorted = exact.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1]);
+        let (a, b) = solve_both(&inst);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matches_bruteforce_on_random_instances() {
+        let mut s = 0xC0FFEEu64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for case in 0..60 {
+            let m = 2 + (next() % 7) as usize;
+            let caps: Vec<u64> = (0..m).map(|_| 2 + next() % 14).collect();
+            let net = PathNetwork::new(caps).unwrap();
+            let n = 1 + (next() % 12) as usize;
+            let mut tasks = Vec::new();
+            for _ in 0..n {
+                let lo = (next() % m as u64) as usize;
+                let hi = (lo + 1 + (next() % (m as u64 - lo as u64)) as usize).min(m);
+                let span = sap_core::Span { lo, hi };
+                let b = net.bottleneck(span);
+                let d = 1 + next() % b;
+                tasks.push(Task::of(lo, hi, d, 1 + next() % 20));
+            }
+            let inst = Instance::new(net, tasks).unwrap();
+            let (a, b) = solve_both(&inst);
+            assert_eq!(a, b, "case {case}");
+        }
+    }
+
+    #[test]
+    fn large_task_family_solves_fast() {
+        // 1/2-large workload, n = 60: must finish within the state budget.
+        let mut s = 0xBEEF123u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let m = 30usize;
+        let caps: Vec<u64> = (0..m).map(|_| 16 + next() % 240).collect();
+        let net = PathNetwork::new(caps).unwrap();
+        let mut tasks = Vec::new();
+        for _ in 0..60 {
+            let lo = (next() % m as u64) as usize;
+            let hi = (lo + 1 + (next() % 6) as usize).min(m);
+            let span = sap_core::Span { lo, hi };
+            let b = net.bottleneck(span);
+            let d = b / 2 + 1 + next() % (b - b / 2); // strictly 1/2-large
+            tasks.push(Task::of(lo, hi, d.min(b), 1 + next() % 50));
+        }
+        let inst = Instance::new(net, tasks).unwrap();
+        let ids = inst.all_ids();
+        let sol = max_weight_packing(&inst, &ids, MwisConfig::default()).expect("budget");
+        assert!(is_valid_packing(&inst, &sol));
+        assert!(!sol.is_empty());
+    }
+
+    #[test]
+    fn empty_input() {
+        let net = PathNetwork::uniform(2, 4).unwrap();
+        let inst = Instance::new(net, vec![]).unwrap();
+        assert_eq!(
+            max_weight_packing(&inst, &[], MwisConfig::default()).unwrap(),
+            Vec::<TaskId>::new()
+        );
+    }
+}

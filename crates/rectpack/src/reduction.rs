@@ -1,0 +1,122 @@
+//! The task → rectangle reduction `R(j)` (Fig. 7).
+
+use sap_core::{Instance, Placement, SapSolution, Span, TaskId};
+
+/// The rectangle associated with a task:
+/// `[span.lo, span.hi) × [bottom, top)` with `top = b(j)` and
+/// `bottom = ℓ(j) = b(j) − d_j`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rect {
+    /// Horizontal extent (the task's span).
+    pub span: Span,
+    /// Bottom ordinate `ℓ(j)` (the residual capacity).
+    pub bottom: u64,
+    /// Top ordinate `b(j)` (the bottleneneck capacity).
+    pub top: u64,
+}
+
+impl Rect {
+    /// Height of the rectangle (= the task's demand).
+    pub fn height(&self) -> u64 {
+        self.top - self.bottom
+    }
+}
+
+/// Builds `R(j)` for task `j` of `instance`.
+pub fn rect_of(instance: &Instance, j: TaskId) -> Rect {
+    let top = instance.bottleneck(j);
+    let bottom = top - instance.demand(j);
+    Rect { span: instance.span(j), bottom, top }
+}
+
+/// True when the two rectangles are disjoint (as half-open boxes).
+pub fn rects_disjoint(a: &Rect, b: &Rect) -> bool {
+    !a.span.overlaps(b.span) || a.top <= b.bottom || b.top <= a.bottom
+}
+
+/// Converts a set of pairwise-disjoint rectangles back into a SAP
+/// solution: each task is placed at its residual height `ℓ(j)`. The
+/// result is feasible by construction (`ℓ(j) + d_j = b(j) ≤ c_e`).
+pub fn packing_to_sap(instance: &Instance, chosen: &[TaskId]) -> SapSolution {
+    SapSolution::new(
+        chosen
+            .iter()
+            .map(|&j| Placement { task: j, height: instance.bottleneck(j) - instance.demand(j) })
+            .collect(),
+    )
+}
+
+/// Checks that `chosen` induces pairwise-disjoint rectangles.
+pub fn is_valid_packing(instance: &Instance, chosen: &[TaskId]) -> bool {
+    for (i, &a) in chosen.iter().enumerate() {
+        for &b in &chosen[i + 1..] {
+            if a == b || !rects_disjoint(&rect_of(instance, a), &rect_of(instance, b)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sap_core::{PathNetwork, Task};
+
+    fn instance() -> Instance {
+        // Fig. 7 flavour: a valley capacity profile.
+        let net = PathNetwork::new(vec![10, 6, 4, 6, 10]).unwrap();
+        let tasks = vec![
+            Task::of(0, 5, 2, 1), // b = 4 → R = [0,5) × [2,4)
+            Task::of(0, 2, 3, 1), // b = 6 → R = [0,2) × [3,6)
+            Task::of(3, 5, 5, 1), // b = 6 → R = [3,5) × [1,6)
+            Task::of(0, 1, 4, 1), // b = 10 → R = [0,1) × [6,10)
+        ];
+        Instance::new(net, tasks).unwrap()
+    }
+
+    #[test]
+    fn rect_geometry_matches_definition() {
+        let inst = instance();
+        let r0 = rect_of(&inst, 0);
+        assert_eq!((r0.bottom, r0.top), (2, 4));
+        assert_eq!(r0.height(), 2);
+        let r3 = rect_of(&inst, 3);
+        assert_eq!((r3.bottom, r3.top), (6, 10));
+    }
+
+    #[test]
+    fn disjointness_cases() {
+        let inst = instance();
+        let r0 = rect_of(&inst, 0);
+        let r1 = rect_of(&inst, 1);
+        let r2 = rect_of(&inst, 2);
+        let r3 = rect_of(&inst, 3);
+        // r0 [2,4) vs r1 [3,6): x-overlap and y-overlap ⇒ intersect.
+        assert!(!rects_disjoint(&r0, &r1));
+        // r0 [2,4) vs r2 [1,6): intersect.
+        assert!(!rects_disjoint(&r0, &r2));
+        // r1 and r2: spans [0,2) and [3,5) don't overlap ⇒ disjoint.
+        assert!(rects_disjoint(&r1, &r2));
+        // r1 [3,6) and r3 [6,10): touching at y=6 ⇒ disjoint (half-open).
+        assert!(rects_disjoint(&r1, &r3));
+        assert!(rects_disjoint(&r3, &r1), "disjointness is symmetric");
+    }
+
+    #[test]
+    fn packing_projects_to_feasible_sap() {
+        let inst = instance();
+        assert!(is_valid_packing(&inst, &[1, 2, 3]));
+        let sol = packing_to_sap(&inst, &[1, 2, 3]);
+        sol.validate(&inst).unwrap();
+        assert_eq!(sol.height_of(1), Some(3));
+        assert_eq!(sol.height_of(3), Some(6));
+        assert!(!is_valid_packing(&inst, &[0, 1]));
+    }
+
+    #[test]
+    fn duplicate_ids_are_invalid() {
+        let inst = instance();
+        assert!(!is_valid_packing(&inst, &[1, 1]));
+    }
+}

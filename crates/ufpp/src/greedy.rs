@@ -1,0 +1,86 @@
+//! Greedy UFPP baselines for the comparison experiments (`BL` in
+//! EXPERIMENTS.md): no approximation guarantee on paths, but fast and a
+//! useful yardstick for "who wins where".
+
+use sap_core::{Instance, TaskId, UfppSolution};
+
+/// Greedy by decreasing weight: scan and keep whenever feasible.
+pub fn greedy_by_weight(instance: &Instance, ids: &[TaskId]) -> UfppSolution {
+    let mut order: Vec<TaskId> = ids.to_vec();
+    order.sort_by_key(|&j| std::cmp::Reverse(instance.weight(j)));
+    greedy_in_order(instance, &order)
+}
+
+/// Greedy by decreasing weight per unit of (demand × span length) — a
+/// density heuristic that accounts for both dimensions of the rectangle.
+pub fn greedy_by_density(instance: &Instance, ids: &[TaskId]) -> UfppSolution {
+    let mut order: Vec<TaskId> = ids.to_vec();
+    order.sort_by(|&a, &b| {
+        let area =
+            |j: TaskId| instance.demand(j) as u128 * instance.span(j).len() as u128;
+        let lhs = instance.weight(a) as u128 * area(b);
+        let rhs = instance.weight(b) as u128 * area(a);
+        rhs.cmp(&lhs)
+    });
+    greedy_in_order(instance, &order)
+}
+
+fn greedy_in_order(instance: &Instance, order: &[TaskId]) -> UfppSolution {
+    let mut loads = vec![0u64; instance.num_edges()];
+    let mut chosen = Vec::new();
+    for &j in order {
+        let t = instance.task(j);
+        if t
+            .span
+            .edges()
+            .all(|e| loads[e] + t.demand <= instance.network().capacity(e))
+        {
+            for e in t.span.edges() {
+                loads[e] += t.demand;
+            }
+            chosen.push(j);
+        }
+    }
+    UfppSolution::new(chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sap_core::{PathNetwork, Task};
+
+    #[test]
+    fn greedy_solutions_are_feasible_and_maximal() {
+        let net = PathNetwork::new(vec![5, 3, 5]).unwrap();
+        let tasks = vec![
+            Task::of(0, 3, 3, 10),
+            Task::of(0, 1, 2, 2),
+            Task::of(2, 3, 2, 2),
+            Task::of(1, 2, 1, 1),
+        ];
+        let inst = Instance::new(net, tasks).unwrap();
+        for sol in [
+            greedy_by_weight(&inst, &inst.all_ids()),
+            greedy_by_density(&inst, &inst.all_ids()),
+        ] {
+            sol.validate(&inst).unwrap();
+            assert!(sol.tasks.contains(&0), "heaviest task always fits first");
+        }
+    }
+
+    #[test]
+    fn weight_greedy_can_be_beaten_by_density() {
+        // One heavy long task blocks two light short ones whose sum wins.
+        let net = PathNetwork::uniform(4, 2).unwrap();
+        let tasks = vec![
+            Task::of(0, 4, 2, 5), // heavy blocker
+            Task::of(0, 2, 2, 3),
+            Task::of(2, 4, 2, 3),
+        ];
+        let inst = Instance::new(net, tasks).unwrap();
+        let by_w = greedy_by_weight(&inst, &inst.all_ids());
+        assert_eq!(by_w.weight(&inst), 5);
+        let by_d = greedy_by_density(&inst, &inst.all_ids());
+        assert_eq!(by_d.weight(&inst), 6);
+    }
+}

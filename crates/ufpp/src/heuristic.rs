@@ -1,0 +1,117 @@
+//! A practical UFPP solver (no SAP contiguity): best of LP-guided
+//! rounding against the true capacities, the greedy baselines, and
+//! interval scheduling. Used by the *price of contiguity* experiment —
+//! how much weight the SAP contiguity constraint costs relative to plain
+//! UFPP on the same instance (the quantitative side of Fig. 1).
+
+use sap_core::{Instance, TaskId, UfppSolution};
+
+use crate::greedy::{greedy_by_density, greedy_by_weight};
+use crate::local_ratio::weighted_interval_scheduling;
+use crate::relax::build_relaxation;
+
+/// Greedy rounding of the LP optimum against the **true per-edge
+/// capacities** (not a uniform bound): scan tasks by decreasing
+/// fractional value, keep whenever the loads stay within `c_e`.
+pub fn round_lp_against_capacities(instance: &Instance, ids: &[TaskId]) -> UfppSolution {
+    let lp = build_relaxation(instance, ids);
+    let sol = lp.solve(0);
+    let mut order: Vec<(usize, f64)> = sol
+        .x
+        .iter()
+        .enumerate()
+        .filter(|&(_, &x)| x > 1e-12)
+        .map(|(i, &x)| (i, x))
+        .collect();
+    order.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut loads = vec![0u64; instance.num_edges()];
+    let mut chosen = Vec::new();
+    for (i, _) in order {
+        let j = ids[i];
+        let t = instance.task(j);
+        if t
+            .span
+            .edges()
+            .all(|e| loads[e] + t.demand <= instance.network().capacity(e))
+        {
+            for e in t.span.edges() {
+                loads[e] += t.demand;
+            }
+            chosen.push(j);
+        }
+    }
+    UfppSolution::new(chosen)
+}
+
+/// Best-of portfolio UFPP heuristic.
+pub fn solve_ufpp_heuristic(instance: &Instance, ids: &[TaskId]) -> UfppSolution {
+    let candidates = [
+        round_lp_against_capacities(instance, ids),
+        greedy_by_weight(instance, ids),
+        greedy_by_density(instance, ids),
+        UfppSolution::new(weighted_interval_scheduling(instance, ids)),
+    ];
+    candidates
+        .into_iter()
+        .max_by_key(|s| s.weight(instance))
+        .expect("non-empty portfolio")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sap_core::{PathNetwork, Task};
+
+    fn instance(seed: u64, m: usize, n: usize) -> Instance {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let caps: Vec<u64> = (0..m).map(|_| 8 + next() % 56).collect();
+        let net = PathNetwork::new(caps).unwrap();
+        let tasks: Vec<Task> = (0..n)
+            .map(|_| {
+                let lo = (next() % m as u64) as usize;
+                let hi = (lo + 1 + (next() % (m as u64 - lo as u64)) as usize).min(m);
+                let b = net.bottleneck(sap_core::Span { lo, hi });
+                Task::of(lo, hi, 1 + next() % b, 1 + next() % 20)
+            })
+            .collect();
+        Instance::new(net, tasks).unwrap()
+    }
+
+    #[test]
+    fn heuristic_feasible_and_dominates_components() {
+        for seed in 0..8 {
+            let inst = instance(seed, 8, 30);
+            let ids = inst.all_ids();
+            let best = solve_ufpp_heuristic(&inst, &ids);
+            best.validate(&inst).unwrap();
+            let lp = round_lp_against_capacities(&inst, &ids);
+            lp.validate(&inst).unwrap();
+            assert!(best.weight(&inst) >= lp.weight(&inst));
+            assert!(best.weight(&inst) >= greedy_by_weight(&inst, &ids).weight(&inst));
+        }
+    }
+
+    #[test]
+    fn heuristic_close_to_exact_on_small_instances() {
+        for seed in 0..8 {
+            let inst = instance(seed + 50, 5, 12);
+            let ids = inst.all_ids();
+            let best = solve_ufpp_heuristic(&inst, &ids).weight(&inst);
+            let opt = crate::exact::solve_exact(&inst, &ids).weight(&inst);
+            assert!(best <= opt);
+            assert!(2 * best >= opt, "seed {seed}: heuristic {best} vs opt {opt}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let inst = instance(0, 4, 5);
+        assert!(solve_ufpp_heuristic(&inst, &[]).is_empty());
+    }
+}

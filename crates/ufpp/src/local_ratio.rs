@@ -1,0 +1,308 @@
+//! Local-ratio algorithms.
+//!
+//! * [`strip_local_ratio`] — Algorithm **Strip** from the paper's appendix:
+//!   for a δ-small instance with `b(j) ∈ [B, 2B)` it computes a
+//!   `½B`-packable UFPP solution with `w(S) ≥ (1−4δ)/5 · OPT_SAP` —
+//!   the `(5+ε)` alternative to the LP-rounding of §4.1.
+//! * [`uniform_best_of`] — a classical local-ratio baseline for uniform
+//!   capacities in the spirit of Bar-Noy et al. [5]: exact weighted
+//!   interval scheduling on *wide* tasks (`2d > c`: overlapping wide tasks
+//!   always conflict) combined with a local-ratio pass on *narrow* tasks;
+//!   the heavier of the two is returned (Lemma 3 gives ratio
+//!   `r_wide + r_narrow`).
+
+use sap_core::{Instance, TaskId, UfppSolution};
+
+const POS: f64 = 1e-9;
+
+/// Algorithm Strip (paper appendix, Algorithm 3): local-ratio selection
+/// producing a `⌊bound⌋`-packable solution where `bound = B/2` — the load
+/// test `d(S'(e*)) ≤ B/2 − d_{j*}` is evaluated exactly as
+/// `2·(d(S'(e*)) + d_{j*}) ≤ B`.
+///
+/// `ids` are the candidate tasks; `b` is the band base `B`.
+pub fn strip_local_ratio(instance: &Instance, ids: &[TaskId], b: u64) -> UfppSolution {
+    // Forward pass: peel off j* = min-right-endpoint positive task and
+    // subtract the decomposed weight w1 from every overlapping task.
+    let mut weight: Vec<f64> = ids.iter().map(|&j| instance.weight(j) as f64).collect();
+    let mut alive: Vec<bool> = weight.iter().map(|&w| w > POS).collect();
+    let mut stack: Vec<usize> = Vec::new(); // positions into `ids`
+
+    loop {
+        // j* = alive task with minimal right endpoint (ties: minimal id).
+        let jstar = (0..ids.len())
+            .filter(|&i| alive[i])
+            .min_by_key(|&i| (instance.span(ids[i]).hi, ids[i]));
+        let Some(istar) = jstar else { break };
+        let wstar = weight[istar];
+        let span_star = instance.span(ids[istar]);
+        stack.push(istar);
+        for i in 0..ids.len() {
+            if !alive[i] || i == istar {
+                continue;
+            }
+            if instance.span(ids[i]).overlaps(span_star) {
+                // w1(i) = w(j*) · 2 d_i / B.
+                weight[i] -= wstar * 2.0 * instance.demand(ids[i]) as f64 / b as f64;
+                if weight[i] <= POS {
+                    alive[i] = false;
+                }
+            }
+        }
+        weight[istar] = 0.0;
+        alive[istar] = false;
+    }
+
+    // Reverse pass: add j* when the load on its rightmost edge leaves room:
+    // d(S'(e*)) ≤ B/2 − d_{j*}  ⟺  2(d(S'(e*)) + d_{j*}) ≤ B.
+    let mut loads = vec![0u64; instance.num_edges()];
+    let mut chosen: Vec<TaskId> = Vec::new();
+    for &i in stack.iter().rev() {
+        let j = ids[i];
+        let t = instance.task(j);
+        let estar = t.span.hi - 1;
+        if 2 * (loads[estar] + t.demand) <= b {
+            for e in t.span.edges() {
+                loads[e] += t.demand;
+            }
+            chosen.push(j);
+        }
+    }
+    chosen.reverse();
+    UfppSolution::new(chosen)
+}
+
+/// Exact weighted interval scheduling: maximum-weight set of pairwise
+/// non-overlapping spans among `ids`. O(n log n).
+pub fn weighted_interval_scheduling(instance: &Instance, ids: &[TaskId]) -> Vec<TaskId> {
+    let mut order: Vec<TaskId> = ids.to_vec();
+    order.sort_by_key(|&j| (instance.span(j).hi, instance.span(j).lo, j));
+    let n = order.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // p[i] = number of tasks (prefix length) with hi ≤ lo_i.
+    let his: Vec<usize> = order.iter().map(|&j| instance.span(j).hi).collect();
+    let mut p = vec![0usize; n];
+    for i in 0..n {
+        let lo = instance.span(order[i]).lo;
+        p[i] = his.partition_point(|&h| h <= lo);
+    }
+    let mut best = vec![0u64; n + 1];
+    let mut take = vec![false; n];
+    for i in 0..n {
+        let with = instance.weight(order[i]) + best[p[i]];
+        if with > best[i] {
+            best[i + 1] = with;
+            take[i] = true;
+        } else {
+            best[i + 1] = best[i];
+        }
+    }
+    let mut chosen = Vec::new();
+    let mut i = n;
+    while i > 0 {
+        if take[i - 1] {
+            chosen.push(order[i - 1]);
+            i = p[i - 1];
+        } else {
+            i -= 1;
+        }
+    }
+    chosen.reverse();
+    chosen
+}
+
+/// Local-ratio pass for narrow tasks (`2d ≤ c`) on uniform capacity `c`:
+/// ratio 3 (upper bound `w1(T) ≤ 3·w(j*)`, maximality gives
+/// `w1(S) ≥ w(j*)`).
+pub fn narrow_local_ratio(instance: &Instance, ids: &[TaskId], c: u64) -> UfppSolution {
+    let mut weight: Vec<f64> = ids.iter().map(|&j| instance.weight(j) as f64).collect();
+    let mut alive: Vec<bool> = weight.iter().map(|&w| w > POS).collect();
+    let mut stack: Vec<usize> = Vec::new();
+    loop {
+        let jstar = (0..ids.len())
+            .filter(|&i| alive[i])
+            .min_by_key(|&i| (instance.span(ids[i]).hi, ids[i]));
+        let Some(istar) = jstar else { break };
+        let wstar = weight[istar];
+        let span_star = instance.span(ids[istar]);
+        stack.push(istar);
+        for i in 0..ids.len() {
+            if !alive[i] || i == istar {
+                continue;
+            }
+            if instance.span(ids[i]).overlaps(span_star) {
+                weight[i] -= wstar * 2.0 * instance.demand(ids[i]) as f64 / c as f64;
+                if weight[i] <= POS {
+                    alive[i] = false;
+                }
+            }
+        }
+        weight[istar] = 0.0;
+        alive[istar] = false;
+    }
+    // Reverse maximal pass: add whenever feasibility (load ≤ c) survives.
+    let mut loads = vec![0u64; instance.num_edges()];
+    let mut chosen: Vec<TaskId> = Vec::new();
+    for &i in stack.iter().rev() {
+        let j = ids[i];
+        let t = instance.task(j);
+        if t.span.edges().all(|e| loads[e] + t.demand <= c) {
+            for e in t.span.edges() {
+                loads[e] += t.demand;
+            }
+            chosen.push(j);
+        }
+    }
+    chosen.reverse();
+    UfppSolution::new(chosen)
+}
+
+/// Baseline for UFPP with uniform capacity `c`: exact interval scheduling
+/// on wide tasks (`2d > c`), local-ratio on narrow tasks, best of the two.
+pub fn uniform_best_of(instance: &Instance, ids: &[TaskId], c: u64) -> UfppSolution {
+    let (wide, narrow): (Vec<TaskId>, Vec<TaskId>) =
+        ids.iter().partition(|&&j| 2 * instance.demand(j) > c);
+    let wide_sol = UfppSolution::new(weighted_interval_scheduling(instance, &wide));
+    let narrow_sol = narrow_local_ratio(instance, &narrow, c);
+    if wide_sol.weight(instance) >= narrow_sol.weight(instance) {
+        wide_sol
+    } else {
+        narrow_sol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sap_core::{PathNetwork, Task};
+
+    fn band_instance(seed: u64, m: usize, b: u64, n: usize, delta_inv: u64) -> Instance {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let caps: Vec<u64> = (0..m).map(|_| b + next() % b).collect();
+        let net = PathNetwork::new(caps).unwrap();
+        let mut tasks = Vec::new();
+        for _ in 0..n {
+            let lo = (next() % m as u64) as usize;
+            let hi = (lo + 1 + (next() % (m as u64 - lo as u64)) as usize).min(m);
+            let d = 1 + next() % (b / delta_inv).max(1);
+            tasks.push(Task::of(lo, hi, d, 1 + next() % 30));
+        }
+        Instance::new(net, tasks).unwrap()
+    }
+
+    #[test]
+    fn strip_output_is_half_b_packable() {
+        for seed in 0..15 {
+            let inst = band_instance(seed, 8, 64, 50, 16);
+            let ids = inst.all_ids();
+            let sol = strip_local_ratio(&inst, &ids, 64);
+            sol.validate_packable(&inst, 32).unwrap();
+            sol.validate(&inst).unwrap();
+        }
+    }
+
+    #[test]
+    fn strip_selects_nonempty_when_possible() {
+        let inst = band_instance(3, 6, 64, 30, 16);
+        let sol = strip_local_ratio(&inst, &inst.all_ids(), 64);
+        assert!(!sol.is_empty());
+    }
+
+    #[test]
+    fn strip_ratio_within_bound_on_small_instances() {
+        // Compare against brute-force UFPP OPT (which dominates SAP OPT):
+        // the guarantee is w(S) ≥ (1−4δ)/5 · OPT_SAP; test the weaker
+        // measurable form against OPT_UFPP / 5 with slack for δ.
+        for seed in 0..10 {
+            let inst = band_instance(seed + 7, 5, 32, 10, 8);
+            let ids = inst.all_ids();
+            let sol = strip_local_ratio(&inst, &ids, 32);
+            let w = sol.weight(&inst);
+            let opt = brute_force_ufpp(&inst);
+            assert!(
+                5 * w + w / 2 + 1 >= opt / 2,
+                "seed {seed}: strip weight {w} vs UFPP OPT {opt}"
+            );
+        }
+    }
+
+    fn brute_force_ufpp(inst: &Instance) -> u64 {
+        let n = inst.num_tasks();
+        assert!(n <= 20);
+        let mut best = 0;
+        for mask in 0u32..(1 << n) {
+            let sel: Vec<TaskId> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+            if UfppSolution::new(sel.clone()).validate(inst).is_ok() {
+                best = best.max(inst.total_weight(&sel));
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn interval_scheduling_exact() {
+        let net = PathNetwork::uniform(6, 10).unwrap();
+        let tasks = vec![
+            Task::of(0, 3, 1, 4),
+            Task::of(2, 5, 1, 5),
+            Task::of(3, 6, 1, 3),
+            Task::of(0, 2, 1, 2),
+        ];
+        let inst = Instance::new(net, tasks).unwrap();
+        let sol = weighted_interval_scheduling(&inst, &inst.all_ids());
+        // Best: task 3 (w=2) + task 1 (w=5) = 7, vs task 0+2 = 7 — both
+        // optimal; verify weight only.
+        assert_eq!(inst.total_weight(&sol), 7);
+        // Pairwise disjoint.
+        for (a, &i) in sol.iter().enumerate() {
+            for &k in &sol[a + 1..] {
+                assert!(!inst.span(i).overlaps(inst.span(k)));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_best_of_is_feasible_and_decent() {
+        for seed in 0..15 {
+            let mut s = seed + 0x77u64;
+            let mut next = move || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            };
+            let m = 6;
+            let c = 20u64;
+            let net = PathNetwork::uniform(m, c).unwrap();
+            let mut tasks = Vec::new();
+            for _ in 0..12 {
+                let lo = (next() % m as u64) as usize;
+                let hi = (lo + 1 + (next() % (m as u64 - lo as u64)) as usize).min(m);
+                tasks.push(Task::of(lo, hi, 1 + next() % c, 1 + next() % 20));
+            }
+            let inst = Instance::new(net, tasks).unwrap();
+            let sol = uniform_best_of(&inst, &inst.all_ids(), c);
+            sol.validate(&inst).unwrap();
+            let opt = brute_force_ufpp(&inst);
+            // Documented baseline ratio: 4 (= 1 wide + 3 narrow).
+            assert!(4 * sol.weight(&inst) >= opt, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let net = PathNetwork::uniform(3, 8).unwrap();
+        let inst = Instance::new(net, vec![]).unwrap();
+        assert!(strip_local_ratio(&inst, &[], 8).is_empty());
+        assert!(weighted_interval_scheduling(&inst, &[]).is_empty());
+        assert!(uniform_best_of(&inst, &[], 8).is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! The LP relaxation (1) of UFPP.
+//!
+//! ```text
+//!   max Σ w_j x_j   s.t.  Σ_{j ∈ S(e)} d_j x_j ≤ c_e  ∀e,   x ∈ [0,1]^J
+//! ```
+
+use lp_solver::{LpProblem, LpSolution};
+use sap_core::{Instance, TaskId};
+
+/// Builds the relaxation for the tasks `ids` of `instance`; variable `i`
+/// of the LP corresponds to `ids[i]`.
+pub fn build_relaxation(instance: &Instance, ids: &[TaskId]) -> LpProblem {
+    let rhs: Vec<f64> = instance.network().capacities().iter().map(|&c| c as f64).collect();
+    let mut lp = LpProblem::new(rhs);
+    for &j in ids {
+        let t = instance.task(j);
+        let entries: Vec<(usize, f64)> =
+            t.span.edges().map(|e| (e, t.demand as f64)).collect();
+        lp.add_var(t.weight as f64, 1.0, &entries);
+    }
+    lp
+}
+
+/// Solves the relaxation and returns `(solution, fractional optimum)`.
+/// The value upper-bounds every integral UFPP (hence SAP) solution over
+/// `ids` by weak duality — the paper's experiments use it as the OPT
+/// stand-in on instances too large for exact search.
+pub fn lp_upper_bound(instance: &Instance, ids: &[TaskId]) -> (LpSolution, f64) {
+    let lp = build_relaxation(instance, ids);
+    let sol = lp.solve(0);
+    // Guard against round-off when used as an upper bound: prefer the dual
+    // objective, which is a valid bound for any dual-feasible (y, μ).
+    let bound = sol.dual_objective(&lp).max(sol.objective);
+    (sol, bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sap_core::{PathNetwork, Task};
+
+    #[test]
+    fn relaxation_dominates_integral_solutions() {
+        let net = PathNetwork::new(vec![4, 8, 4]).unwrap();
+        let tasks = vec![
+            Task::of(0, 2, 3, 6),
+            Task::of(1, 3, 3, 5),
+            Task::of(0, 3, 2, 4),
+            Task::of(1, 2, 4, 3),
+        ];
+        let inst = Instance::new(net, tasks).unwrap();
+        let ids = inst.all_ids();
+        let (_, bound) = lp_upper_bound(&inst, &ids);
+        // Brute force integral optimum.
+        let mut best = 0u64;
+        for mask in 0u32..16 {
+            let sel: Vec<TaskId> = (0..4).filter(|&i| mask & (1 << i) != 0).collect();
+            if sap_core::UfppSolution::new(sel.clone()).validate(&inst).is_ok() {
+                best = best.max(inst.total_weight(&sel));
+            }
+        }
+        assert!(bound + 1e-6 >= best as f64, "LP bound {bound} < OPT {best}");
+    }
+
+    #[test]
+    fn relaxation_indexes_by_position() {
+        let net = PathNetwork::uniform(2, 10).unwrap();
+        let tasks = vec![Task::of(0, 1, 1, 1), Task::of(1, 2, 10, 99)];
+        let inst = Instance::new(net, tasks).unwrap();
+        let lp = build_relaxation(&inst, &[1]);
+        assert_eq!(lp.num_vars(), 1);
+        let sol = lp.solve(0);
+        assert!((sol.objective - 99.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_task_set() {
+        let net = PathNetwork::uniform(2, 10).unwrap();
+        let inst = Instance::new(net, vec![]).unwrap();
+        let (_, bound) = lp_upper_bound(&inst, &[]);
+        assert_eq!(bound, 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the UFPP algorithms.
+
+use proptest::prelude::*;
+use sap_core::{Instance, PathNetwork, Span, Task, TaskId, UfppSolution};
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (2usize..=6, 1usize..=12).prop_flat_map(|(m, n)| {
+        let caps = proptest::collection::vec(4u64..=64, m);
+        let tasks = proptest::collection::vec((0..m, 1..=m, 1u64..=64, 0u64..30), n);
+        (caps, tasks).prop_map(move |(caps, raw)| {
+            let net = PathNetwork::new(caps).unwrap();
+            let tasks: Vec<Task> = raw
+                .into_iter()
+                .map(|(lo, len, d, w)| {
+                    let lo = lo.min(m - 1);
+                    let hi = (lo + len).min(m).max(lo + 1);
+                    let b = net.bottleneck(Span::new(lo, hi).unwrap());
+                    Task::of(lo, hi, d.min(b).max(1), w)
+                })
+                .collect();
+            Instance::new(net, tasks).unwrap()
+        })
+    })
+}
+
+fn brute_force(inst: &Instance) -> u64 {
+    let n = inst.num_tasks();
+    let mut best = 0;
+    for mask in 0u32..(1 << n) {
+        let sel: Vec<TaskId> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+        if UfppSolution::new(sel.clone()).validate(inst).is_ok() {
+            best = best.max(inst.total_weight(&sel));
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The exact B&B equals subset brute force.
+    #[test]
+    fn exact_matches_bruteforce(inst in arb_instance()) {
+        let sol = ufpp::solve_exact(&inst, &inst.all_ids());
+        sol.validate(&inst).unwrap();
+        prop_assert_eq!(sol.weight(&inst), brute_force(&inst));
+    }
+
+    /// The LP relaxation dominates the integral optimum.
+    #[test]
+    fn lp_dominates_integral(inst in arb_instance()) {
+        let (_, lp) = ufpp::lp_upper_bound(&inst, &inst.all_ids());
+        prop_assert!(lp + 1e-6 >= brute_force(&inst) as f64);
+    }
+
+    /// Greedy baselines always return feasible solutions not beating OPT.
+    #[test]
+    fn greedy_feasible_and_bounded(inst in arb_instance()) {
+        let opt = brute_force(&inst);
+        for sol in [
+            ufpp::greedy_by_weight(&inst, &inst.all_ids()),
+            ufpp::greedy_by_density(&inst, &inst.all_ids()),
+        ] {
+            sol.validate(&inst).unwrap();
+            prop_assert!(sol.weight(&inst) <= opt);
+        }
+    }
+
+    /// Algorithm Strip stays ½B-packable on banded instances and selects
+    /// only eligible tasks.
+    #[test]
+    fn strip_packability(inst in arb_instance()) {
+        // Band the instance: B = min capacity (so all b(j) ∈ [B, 2B) is
+        // not guaranteed — the packability invariant must hold anyway).
+        let b = inst.network().min_capacity();
+        let ids: Vec<TaskId> = inst
+            .all_ids()
+            .into_iter()
+            .filter(|&j| 2 * inst.demand(j) <= b)
+            .collect();
+        let sol = ufpp::strip_local_ratio(&inst, &ids, b);
+        sol.validate_packable(&inst, b / 2).unwrap();
+    }
+
+    /// Rounded LP solutions respect their bound exactly.
+    #[test]
+    fn rounding_respects_bound(inst in arb_instance(), divisor in 1u64..=4) {
+        let bound = (inst.network().min_capacity() / divisor).max(1);
+        let r = ufpp::round_scaled_lp(&inst, &inst.all_ids(), bound);
+        r.solution.validate_packable(&inst, bound).unwrap();
+        r.solution.validate(&inst).unwrap();
+    }
+
+    /// Weighted interval scheduling returns pairwise-disjoint spans and is
+    /// optimal among such sets (checked by brute force over subsets).
+    #[test]
+    fn interval_scheduling_exactness(inst in arb_instance()) {
+        let sol = ufpp::local_ratio::weighted_interval_scheduling(&inst, &inst.all_ids());
+        for (i, &a) in sol.iter().enumerate() {
+            for &b in &sol[i + 1..] {
+                prop_assert!(!inst.span(a).overlaps(inst.span(b)));
+            }
+        }
+        // Brute force over disjoint-span subsets.
+        let n = inst.num_tasks();
+        let mut best = 0u64;
+        'mask: for mask in 0u32..(1 << n) {
+            let sel: Vec<TaskId> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+            for (i, &a) in sel.iter().enumerate() {
+                for &b in &sel[i + 1..] {
+                    if inst.span(a).overlaps(inst.span(b)) {
+                        continue 'mask;
+                    }
+                }
+            }
+            best = best.max(inst.total_weight(&sel));
+        }
+        prop_assert_eq!(inst.total_weight(&sol), best);
+    }
+}

@@ -1,0 +1,48 @@
+//! Quickstart: build an instance, solve it with the paper's `(9+ε)`
+//! algorithm, validate, and render the packing.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use storage_alloc::prelude::*;
+use storage_alloc::sap_core::render_solution;
+
+fn main() -> Result<(), SapError> {
+    // A path with 6 edges. Think of edges as time slots and capacities as
+    // the bytes of memory available during each slot.
+    let network = PathNetwork::new(vec![16, 16, 8, 8, 16, 16])?;
+
+    // Tasks: (first edge, one-past-last edge, demand, weight).
+    let tasks = vec![
+        Task::of(0, 6, 4, 40), // a long-lived buffer
+        Task::of(0, 2, 8, 25), // a large, short-lived scratch area
+        Task::of(2, 4, 4, 30), // sits in the capacity valley
+        Task::of(3, 6, 6, 20),
+        Task::of(1, 3, 2, 10),
+        Task::of(4, 6, 8, 15),
+    ];
+    let instance = Instance::new(network, tasks)?;
+
+    // The (9+ε)-approximation from Theorem 4 of the paper.
+    let solution = storage_alloc::solve_sap(&instance);
+
+    // Every solution passes the exact validator.
+    solution.validate(&instance)?;
+
+    println!("selected {} of {} tasks", solution.len(), instance.num_tasks());
+    println!(
+        "solution weight: {} (of {} total)",
+        solution.weight(&instance),
+        instance.weight_sum()
+    );
+    for p in &solution.placements {
+        let t = instance.task(p.task);
+        println!(
+            "  task {:>2}: edges [{}, {}), demand {:>2}, height {:>2}, weight {}",
+            p.task, t.span.lo, t.span.hi, t.demand, p.height, t.weight
+        );
+    }
+
+    println!("\npacking (letters = tasks, dots = free space under capacity):");
+    println!("{}", render_solution(&instance, &solution, 20));
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Spectrum allocation on a ring network (§7 of the paper): tasks are
+//! transmissions between ring nodes that must receive a **contiguous
+//! block of frequencies** identical on every hop of their chosen route
+//! (clockwise or counter-clockwise).
+//!
+//! Run with: `cargo run --release --example spectrum_rings`
+
+use storage_alloc::prelude::*;
+use storage_alloc::sap_algs::ring::{solve_ring, RingWinner};
+use storage_alloc::sap_gen::{generate_ring, CapacityProfile, RingGenConfig};
+
+fn main() -> Result<(), SapError> {
+    let config = RingGenConfig {
+        num_edges: 16,
+        num_tasks: 120,
+        profile: CapacityProfile::Random { lo: 40, hi: 200 },
+        max_demand: 60,
+        max_weight: 100,
+    };
+
+    println!("{:<8}{:>8}{:>14}{:>14}{:>12}{:>10}", "seed", "cut", "path branch", "knapsack", "returned", "winner");
+    let mut path_wins = 0;
+    let mut ks_wins = 0;
+    for seed in 0..10u64 {
+        let instance = generate_ring(&config, seed);
+        let (solution, stats) = solve_ring(&instance, &RingParams::default());
+        solution.validate(&instance)?;
+        let winner = match stats.winner {
+            RingWinner::CutPath => {
+                path_wins += 1;
+                "path"
+            }
+            RingWinner::ThroughKnapsack => {
+                ks_wins += 1;
+                "knapsack"
+            }
+        };
+        println!(
+            "{:<8}{:>8}{:>14}{:>14}{:>12}{:>10}",
+            seed,
+            stats.cut_edge,
+            stats.path_weight,
+            stats.knapsack_weight,
+            solution.weight(&instance),
+            winner
+        );
+    }
+    println!(
+        "\nLemma 18 in action: cut-path won {path_wins}×, through-knapsack won {ks_wins}×; \
+         the algorithm always keeps the better branch."
+    );
+    Ok(())
+}

@@ -1,0 +1,211 @@
+//! `sap` — command-line front-end for the storage-alloc library.
+//!
+//! ```text
+//! sap generate --edges 20 --tasks 100 --regime mixed --seed 7 > inst.json
+//! sap solve inst.json --algo practical --render
+//! sap solve inst.json --algo exact -o solution.json
+//! sap validate inst.json solution.json
+//! sap ring-solve ring.json
+//! ```
+
+use std::process::ExitCode;
+
+use storage_alloc::io::{
+    InstanceDto, RingInstanceDto, RingSolutionDto, SolutionDto,
+};
+use storage_alloc::prelude::*;
+use storage_alloc::sap_algs::{self, ExactConfig, MediumParams};
+use storage_alloc::sap_core::{render_solution, render_solution_svg};
+use storage_alloc::sap_gen::{generate, CapacityProfile, DemandRegime, GenConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("solve") => cmd_solve(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("ring-solve") => cmd_ring_solve(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: sap <solve|validate|generate|ring-solve> …\n\
+                 \n\
+                 sap solve <inst.json> [--algo combined|practical|greedy|exact|small|medium|large]\n\
+                 \x20         [--render] [--svg out.svg] [-o solution.json]\n\
+                 sap validate <inst.json> <solution.json>\n\
+                 sap generate --edges N --tasks N [--regime small|medium|large|mixed]\n\
+                 \x20         [--seed S] [--uniform-capacity C]\n\
+                 sap ring-solve <ring.json> [-o solution.json]\n\
+                 sap info <inst.json>"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn read_json<T: serde::de::DeserializeOwned>(path: &str) -> Result<T, String> {
+    let data = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&data).map_err(|e| format!("{path}: {e}"))
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_solve(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing instance path")?;
+    let dto: InstanceDto = read_json(path)?;
+    let instance = dto.to_instance().map_err(|e| e.to_string())?;
+    let ids = instance.all_ids();
+    let algo = flag_value(args, "--algo").unwrap_or("practical");
+    let solution = match algo {
+        "combined" => sap_algs::solve(&instance, &ids, &SapParams::default()),
+        "practical" => storage_alloc::solve_sap_practical(&instance),
+        "greedy" => sap_algs::baselines::greedy_sap_best(&instance, &ids),
+        "small" => sap_algs::solve_small(&instance, &ids, SmallAlgo::LpRounding),
+        "medium" => sap_algs::solve_medium(&instance, &ids, MediumParams::default()),
+        "large" => sap_algs::solve_large(&instance, &ids)
+            .ok_or("large-task solver exhausted its budget")?,
+        "exact" => {
+            if ids.len() > 24 {
+                return Err(format!(
+                    "exact solver limited to 24 tasks ({} given)",
+                    ids.len()
+                ));
+            }
+            sap_algs::solve_exact_sap(&instance, &ids, ExactConfig::default())
+                .ok_or("exact solver exhausted its state budget")?
+        }
+        other => return Err(format!("unknown algorithm {other:?}")),
+    };
+    solution.validate(&instance).map_err(|e| e.to_string())?;
+    eprintln!(
+        "selected {}/{} tasks, weight {} of {}",
+        solution.len(),
+        instance.num_tasks(),
+        solution.weight(&instance),
+        instance.weight_sum()
+    );
+    if args.iter().any(|a| a == "--render") {
+        eprintln!("{}", render_solution(&instance, &solution, 24));
+    }
+    if let Some(path) = flag_value(args, "--svg") {
+        std::fs::write(path, render_solution_svg(&instance, &solution, 16.0))
+            .map_err(|e| e.to_string())?;
+        eprintln!("wrote {path}");
+    }
+    let out = SolutionDto::from_solution(&instance, &solution);
+    let json = serde_json::to_string_pretty(&out).expect("serialisable");
+    match flag_value(args, "-o") {
+        Some(path) => std::fs::write(path, json).map_err(|e| e.to_string())?,
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let inst_path = args.first().ok_or("missing instance path")?;
+    let sol_path = args.get(1).ok_or("missing solution path")?;
+    let inst: InstanceDto = read_json(inst_path)?;
+    let instance = inst.to_instance().map_err(|e| e.to_string())?;
+    let sol: SolutionDto = read_json(sol_path)?;
+    let solution = sol.to_solution();
+    solution
+        .validate(&instance)
+        .map_err(|e| format!("INFEASIBLE: {e}"))?;
+    println!(
+        "feasible: {} tasks, weight {}",
+        solution.len(),
+        solution.weight(&instance)
+    );
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let edges: usize = flag_value(args, "--edges")
+        .ok_or("missing --edges")?
+        .parse()
+        .map_err(|_| "--edges must be a number")?;
+    let tasks: usize = flag_value(args, "--tasks")
+        .ok_or("missing --tasks")?
+        .parse()
+        .map_err(|_| "--tasks must be a number")?;
+    let seed: u64 = flag_value(args, "--seed").unwrap_or("0").parse().map_err(|_| "--seed")?;
+    let regime = match flag_value(args, "--regime").unwrap_or("mixed") {
+        "small" => DemandRegime::Small { delta_inv: 16 },
+        "medium" => DemandRegime::Medium { delta_inv: 8 },
+        "large" => DemandRegime::Large { k: 2 },
+        "mixed" => DemandRegime::Mixed,
+        other => return Err(format!("unknown regime {other:?}")),
+    };
+    let profile = match flag_value(args, "--uniform-capacity") {
+        Some(c) => CapacityProfile::Uniform(c.parse().map_err(|_| "--uniform-capacity")?),
+        None => CapacityProfile::RandomWalk { lo: 64, hi: 1024 },
+    };
+    let cfg = GenConfig {
+        num_edges: edges,
+        num_tasks: tasks,
+        profile,
+        regime,
+        max_span: edges.div_ceil(2),
+        max_weight: 100,
+    };
+    let instance = generate(&cfg, seed);
+    let dto = InstanceDto::from_instance(&instance);
+    println!("{}", serde_json::to_string_pretty(&dto).expect("serialisable"));
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing instance path")?;
+    let dto: InstanceDto = read_json(path)?;
+    let instance = dto.to_instance().map_err(|e| e.to_string())?;
+    let s = storage_alloc::sap_core::instance_stats(&instance);
+    println!("tasks:          {}", s.tasks);
+    println!("edges:          {}", s.edges);
+    println!("capacities:     {} .. {}", s.capacity_range.0, s.capacity_range.1);
+    println!("demands:        {} .. {}", s.demand_range.0, s.demand_range.1);
+    println!("mean span:      {:.2} edges", s.mean_span);
+    println!("total weight:   {}", s.total_weight);
+    println!("LOAD(J):        {}", s.max_load);
+    println!("max congestion: {:.2}x", s.max_congestion);
+    let (small, medium, large) = s.regime_counts;
+    println!("regimes:        {small} small / {medium} medium / {large} large (delta=1/16, 1/2)");
+    println!("strata:         {}", s.strata);
+    println!("NBA:            {}", if s.nba { "holds" } else { "violated" });
+    Ok(())
+}
+
+fn cmd_ring_solve(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing ring instance path")?;
+    let dto: RingInstanceDto = read_json(path)?;
+    let instance = dto.to_instance().map_err(|e| e.to_string())?;
+    let (solution, stats) = sap_algs::solve_ring(&instance, &RingParams::default());
+    solution.validate(&instance).map_err(|e| e.to_string())?;
+    eprintln!(
+        "selected {}/{} tasks, weight {} (cut edge {}, path branch {}, knapsack branch {})",
+        solution.len(),
+        instance.num_tasks(),
+        solution.weight(&instance),
+        stats.cut_edge,
+        stats.path_weight,
+        stats.knapsack_weight
+    );
+    let out = RingSolutionDto::from_solution(&instance, &solution);
+    let json = serde_json::to_string_pretty(&out).expect("serialisable");
+    match flag_value(args, "-o") {
+        Some(path) => std::fs::write(path, json).map_err(|e| e.to_string())?,
+        None => println!("{json}"),
+    }
+    Ok(())
+}

@@ -1,0 +1,307 @@
+//! JSON interchange format for instances and solutions — the CLI's
+//! on-disk format, usable by external tooling.
+//!
+//! ```json
+//! {
+//!   "capacities": [4, 6, 4],
+//!   "tasks": [
+//!     { "lo": 0, "hi": 2, "demand": 2, "weight": 10 },
+//!     { "lo": 1, "hi": 3, "demand": 3, "weight": 8 }
+//!   ]
+//! }
+//! ```
+//!
+//! Ring instances replace `capacities` with `ring_capacities` and tasks
+//! with `{from, to, demand, weight}` vertices. Solutions serialise as
+//! `{ "placements": [{ "task": 0, "height": 0 }, …] }`.
+
+use serde::{Deserialize, Serialize};
+
+use sap_core::ring::{ArcChoice, RingInstance, RingNetwork, RingPlacement, RingSolution, RingTask};
+use sap_core::{Instance, PathNetwork, Placement, SapError, SapResult, SapSolution, Task};
+
+/// JSON form of a path task.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct TaskDto {
+    /// First edge used.
+    pub lo: usize,
+    /// One past the last edge used.
+    pub hi: usize,
+    /// Demand.
+    pub demand: u64,
+    /// Weight.
+    pub weight: u64,
+}
+
+/// JSON form of a path instance.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct InstanceDto {
+    /// Per-edge capacities.
+    pub capacities: Vec<u64>,
+    /// The tasks.
+    pub tasks: Vec<TaskDto>,
+}
+
+/// JSON form of a SAP solution.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct SolutionDto {
+    /// Selected tasks with heights.
+    pub placements: Vec<PlacementDto>,
+    /// Total weight (informational; re-checked on load).
+    #[serde(default)]
+    pub weight: u64,
+}
+
+/// JSON form of one placement.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct PlacementDto {
+    /// Task id (index into the instance's task list).
+    pub task: usize,
+    /// Height.
+    pub height: u64,
+}
+
+/// JSON form of a ring task.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct RingTaskDto {
+    /// Start vertex.
+    pub from: usize,
+    /// End vertex.
+    pub to: usize,
+    /// Demand.
+    pub demand: u64,
+    /// Weight.
+    pub weight: u64,
+}
+
+/// JSON form of a ring instance.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct RingInstanceDto {
+    /// Per-edge capacities around the ring.
+    pub ring_capacities: Vec<u64>,
+    /// The tasks.
+    pub tasks: Vec<RingTaskDto>,
+}
+
+/// JSON form of a ring solution.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct RingSolutionDto {
+    /// Selected tasks with routing and heights.
+    pub placements: Vec<RingPlacementDto>,
+    /// Total weight (informational).
+    #[serde(default)]
+    pub weight: u64,
+}
+
+/// JSON form of one ring placement.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct RingPlacementDto {
+    /// Task id.
+    pub task: usize,
+    /// `"cw"` or `"ccw"`.
+    pub arc: String,
+    /// Height.
+    pub height: u64,
+}
+
+impl InstanceDto {
+    /// Converts to a validated [`Instance`].
+    pub fn to_instance(&self) -> SapResult<Instance> {
+        let net = PathNetwork::new(self.capacities.clone())?;
+        let tasks: Vec<Task> = self
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                Task::new(t.lo, t.hi, t.demand, t.weight).map_err(|e| match e {
+                    SapError::InvalidSpan { .. } => SapError::InvalidSpan { task: i },
+                    SapError::ZeroDemand { .. } => SapError::ZeroDemand { task: i },
+                    other => other,
+                })
+            })
+            .collect::<SapResult<_>>()?;
+        Instance::new(net, tasks)
+    }
+
+    /// Builds the DTO from an instance.
+    pub fn from_instance(instance: &Instance) -> Self {
+        InstanceDto {
+            capacities: instance.network().capacities().to_vec(),
+            tasks: instance
+                .tasks()
+                .iter()
+                .map(|t| TaskDto {
+                    lo: t.span.lo,
+                    hi: t.span.hi,
+                    demand: t.demand,
+                    weight: t.weight,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl SolutionDto {
+    /// Builds the DTO from a solution.
+    pub fn from_solution(instance: &Instance, solution: &SapSolution) -> Self {
+        SolutionDto {
+            placements: solution
+                .placements
+                .iter()
+                .map(|p| PlacementDto { task: p.task, height: p.height })
+                .collect(),
+            weight: solution.weight(instance),
+        }
+    }
+
+    /// Converts to a [`SapSolution`] (validate separately).
+    pub fn to_solution(&self) -> SapSolution {
+        SapSolution::new(
+            self.placements
+                .iter()
+                .map(|p| Placement { task: p.task, height: p.height })
+                .collect(),
+        )
+    }
+}
+
+impl RingInstanceDto {
+    /// Converts to a validated [`RingInstance`].
+    pub fn to_instance(&self) -> SapResult<RingInstance> {
+        let net = RingNetwork::new(self.ring_capacities.clone())?;
+        let tasks: Vec<RingTask> = self
+            .tasks
+            .iter()
+            .map(|t| RingTask { from: t.from, to: t.to, demand: t.demand, weight: t.weight })
+            .collect();
+        RingInstance::new(net, tasks)
+    }
+
+    /// Builds the DTO from a ring instance.
+    pub fn from_instance(instance: &RingInstance) -> Self {
+        RingInstanceDto {
+            ring_capacities: instance.network().capacities().to_vec(),
+            tasks: instance
+                .tasks()
+                .iter()
+                .map(|t| RingTaskDto { from: t.from, to: t.to, demand: t.demand, weight: t.weight })
+                .collect(),
+        }
+    }
+}
+
+impl RingSolutionDto {
+    /// Builds the DTO from a ring solution.
+    pub fn from_solution(instance: &RingInstance, solution: &RingSolution) -> Self {
+        RingSolutionDto {
+            placements: solution
+                .placements
+                .iter()
+                .map(|p| RingPlacementDto {
+                    task: p.task,
+                    arc: match p.arc {
+                        ArcChoice::Clockwise => "cw".to_string(),
+                        ArcChoice::CounterClockwise => "ccw".to_string(),
+                    },
+                    height: p.height,
+                })
+                .collect(),
+            weight: solution.weight(instance),
+        }
+    }
+
+    /// Converts to a [`RingSolution`]; rejects unknown arc labels.
+    pub fn to_solution(&self) -> SapResult<RingSolution> {
+        let placements = self
+            .placements
+            .iter()
+            .map(|p| {
+                let arc = match p.arc.as_str() {
+                    "cw" => ArcChoice::Clockwise,
+                    "ccw" => ArcChoice::CounterClockwise,
+                    _ => return Err(SapError::InvalidParameter("arc must be \"cw\" or \"ccw\"")),
+                };
+                Ok(RingPlacement { task: p.task, arc, height: p.height })
+            })
+            .collect::<SapResult<_>>()?;
+        Ok(RingSolution::new(placements))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Instance {
+        let net = PathNetwork::new(vec![4, 6, 4]).unwrap();
+        let tasks = vec![Task::of(0, 2, 2, 10), Task::of(1, 3, 3, 8)];
+        Instance::new(net, tasks).unwrap()
+    }
+
+    #[test]
+    fn instance_round_trip() {
+        let inst = sample();
+        let dto = InstanceDto::from_instance(&inst);
+        let json = serde_json::to_string_pretty(&dto).unwrap();
+        let back: InstanceDto = serde_json::from_str(&json).unwrap();
+        assert_eq!(dto, back);
+        let inst2 = back.to_instance().unwrap();
+        assert_eq!(inst, inst2);
+    }
+
+    #[test]
+    fn solution_round_trip() {
+        let inst = sample();
+        let sol = crate::solve_sap(&inst);
+        let dto = SolutionDto::from_solution(&inst, &sol);
+        let json = serde_json::to_string(&dto).unwrap();
+        let back: SolutionDto = serde_json::from_str(&json).unwrap();
+        let sol2 = back.to_solution();
+        sol2.validate(&inst).unwrap();
+        assert_eq!(sol.weight(&inst), sol2.weight(&inst));
+        assert_eq!(dto.weight, sol.weight(&inst));
+    }
+
+    #[test]
+    fn invalid_instances_are_rejected_on_load() {
+        let dto = InstanceDto {
+            capacities: vec![4],
+            tasks: vec![TaskDto { lo: 0, hi: 2, demand: 1, weight: 1 }],
+        };
+        assert!(matches!(dto.to_instance(), Err(SapError::InvalidSpan { task: 0 })));
+        let dto = InstanceDto {
+            capacities: vec![4],
+            tasks: vec![TaskDto { lo: 0, hi: 1, demand: 9, weight: 1 }],
+        };
+        assert!(matches!(
+            dto.to_instance(),
+            Err(SapError::DemandExceedsBottleneck { task: 0 })
+        ));
+    }
+
+    #[test]
+    fn ring_round_trip() {
+        use sap_core::ring::{RingInstance, RingNetwork, RingTask};
+        let net = RingNetwork::new(vec![4, 4, 4, 4]).unwrap();
+        let inst =
+            RingInstance::new(net, vec![RingTask::of(0, 2, 2, 7), RingTask::of(2, 0, 2, 7)])
+                .unwrap();
+        let dto = RingInstanceDto::from_instance(&inst);
+        let back = dto.to_instance().unwrap();
+        assert_eq!(inst, back);
+        let sol = crate::solve_sap_ring(&inst);
+        let sdto = RingSolutionDto::from_solution(&inst, &sol);
+        let sol2 = sdto.to_solution().unwrap();
+        sol2.validate(&inst).unwrap();
+        assert_eq!(sol.weight(&inst), sol2.weight(&inst));
+    }
+
+    #[test]
+    fn bad_arc_label_rejected() {
+        let dto = RingSolutionDto {
+            placements: vec![RingPlacementDto { task: 0, arc: "up".into(), height: 0 }],
+            weight: 0,
+        };
+        assert!(dto.to_solution().is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! Every algorithm against the adversarial generator families — the
+//! instances with *known* optimal structure, where wrong answers are
+//! unambiguous.
+
+use storage_alloc::prelude::*;
+use storage_alloc::sap_algs::{
+    self, baselines::greedy_sap, baselines::GreedyOrder, solve_exact_sap, ExactConfig,
+};
+use storage_alloc::sap_gen::{blocker, comb, generate_trace, knapsack_core, staircase_tower, TraceConfig};
+
+#[test]
+fn blocker_family_exact_values() {
+    for field in [4u64, 8, 12] {
+        let inst = blocker(field);
+        // Exact optimum is the field.
+        let opt = solve_exact_sap(&inst, &inst.all_ids(), ExactConfig::default())
+            .expect("budget")
+            .weight(&inst);
+        assert_eq!(opt, field);
+        // Greedy-by-weight falls into the trap.
+        let trap = greedy_sap(&inst, &inst.all_ids(), GreedyOrder::WeightDesc);
+        assert_eq!(trap.weight(&inst), field - 1);
+        // The combined algorithm escapes it (all tasks are 1-large, the
+        // rectangle solver is exact there).
+        let combined = storage_alloc::solve_sap(&inst);
+        assert_eq!(combined.weight(&inst), field);
+    }
+}
+
+#[test]
+fn knapsack_core_matches_knapsack_solvers() {
+    let items = [(6u64, 60u64), (5, 50), (5, 50), (3, 20), (2, 25)];
+    let inst = knapsack_core(10, &items);
+    let sap_opt = solve_exact_sap(&inst, &inst.all_ids(), ExactConfig::default())
+        .expect("budget")
+        .weight(&inst);
+    let ks_items: Vec<knapsack::Item> =
+        items.iter().map(|&(size, weight)| knapsack::Item { size, weight }).collect();
+    let ks_opt = knapsack::solve_exact_by_capacity(&ks_items, 10).weight;
+    assert_eq!(sap_opt, ks_opt, "single-edge SAP is exactly knapsack");
+    let bb = knapsack::solve_exact_branch_and_bound(&ks_items, 10).weight;
+    assert_eq!(bb, ks_opt);
+}
+
+#[test]
+fn staircase_tower_is_fully_schedulable_and_found() {
+    let inst = staircase_tower(6);
+    let all = inst.all_ids();
+    let opt = solve_exact_sap(&inst, &all, ExactConfig::default())
+        .expect("budget");
+    assert_eq!(opt.len(), inst.num_tasks(), "the tower nests completely");
+    // Strip-Pack alone also schedules a fair share: every task is exactly
+    // ½-large so the small algorithm gets nothing — use combined.
+    let combined = storage_alloc::solve_sap(&inst);
+    combined.validate(&inst).unwrap();
+    assert!(combined.weight(&inst) * 3 >= opt.weight(&inst), "within the large-task factor");
+}
+
+#[test]
+fn comb_is_solved_exactly_by_practical() {
+    let inst = comb(4);
+    let sol = storage_alloc::solve_sap_practical(&inst);
+    sol.validate(&inst).unwrap();
+    // Total weight = spine (4) + 8 teeth (1 each) = 12; everything packs.
+    assert_eq!(sol.weight(&inst), inst.weight_sum());
+}
+
+#[test]
+fn trace_workloads_run_through_the_full_pipeline() {
+    let cfg = TraceConfig { slots: 32, arrivals_per_slot: 3.0, ..Default::default() };
+    let inst = generate_trace(&cfg, 9);
+    let sol = storage_alloc::solve_sap_practical(&inst);
+    sol.validate(&inst).unwrap();
+    assert!(!sol.is_empty());
+    let stats = storage_alloc::sap_core::solution_stats(&inst, &sol);
+    assert!(stats.max_utilization <= 1.0 + 1e-9);
+    assert!(stats.weight.0 <= stats.weight.1);
+    // Ring sanity on the same shapes.
+    let ring = sap_algs::solve_ring(
+        &storage_alloc::sap_gen::generate_ring(
+            &storage_alloc::sap_gen::RingGenConfig {
+                num_edges: 12,
+                num_tasks: 60,
+                profile: storage_alloc::sap_gen::CapacityProfile::Uniform(1 << 12),
+                max_demand: 1 << 10,
+                max_weight: 50,
+            },
+            9,
+        ),
+        &RingParams::default(),
+    );
+    assert!(ring.0.len() > 0);
+}

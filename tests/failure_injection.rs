@@ -1,0 +1,152 @@
+//! Failure injection: corrupt solutions in every possible way and verify
+//! the validators reject each corruption with the right error. The
+//! validators are the trust anchor of the whole reproduction (every
+//! algorithm's output passes through them), so they get adversarial
+//! treatment of their own.
+
+use storage_alloc::prelude::*;
+use storage_alloc::sap_core::SapError;
+use storage_alloc::sap_gen::{generate, CapacityProfile, DemandRegime, GenConfig};
+
+fn workload(seed: u64) -> Instance {
+    generate(
+        &GenConfig {
+            num_edges: 10,
+            num_tasks: 40,
+            profile: CapacityProfile::Random { lo: 16, hi: 64 },
+            regime: DemandRegime::Mixed,
+            max_span: 5,
+            max_weight: 30,
+        },
+        seed,
+    )
+}
+
+fn solved(seed: u64) -> (Instance, SapSolution) {
+    let inst = workload(seed);
+    let sol = storage_alloc::solve_sap_practical(&inst);
+    assert!(sol.len() >= 2, "need at least two placements to corrupt");
+    (inst, sol)
+}
+
+#[test]
+fn raising_a_task_above_its_bottleneck_is_caught() {
+    let (inst, sol) = solved(1);
+    for i in 0..sol.len() {
+        let mut bad = sol.clone();
+        let task = bad.placements[i].task;
+        bad.placements[i].height = inst.bottleneck(task) - inst.demand(task) + 1;
+        let err = bad.validate(&inst).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SapError::PlacementAboveCapacity { .. } | SapError::OverlappingPlacements { .. }
+            ),
+            "corruption {i} must be rejected, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn forcing_two_overlapping_tasks_to_equal_heights_is_caught() {
+    let (inst, sol) = solved(2);
+    // Find two placements with overlapping spans and force a collision.
+    let mut found = false;
+    'outer: for i in 0..sol.len() {
+        for j in i + 1..sol.len() {
+            let (a, b) = (sol.placements[i], sol.placements[j]);
+            if inst.span(a.task).overlaps(inst.span(b.task)) {
+                let mut bad = sol.clone();
+                bad.placements[j].height = bad.placements[i].height;
+                assert!(bad.validate(&inst).is_err());
+                found = true;
+                break 'outer;
+            }
+        }
+    }
+    assert!(found, "workload should contain overlapping selections");
+}
+
+#[test]
+fn duplicate_selection_is_caught() {
+    let (inst, sol) = solved(3);
+    let mut bad = sol.clone();
+    let dup = bad.placements[0];
+    bad.placements.push(dup);
+    assert_eq!(
+        bad.validate(&inst).unwrap_err(),
+        SapError::DuplicateTask { task: dup.task }
+    );
+}
+
+#[test]
+fn unknown_task_id_is_caught() {
+    let (inst, sol) = solved(4);
+    let mut bad = sol.clone();
+    bad.placements[0].task = inst.num_tasks() + 7;
+    assert_eq!(
+        bad.validate(&inst).unwrap_err(),
+        SapError::UnknownTask { task: inst.num_tasks() + 7 }
+    );
+}
+
+#[test]
+fn height_overflow_is_caught_not_wrapped() {
+    let (inst, sol) = solved(5);
+    let mut bad = sol.clone();
+    bad.placements[0].height = u64::MAX - 1;
+    let err = bad.validate(&inst).unwrap_err();
+    assert!(matches!(err, SapError::Overflow | SapError::PlacementAboveCapacity { .. }));
+}
+
+#[test]
+fn ufpp_overload_is_caught_with_edge_report() {
+    let inst = workload(6);
+    // Select everything — guaranteed to overload some edge.
+    let all = UfppSolution::new(inst.all_ids());
+    match all.validate(&inst) {
+        Err(SapError::LoadExceedsCapacity { edge, load, capacity }) => {
+            assert!(load > capacity);
+            assert_eq!(inst.loads(&all.tasks)[edge], load);
+        }
+        other => panic!("expected overload, got {other:?}"),
+    }
+}
+
+#[test]
+fn ring_validator_rejects_wrong_arc() {
+    use storage_alloc::sap_core::ring::{
+        ArcChoice, RingInstance, RingNetwork, RingPlacement, RingSolution, RingTask,
+    };
+    let net = RingNetwork::new(vec![8, 2, 8, 8]).unwrap();
+    let inst = RingInstance::new(net, vec![RingTask::of(0, 2, 5, 1)]).unwrap();
+    // Clockwise (edges 0,1) crosses the capacity-2 edge: must fail.
+    let cw = RingSolution::new(vec![RingPlacement {
+        task: 0,
+        arc: ArcChoice::Clockwise,
+        height: 0,
+    }]);
+    assert!(cw.validate(&inst).is_err());
+    // Counter-clockwise (edges 2,3) fits.
+    let ccw = RingSolution::new(vec![RingPlacement {
+        task: 0,
+        arc: ArcChoice::CounterClockwise,
+        height: 0,
+    }]);
+    ccw.validate(&inst).unwrap();
+}
+
+#[test]
+fn validators_agree_with_dto_round_trip() {
+    use storage_alloc::io::{InstanceDto, SolutionDto};
+    let (inst, sol) = solved(7);
+    let json_inst = serde_json::to_string(&InstanceDto::from_instance(&inst)).unwrap();
+    let json_sol = serde_json::to_string(&SolutionDto::from_solution(&inst, &sol)).unwrap();
+    let inst2 = serde_json::from_str::<InstanceDto>(&json_inst)
+        .unwrap()
+        .to_instance()
+        .unwrap();
+    let sol2 = serde_json::from_str::<SolutionDto>(&json_sol).unwrap().to_solution();
+    sol2.validate(&inst2).unwrap();
+    assert_eq!(sol.weight(&inst), sol2.weight(&inst2));
+}
