@@ -68,11 +68,15 @@ pub fn greedy_sap(instance: &Instance, ids: &[TaskId], order: GreedyOrder) -> Sa
 
 /// Runs the greedy under several orders and returns the heaviest result.
 pub fn greedy_sap_best(instance: &Instance, ids: &[TaskId]) -> SapSolution {
-    [GreedyOrder::WeightDesc, GreedyOrder::DensityDesc, GreedyOrder::AsGiven]
-        .into_iter()
-        .map(|o| greedy_sap(instance, ids, o))
-        .max_by_key(|s| s.weight(instance))
-        .expect("non-empty candidate list")
+    let mut best = greedy_sap(instance, ids, GreedyOrder::WeightDesc);
+    for order in [GreedyOrder::DensityDesc, GreedyOrder::AsGiven] {
+        let cand = greedy_sap(instance, ids, order);
+        if cand.weight(instance) > best.weight(instance) {
+            best = cand;
+        }
+    }
+    debug_assert!(best.validate(instance).is_ok());
+    best
 }
 
 #[cfg(test)]

@@ -9,8 +9,8 @@
 //! and the heaviest of the three solutions is returned. By Lemma 3 the
 //! ratio is the **sum** `(4+ε) + (2+ε) + 3 = 9 + ε′`.
 //!
-//! The three sub-solvers run in parallel (rayon) — they work on disjoint
-//! task subsets.
+//! The three sub-solvers run in parallel (scoped threads via
+//! [`sap_core::join3`]) — they work on disjoint task subsets.
 
 use sap_core::{classify_by_size, ClassifiedTasks, Instance, Ratio, SapSolution, TaskId};
 
@@ -63,7 +63,9 @@ pub struct CombinedStats {
 
 /// Runs the combined `(9+ε)` algorithm on the tasks `ids`.
 pub fn solve(instance: &Instance, ids: &[TaskId], params: &SapParams) -> SapSolution {
-    solve_with_stats(instance, ids, params).0
+    let sol = solve_with_stats(instance, ids, params).0;
+    debug_assert!(sol.validate(instance).is_ok());
+    sol
 }
 
 /// Runs the combined algorithm and reports the per-regime breakdown.
@@ -85,16 +87,12 @@ pub fn solve_with_stats(
         classified.large = all.large.into_iter().filter(|j| wanted.contains(j)).collect();
     }
 
-    let (small_sol, (medium_sol, large_sol)) = rayon::join(
+    let (small_sol, medium_sol, large_sol) = sap_core::join3(
         || solve_small(instance, &classified.small, params.small_algo),
+        || solve_medium(instance, &classified.medium, params.medium),
         || {
-            rayon::join(
-                || solve_medium(instance, &classified.medium, params.medium),
-                || {
-                    crate::large::solve_large(instance, &classified.large)
-                        .unwrap_or_else(|| greedy_sap_best(instance, &classified.large))
-                },
-            )
+            crate::large::solve_large(instance, &classified.large)
+                .unwrap_or_else(|| greedy_sap_best(instance, &classified.large))
         },
     );
 

@@ -161,15 +161,19 @@ pub fn solve_lemma13_dp(
     }
 
     // Best terminal state and traceback.
-    let (best_state, _) = prev
+    let Some((best_state, _)) = prev
         .iter()
         .max_by_key(|(_, (w, _, _))| *w)
         .map(|(s, v)| (s.clone(), v.0))
-        .expect("at least the empty state");
+    else {
+        return Some(SapSolution::empty());
+    };
     let mut placements: Vec<Placement> = Vec::new();
     let mut state = best_state;
     for e in (0..m).rev() {
         let layer = if e == m - 1 { &prev } else { &history[e + 1] };
+        // lint:allow(p1) — every stored state records the parent it was
+        // reached from, so the traceback chain is closed by construction.
         let (_, parent, placed) = layer.get(&state).expect("traceback state exists");
         placements.extend_from_slice(placed);
         state = parent.clone();

@@ -28,10 +28,9 @@
 //! The `T2` experiment reports how often the fallback fires (never, on
 //! the evaluation workloads).
 
-use rayon::prelude::*;
 use sap_core::{
-    canonical_heights, classes_k_ell, clip_to_band, elevation_split, stack, Instance,
-    SapSolution, Task, TaskId,
+    canonical_heights, classes_k_ell, clip_to_band, elevation_split, parallel_map, stack,
+    Instance, PathNetwork, SapSolution, Task, TaskId,
 };
 
 use crate::baselines::greedy_sap_best;
@@ -101,7 +100,9 @@ pub struct MediumStats {
 
 /// Runs AlmostUniform on the medium tasks `ids`. See [`solve_medium_with_stats`].
 pub fn solve_medium(instance: &Instance, ids: &[TaskId], params: MediumParams) -> SapSolution {
-    solve_medium_with_stats(instance, ids, params).0
+    let sol = solve_medium_with_stats(instance, ids, params).0;
+    debug_assert!(sol.validate(instance).is_ok());
+    sol
 }
 
 /// Runs AlmostUniform and also reports solver statistics.
@@ -132,26 +133,21 @@ pub fn solve_medium_with_stats(
     // integral and (ii) every class index k satisfies k > q (scaled
     // bottlenecks are ≥ 2^{q+ℓ}, so strata start at t = q+ℓ).
     let factor = 1u64 << (q + ell);
-    let scaled_net = instance
-        .network()
-        .map_capacities(|c| c * factor)
-        .expect("scaling stays within capacity limits");
-    let scaled_tasks: Vec<Task> = instance
-        .tasks()
-        .iter()
-        .map(|t| Task { demand: t.demand * factor, ..*t })
-        .collect();
-    let scaled = Instance::new(scaled_net, scaled_tasks).expect("scaled instance is valid");
+    let Some(scaled) = scale_instance(instance, factor) else {
+        // Capacities or demands too close to the representable limit to
+        // scale by 2^{q+ℓ}: Lemma 14's integral thresholds are unavailable
+        // in this degenerate regime, so fall back to the greedy baseline
+        // (always feasible, no ratio guarantee).
+        let sol = crate::baselines::greedy_sap_best(instance, ids);
+        return (sol, MediumStats::default());
+    };
 
     // Classes over the scaled bottlenecks (all k ≥ q since b ≥ 2^q).
     let classes = classes_k_ell(&scaled, ids, ell);
-    let stats_exact: Vec<(u32, SapSolution, bool)> = classes
-        .par_iter()
-        .map(|(k, members)| {
-            let (sol, was_exact) = elevator(&scaled, *k, ell, q, members, &params);
-            (*k, sol, was_exact)
-        })
-        .collect();
+    let stats_exact: Vec<(u32, SapSolution, bool)> = parallel_map(&classes, |(k, members)| {
+        let (sol, was_exact) = elevator(&scaled, *k, ell, q, members, &params);
+        (*k, sol, was_exact)
+    });
 
     let mut stats = MediumStats {
         classes: stats_exact.len(),
@@ -175,6 +171,8 @@ pub fn solve_medium_with_stats(
             best = Some((w, union, r));
         }
     }
+    // lint:allow(p1) — the residue loop runs `period = q+ℓ ≥ 3` iterations,
+    // so `best` is always populated before this point.
     let (_, scaled_sol, r) = best.expect("at least one residue");
     stats.best_residue = r;
 
@@ -184,9 +182,27 @@ pub fn solve_medium_with_stats(
     order.sort_unstable();
     let ids_in_order: Vec<TaskId> = order.into_iter().map(|(_, j)| j).collect();
     let sol = canonical_heights(instance, &ids_in_order)
+        // lint:allow(p1) — feasibility is invariant under uniform scaling:
+        // an order feasible at ×2^{q+ℓ} re-grounds feasibly at ×1.
         .expect("scaled-feasible order re-grounds feasibly");
     debug_assert!(sol.validate(instance).is_ok());
     (sol, stats)
+}
+
+/// Multiplies every capacity and demand by `factor`; `None` when the
+/// scaled values would overflow or leave the representable capacity
+/// range, in which case the caller falls back to the greedy baseline.
+fn scale_instance(instance: &Instance, factor: u64) -> Option<Instance> {
+    let mut caps = Vec::with_capacity(instance.network().capacities().len());
+    for &c in instance.network().capacities() {
+        caps.push(c.checked_mul(factor)?);
+    }
+    let net = PathNetwork::new(caps).ok()?;
+    let mut tasks = Vec::with_capacity(instance.tasks().len());
+    for t in instance.tasks() {
+        tasks.push(Task { demand: t.demand.checked_mul(factor)?, ..*t });
+    }
+    Instance::new(net, tasks).ok()
 }
 
 /// Elevator (Lemma 15): a β-elevated 2-approximation for one class.

@@ -1,11 +1,11 @@
 //! Parallel batch solving and algorithm portfolios.
 //!
 //! Experiment sweeps and service-style deployments solve many instances
-//! at once; these helpers fan the work out with rayon and, per instance,
-//! can race an algorithm portfolio and keep the best result.
+//! at once; these helpers fan the work out over scoped threads
+//! ([`sap_core::parallel_map`]) and, per instance, can race an algorithm
+//! portfolio and keep the best result.
 
-use rayon::prelude::*;
-use sap_core::{Instance, SapSolution};
+use sap_core::{parallel_map, Instance, SapSolution};
 
 use crate::baselines::greedy_sap_best;
 use crate::combined::{solve, SapParams};
@@ -45,10 +45,9 @@ impl Portfolio {
 /// Solves a batch of instances in parallel with the given portfolio;
 /// results are returned in input order.
 pub fn solve_batch(instances: &[Instance], portfolio: &Portfolio) -> Vec<SapSolution> {
-    instances
-        .par_iter()
-        .map(|inst| portfolio.solve(inst))
-        .collect()
+    let sols = parallel_map(instances, |inst| portfolio.solve(inst));
+    debug_assert!(sols.iter().zip(instances).all(|(s, i)| s.validate(i).is_ok()));
+    sols
 }
 
 /// Runs the combined algorithm over a parameter grid in parallel and
@@ -56,12 +55,10 @@ pub fn solve_batch(instances: &[Instance], portfolio: &Portfolio) -> Vec<SapSolu
 /// ablation experiments.
 pub fn sweep_params(instance: &Instance, grid: &[SapParams]) -> Vec<(SapParams, u64)> {
     let ids = instance.all_ids();
-    grid.par_iter()
-        .map(|p| {
-            let sol = solve(instance, &ids, p);
-            (p.clone(), sol.weight(instance))
-        })
-        .collect()
+    parallel_map(grid, |p| {
+        let sol = solve(instance, &ids, p);
+        (p.clone(), sol.weight(instance))
+    })
 }
 
 #[cfg(test)]

@@ -63,6 +63,8 @@ pub fn solve_ring(instance: &RingInstance, params: &RingParams) -> (RingSolution
     let cut = instance.network().min_capacity_edge();
 
     // Branch 1: path SAP avoiding the cut edge.
+    // lint:allow(p1) — `cut` comes from `min_capacity_edge`, a valid edge id,
+    // and cut-opening a validated ring at a valid edge cannot fail.
     let (path_inst, id_map) = instance.cut_open(cut).expect("cut-open of a valid ring");
     let path_sol = solve(&path_inst, &path_inst.all_ids(), &params.path);
     let branch1 = ring_solution_from_path(instance, cut, &path_sol, &id_map);

@@ -109,6 +109,8 @@ pub fn solve_sapu_exact_dp(instance: &Instance, ids: &[TaskId]) -> SapSolution {
                 stack.push((st.clone(), next_starter + 1, w, placed.clone()));
                 // Option 2: place it at each free contiguous block.
                 let d = instance.demand(j) as usize;
+                // lint:allow(p1) — `starters` partitions exactly the ids in
+                // `ids`, so the lookup always succeeds.
                 let pos_in_ids = ids.iter().position(|&x| x == j).expect("starter in ids") as u32;
                 for h in 0..=(k.saturating_sub(d)) {
                     if st[h..h + d].iter().all(|&u| u == FREE) {

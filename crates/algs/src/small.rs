@@ -15,12 +15,11 @@
 //! (Fig. 4): strip `t` lives strictly below `2^t ≤ b(j)` for every
 //! `j ∈ J_t`, and different strips are vertically disjoint.
 //!
-//! Strata are processed in parallel (rayon) — they are independent
-//! subproblems.
+//! Strata are processed in parallel (scoped threads via
+//! [`sap_core::parallel_map`]) — they are independent subproblems.
 
-use rayon::prelude::*;
 use sap_core::{
-    clip_to_band, lift, stack, strata_by_bottleneck, Instance, SapSolution, TaskId,
+    clip_to_band, lift, parallel_map, stack, strata_by_bottleneck, Instance, SapSolution, TaskId,
 };
 
 /// Which per-stratum UFPP packer to use.
@@ -39,10 +38,8 @@ pub enum SmallAlgo {
 /// any input.
 pub fn solve_small(instance: &Instance, ids: &[TaskId], algo: SmallAlgo) -> SapSolution {
     let strata = strata_by_bottleneck(instance, ids);
-    let parts: Vec<SapSolution> = strata
-        .par_iter()
-        .map(|(t, members)| pack_stratum(instance, *t, members, algo))
-        .collect();
+    let parts: Vec<SapSolution> =
+        parallel_map(&strata, |(t, members)| pack_stratum(instance, *t, members, algo));
     let combined = stack(&parts);
     debug_assert!(combined.validate(instance).is_ok());
     combined

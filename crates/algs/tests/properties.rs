@@ -1,42 +1,45 @@
-//! Property tests for the algorithm crate: on arbitrary random instances
-//! every algorithm must return a feasible solution that never beats the
-//! exact optimum, and the combined algorithm must stay within its proved
+//! Seeded property tests for the algorithm crate (hermetic replacement
+//! for the old proptest suite): on arbitrary random instances every
+//! algorithm must return a feasible solution that never beats the exact
+//! optimum, and the combined algorithm must stay within its proved
 //! factor of it.
+//!
+//! Build with `--features proptest` to raise the iteration counts.
 
-use proptest::prelude::*;
 use sap_algs::{
-    baselines::greedy_sap_best, solve, solve_exact_sap, solve_large, solve_medium,
-    solve_small, ExactConfig, MediumParams, SapParams, SmallAlgo,
+    baselines::greedy_sap_best, solve, solve_exact_sap, solve_large, solve_medium, solve_small,
+    ExactConfig, MediumParams, SapParams, SmallAlgo,
 };
 use sap_core::{Instance, PathNetwork, Span, Task};
+use sap_gen::Rng64;
 
-fn arb_instance(max_tasks: usize) -> impl Strategy<Value = Instance> {
-    (2usize..=5, 1usize..=max_tasks).prop_flat_map(|(m, n)| {
-        let caps = proptest::collection::vec(8u64..=64, m);
-        let tasks = proptest::collection::vec((0..m, 1..=m, 1u64..=64, 1u64..=25), n);
-        (caps, tasks).prop_map(move |(caps, raw)| {
-            let net = PathNetwork::new(caps).unwrap();
-            let tasks: Vec<Task> = raw
-                .into_iter()
-                .map(|(lo, len, d, w)| {
-                    let lo = lo.min(m - 1);
-                    let hi = (lo + len).min(m).max(lo + 1);
-                    let b = net.bottleneck(Span::new(lo, hi).unwrap());
-                    Task::of(lo, hi, d.min(b).max(1), w)
-                })
-                .collect();
-            Instance::new(net, tasks).unwrap()
+const CASES: u64 = if cfg!(feature = "proptest") { 192 } else { 40 };
+
+fn arb_instance(rng: &mut Rng64, max_tasks: usize) -> Instance {
+    let m = rng.gen_range(2usize..=5);
+    let n = rng.gen_range(1usize..=max_tasks);
+    let caps: Vec<u64> = (0..m).map(|_| rng.gen_range(8u64..=64)).collect();
+    let net = PathNetwork::new(caps).unwrap();
+    let tasks: Vec<Task> = (0..n)
+        .map(|_| {
+            let lo = rng.gen_range(0..m);
+            let len = rng.gen_range(1..=m);
+            let hi = (lo + len).min(m).max(lo + 1);
+            let b = net.bottleneck(Span::new(lo, hi).unwrap());
+            let d = rng.gen_range(1u64..=64);
+            Task::of(lo, hi, d.min(b).max(1), rng.gen_range(1u64..=25))
         })
-    })
+        .collect();
+    Instance::new(net, tasks).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The combined algorithm: feasible, ≤ OPT, and ≥ OPT/10 (Theorem 4
-    /// with slack for the ε terms).
-    #[test]
-    fn combined_sandwiched_by_exact(inst in arb_instance(9)) {
+/// The combined algorithm: feasible, ≤ OPT, and ≥ OPT/10 (Theorem 4
+/// with slack for the ε terms).
+#[test]
+fn combined_sandwiched_by_exact() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0xa195_0001 ^ case);
+        let inst = arb_instance(&mut rng, 9);
         let ids = inst.all_ids();
         let opt = solve_exact_sap(&inst, &ids, ExactConfig::default())
             .expect("budget")
@@ -44,14 +47,18 @@ proptest! {
         let sol = solve(&inst, &ids, &SapParams::default());
         sol.validate(&inst).unwrap();
         let w = sol.weight(&inst);
-        prop_assert!(w <= opt);
-        prop_assert!(10 * w >= opt, "combined {w} vs opt {opt}");
+        assert!(w <= opt, "case {case}");
+        assert!(10 * w >= opt, "case {case}: combined {w} vs opt {opt}");
     }
+}
 
-    /// Every per-regime algorithm is feasible on arbitrary inputs (their
-    /// ratio only holds on their regime, but feasibility must always).
-    #[test]
-    fn all_algorithms_always_feasible(inst in arb_instance(12)) {
+/// Every per-regime algorithm is feasible on arbitrary inputs (their
+/// ratio only holds on their regime, but feasibility must always).
+#[test]
+fn all_algorithms_always_feasible() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0xa195_0002 ^ case);
+        let inst = arb_instance(&mut rng, 12);
         let ids = inst.all_ids();
         solve_small(&inst, &ids, SmallAlgo::LpRounding).validate(&inst).unwrap();
         solve_small(&inst, &ids, SmallAlgo::LocalRatio).validate(&inst).unwrap();
@@ -61,10 +68,14 @@ proptest! {
         }
         greedy_sap_best(&inst, &ids).validate(&inst).unwrap();
     }
+}
 
-    /// The exact solver is monotone: adding tasks never lowers OPT.
-    #[test]
-    fn exact_is_monotone_in_task_set(inst in arb_instance(8)) {
+/// The exact solver is monotone: adding tasks never lowers OPT.
+#[test]
+fn exact_is_monotone_in_task_set() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0xa195_0003 ^ case);
+        let inst = arb_instance(&mut rng, 8);
         let ids = inst.all_ids();
         let full = solve_exact_sap(&inst, &ids, ExactConfig::default())
             .expect("budget")
@@ -73,20 +84,27 @@ proptest! {
         let sub = solve_exact_sap(&inst, &half, ExactConfig::default())
             .expect("budget")
             .weight(&inst);
-        prop_assert!(sub <= full);
+        assert!(sub <= full, "case {case}");
     }
+}
 
-    /// Uniform-capacity instances: the Chen et al. column DP agrees with
-    /// the search-based exact solver (two independent exact algorithms).
-    #[test]
-    fn sapu_dp_cross_validates_exact(m in 2usize..=5, k in 2u64..=5, raw in proptest::collection::vec((0usize..5, 1usize..=5, 1u64..=5, 1u64..=20), 1..=9)) {
+/// Uniform-capacity instances: the Chen et al. column DP agrees with
+/// the search-based exact solver (two independent exact algorithms).
+#[test]
+fn sapu_dp_cross_validates_exact() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0xa195_0004 ^ case);
+        let m = rng.gen_range(2usize..=5);
+        let k = rng.gen_range(2u64..=5);
+        let n = rng.gen_range(1usize..=9);
         let net = PathNetwork::uniform(m, k).unwrap();
-        let tasks: Vec<Task> = raw
-            .into_iter()
-            .map(|(lo, len, d, w)| {
-                let lo = lo.min(m - 1);
+        let tasks: Vec<Task> = (0..n)
+            .map(|_| {
+                let lo = rng.gen_range(0usize..5).min(m - 1);
+                let len = rng.gen_range(1usize..=5);
                 let hi = (lo + len).min(m).max(lo + 1);
-                Task::of(lo, hi, d.min(k), w)
+                let d = rng.gen_range(1u64..=5);
+                Task::of(lo, hi, d.min(k), rng.gen_range(1u64..=20))
             })
             .collect();
         let inst = Instance::new(net, tasks).unwrap();
@@ -94,6 +112,6 @@ proptest! {
         let dp = sap_algs::solve_sapu_exact_dp(&inst, &ids);
         dp.validate(&inst).unwrap();
         let search = solve_exact_sap(&inst, &ids, ExactConfig::default()).expect("budget");
-        prop_assert_eq!(dp.weight(&inst), search.weight(&inst));
+        assert_eq!(dp.weight(&inst), search.weight(&inst), "case {case}");
     }
 }

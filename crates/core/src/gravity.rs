@@ -55,6 +55,9 @@ pub fn apply_gravity(instance: &Instance, solution: &SapSolution) -> SapSolution
     order.sort_unstable();
     let ids: Vec<TaskId> = order.into_iter().map(|(_, j)| j).collect();
     canonical_heights(instance, &ids)
+        // lint:allow(p1) — Observation 11: re-grounding a feasible solution in
+        // its vertical order is always feasible; the input is validated by the
+        // caller's contract.
         .expect("gravity of a feasible solution stays feasible")
 }
 

@@ -158,6 +158,8 @@ impl Instance {
     pub fn restrict(&self, ids: &[TaskId]) -> (Instance, Vec<TaskId>) {
         let tasks: Vec<Task> = ids.iter().map(|&j| self.tasks[j]).collect();
         let inst = Instance::new(self.network.clone(), tasks)
+            // lint:allow(p1) — the tasks were validated against this same
+            // network when `self` was constructed, so revalidation cannot fail.
             .expect("restriction of a valid instance is valid");
         (inst, ids.to_vec())
     }

@@ -46,6 +46,7 @@ pub mod error;
 pub mod gravity;
 pub mod instance;
 pub mod network;
+pub mod parallel;
 pub mod render;
 pub mod ring;
 pub mod rmq;
@@ -65,6 +66,7 @@ pub use error::{SapError, SapResult};
 pub use gravity::{apply_gravity, canonical_heights, is_grounded};
 pub use instance::Instance;
 pub use network::PathNetwork;
+pub use parallel::{join, join3, parallel_map};
 pub use render::{render_solution, render_solution_svg};
 pub use rmq::RangeMin;
 pub use solution::{Placement, SapSolution, UfppSolution};

@@ -91,7 +91,7 @@ impl PathNetwork {
 
     /// Maximum capacity over the whole path.
     pub fn max_capacity(&self) -> Capacity {
-        self.capacities.iter().copied().max().expect("non-empty")
+        self.capacities.iter().copied().fold(0, Capacity::max)
     }
 
     /// Leftmost edge within `span` achieving the bottleneck capacity.
@@ -99,6 +99,8 @@ impl PathNetwork {
         let b = self.bottleneck(span);
         (span.lo..span.hi)
             .find(|&e| self.capacities[e] == b)
+            // lint:allow(p1) — `b` is the minimum over `span`, and spans are
+            // validated non-empty, so some edge in the range attains it.
             .expect("bottleneck edge exists in a non-empty span")
     }
 

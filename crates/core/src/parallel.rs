@@ -1,0 +1,157 @@
+//! Minimal structured-concurrency helpers built on [`std::thread::scope`].
+//!
+//! The workspace's default build is hermetic (path dependencies only, see
+//! `cargo xtask lint`, lint H1), so it cannot use rayon. The algorithm
+//! crates only ever need two shapes of parallelism — a fork/join pair and
+//! an independent map over a slice — and scoped threads cover both with
+//! no work-stealing machinery.
+//!
+//! All helpers fall back to sequential execution for tiny inputs and
+//! propagate panics from worker closures to the caller.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to fan out to: the available parallelism,
+/// capped so small batches do not pay thread spawn cost per element.
+fn num_workers(jobs: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    hw.min(jobs).max(1)
+}
+
+/// Runs two closures, potentially in parallel, and returns both results.
+///
+/// Drop-in replacement for `rayon::join` for the combined algorithm's
+/// regime split.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = match hb.join() {
+            Ok(rb) => rb,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+/// Runs three closures, potentially in parallel, and returns all three
+/// results.
+pub fn join3<A, B, C, RA, RB, RC>(a: A, b: B, c: C) -> (RA, RB, RC)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    C: FnOnce() -> RC + Send,
+    RA: Send,
+    RB: Send,
+    RC: Send,
+{
+    let ((ra, rb), rc) = join(|| join(a, b), c);
+    (ra, rb, rc)
+}
+
+/// Applies `f` to every element of `items` and collects the results in
+/// input order, fanning the work out over scoped threads.
+///
+/// Workers pull indices from a shared atomic cursor, so uneven per-item
+/// cost (e.g. instances of very different sizes in a batch solve) load
+/// balances without chunking heuristics. Panics in `f` are propagated.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = num_workers(n);
+    if workers <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let cursor = AtomicUsize::new(0);
+
+    // Each worker claims one index at a time from the shared cursor and
+    // keeps (index, result) locally; results are merged in order at the
+    // end. No locks on the hot path.
+    let mut buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(local) => local,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(n);
+    for bucket in &mut buckets {
+        indexed.append(bucket);
+    }
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn join3_returns_all() {
+        let (a, b, c) = join3(|| 1, || 2, || 3);
+        assert_eq!((a, b, c), (1, 2, 3));
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = parallel_map(&items, |x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_empty_and_singleton() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, |x| *x).is_empty());
+        assert_eq!(parallel_map(&[7u32], |x| *x + 1), vec![8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn map_propagates_panics() {
+        let items: Vec<u32> = (0..64).collect();
+        let _ = parallel_map(&items, |x| {
+            if *x == 33 {
+                panic!("worker boom");
+            }
+            *x
+        });
+    }
+}

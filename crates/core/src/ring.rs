@@ -114,14 +114,18 @@ impl RingNetwork {
 
     /// An edge of minimum capacity.
     pub fn min_capacity_edge(&self) -> EdgeId {
-        (0..self.capacities.len())
-            .min_by_key(|&e| self.capacities[e])
-            .expect("ring has edges")
+        let mut best = 0;
+        for (e, &c) in self.capacities.iter().enumerate() {
+            if c < self.capacities[best] {
+                best = e;
+            }
+        }
+        best
     }
 
     /// Minimum capacity over the ring.
     pub fn min_capacity(&self) -> Capacity {
-        self.capacities.iter().copied().min().expect("ring has edges")
+        self.capacities.iter().copied().fold(Capacity::MAX, Capacity::min)
     }
 }
 
@@ -195,8 +199,7 @@ impl RingInstance {
         self.arc_of(j, choice)
             .edges(self.network.num_edges())
             .map(|e| self.network.capacity(e))
-            .min()
-            .expect("arcs are non-empty")
+            .fold(Capacity::MAX, Capacity::min)
     }
 
     /// Total weight of a set of task ids.

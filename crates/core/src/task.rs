@@ -93,6 +93,8 @@ impl Task {
     /// generators and examples where inputs are static.
     #[must_use]
     pub fn of(lo: EdgeId, hi: EdgeId, demand: Demand, weight: Weight) -> Self {
+        // lint:allow(p1) — documented panicking constructor for static task
+        // literals in tests and generators; fallible code uses `Task::new`.
         Self::new(lo, hi, demand, weight).expect("valid task literal")
     }
 }

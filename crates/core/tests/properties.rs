@@ -1,36 +1,40 @@
-//! Property-based tests for the core model.
+//! Seeded property tests for the core model (hermetic replacement for the
+//! old proptest suite — same invariants, in-repo PRNG, no registry deps).
 //!
 //! These check the paper's structural observations on randomized instances:
 //! Observation 1 (UFPP load vs bottleneck), Observation 2 (SAP makespan vs
 //! bottleneck), Observation 11 (gravity), and Lemma 14 (elevation split).
+//!
+//! Build with `--features proptest` to raise the iteration counts.
 
-use proptest::prelude::*;
 use sap_core::prelude::*;
 use sap_core::{
     apply_gravity, canonical_heights, elevation_split, is_delta_small, is_elevated, lift, stack,
 };
+use sap_gen::Rng64;
 
-/// Strategy: a random instance with `m` edges, `n` tasks, small capacities.
-fn arb_instance(max_edges: usize, max_tasks: usize, max_cap: u64) -> impl Strategy<Value = Instance> {
-    (2..=max_edges, 1..=max_tasks).prop_flat_map(move |(m, n)| {
-        let caps = proptest::collection::vec(1..=max_cap, m);
-        let tasks = proptest::collection::vec(
-            (0..m, 1..=m, 1..=max_cap, 0u64..100),
-            n,
-        );
-        (caps, tasks).prop_map(move |(caps, raw)| {
-            let net = PathNetwork::new(caps).unwrap();
-            let tasks: Vec<Task> = raw
-                .into_iter()
-                .map(|(lo, len, d, w)| {
-                    let lo = lo.min(m - 1);
-                    let hi = (lo + len).min(m).max(lo + 1);
-                    Task::of(lo, hi, d, w)
-                })
-                .collect();
-            Instance::new_pruning(net, tasks).unwrap().0
+/// Randomized cases per property; the non-default `proptest` feature
+/// trades runtime for coverage.
+const CASES: u64 = if cfg!(feature = "proptest") { 512 } else { 96 };
+
+/// A random instance with up to `max_edges` edges, `max_tasks` tasks and
+/// capacities in `[1, max_cap]`; unschedulable tasks are pruned.
+fn arb_instance(rng: &mut Rng64, max_edges: usize, max_tasks: usize, max_cap: u64) -> Instance {
+    let m = rng.gen_range(2..=max_edges);
+    let n = rng.gen_range(1..=max_tasks);
+    let caps: Vec<u64> = (0..m).map(|_| rng.gen_range(1..=max_cap)).collect();
+    let net = PathNetwork::new(caps).unwrap();
+    let tasks: Vec<Task> = (0..n)
+        .map(|_| {
+            let lo = rng.gen_range(0..m);
+            let len = rng.gen_range(1..=m);
+            let hi = (lo + len).min(m).max(lo + 1);
+            let d = rng.gen_range(1..=max_cap);
+            let w = rng.gen_range(0u64..100);
+            Task::of(lo, hi, d, w)
         })
-    })
+        .collect();
+    Instance::new_pruning(net, tasks).unwrap().0
 }
 
 /// Builds a feasible SAP solution greedily from a random insertion order:
@@ -46,28 +50,32 @@ fn greedy_feasible(inst: &Instance, order: &[TaskId]) -> SapSolution {
     canonical_heights(inst, &chosen).expect("prefix-checked order is feasible")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Observation 2: any feasible SAP solution has makespan ≤ max_j b(j)
-    /// on every edge.
-    #[test]
-    fn observation_2_makespan_bounded_by_max_bottleneck(inst in arb_instance(8, 10, 16)) {
+/// Observation 2: any feasible SAP solution has makespan ≤ max_j b(j)
+/// on every edge.
+#[test]
+fn observation_2_makespan_bounded_by_max_bottleneck() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0x0b5e_0002 ^ case);
+        let inst = arb_instance(&mut rng, 8, 10, 16);
         let order: Vec<TaskId> = inst.all_ids();
         let sol = greedy_feasible(&inst, &order);
         sol.validate(&inst).unwrap();
         if !sol.is_empty() {
             let max_b = sol.placements.iter().map(|p| inst.bottleneck(p.task)).max().unwrap();
             for ms in sol.makespans(&inst) {
-                prop_assert!(ms <= max_b, "makespan {ms} exceeds max bottleneck {max_b}");
+                assert!(ms <= max_b, "case {case}: makespan {ms} exceeds max bottleneck {max_b}");
             }
         }
     }
+}
 
-    /// Observation 1: any feasible UFPP solution has load ≤ 2·max_j b(j)
-    /// on every edge.
-    #[test]
-    fn observation_1_load_bounded_by_twice_max_bottleneck(inst in arb_instance(8, 10, 16)) {
+/// Observation 1: any feasible UFPP solution has load ≤ 2·max_j b(j)
+/// on every edge.
+#[test]
+fn observation_1_load_bounded_by_twice_max_bottleneck() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0x0b5e_0001 ^ case);
+        let inst = arb_instance(&mut rng, 8, 10, 16);
         // Build a feasible UFPP solution greedily.
         let mut sel: Vec<TaskId> = Vec::new();
         for j in inst.all_ids() {
@@ -81,15 +89,20 @@ proptest! {
         if !sol.is_empty() {
             let max_b = sol.tasks.iter().map(|&j| inst.bottleneck(j)).max().unwrap();
             for load in inst.loads(&sol.tasks) {
-                prop_assert!(load <= 2 * max_b);
+                assert!(load <= 2 * max_b, "case {case}");
             }
         }
     }
+}
 
-    /// Gravity keeps feasibility, selects the same tasks, never raises a
-    /// task, and is idempotent (Observation 11 / Fig. 5).
-    #[test]
-    fn gravity_properties(inst in arb_instance(8, 10, 16), seed in 0u64..1000) {
+/// Gravity keeps feasibility, selects the same tasks, never raises a
+/// task, and is idempotent (Observation 11 / Fig. 5).
+#[test]
+fn gravity_properties() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0x6ae_0011 ^ case);
+        let inst = arb_instance(&mut rng, 8, 10, 16);
+        let seed = rng.gen_range(0u64..1000);
         let mut order = inst.all_ids();
         // Pseudo-shuffle determined by the seed.
         let n = order.len();
@@ -110,38 +123,48 @@ proptest! {
         let mut b = subject.task_ids();
         a.sort_unstable();
         b.sort_unstable();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
         for p in &dropped.placements {
-            prop_assert!(p.height <= subject.height_of(p.task).unwrap());
+            assert!(p.height <= subject.height_of(p.task).unwrap(), "case {case}");
         }
         // Idempotent up to placement order.
         let mut again = apply_gravity(&inst, &dropped).placements;
         let mut first = dropped.placements.clone();
         again.sort_by_key(|p| p.task);
         first.sort_by_key(|p| p.task);
-        prop_assert_eq!(again, first);
-        prop_assert!(sap_core::is_grounded(&inst, &dropped));
+        assert_eq!(again, first, "case {case}");
+        assert!(sap_core::is_grounded(&inst, &dropped), "case {case}");
     }
+}
 
-    /// Stacking lifted strip solutions of bounded makespan is feasible:
-    /// if each part is `B_i`-packable and lifted so the strips
-    /// `[L_i, L_i + B_i)` are disjoint and below every used capacity,
-    /// the union validates.
-    #[test]
-    fn stacking_disjoint_strips_is_feasible(inst in arb_instance(6, 8, 8)) {
+/// Stacking lifted strip solutions of bounded makespan is feasible:
+/// if each part is `B_i`-packable and lifted so the strips
+/// `[L_i, L_i + B_i)` are disjoint and below every used capacity,
+/// the union validates.
+#[test]
+fn stacking_disjoint_strips_is_feasible() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0x57ac_c000 ^ case);
+        let inst = arb_instance(&mut rng, 6, 8, 8);
         // Strip 1: tasks with even id, packed from 0 with bound floor(cap/2).
         // Strip 2: odd ids, lifted by the bound.
         let min_cap = inst.network().min_capacity();
         let bound = min_cap / 2;
-        if bound == 0 { return Ok(()); }
+        if bound == 0 {
+            continue;
+        }
         let pack = |ids: Vec<TaskId>| -> SapSolution {
             let mut chosen = Vec::new();
             for j in ids {
-                if inst.demand(j) > bound { continue; }
+                if inst.demand(j) > bound {
+                    continue;
+                }
                 chosen.push(j);
                 match canonical_heights(&inst, &chosen) {
                     Some(s) if s.max_makespan(&inst) <= bound => {}
-                    _ => { chosen.pop(); }
+                    _ => {
+                        chosen.pop();
+                    }
                 }
             }
             canonical_heights(&inst, &chosen).unwrap()
@@ -151,16 +174,22 @@ proptest! {
         let combined = stack(&[evens, lift(&odds, bound)]);
         combined.validate(&inst).unwrap();
     }
+}
 
-    /// Lemma 14: splitting any feasible solution of (1−2β)-small tasks at
-    /// threshold β·2^k yields two feasible β-elevated solutions covering
-    /// all selected tasks. Here β = 1/4 and 2^k = smallest power of two
-    /// ≤ min capacity, so the threshold is exact.
-    #[test]
-    fn lemma_14_elevation_split(inst in arb_instance(8, 10, 64)) {
+/// Lemma 14: splitting any feasible solution of (1−2β)-small tasks at
+/// threshold β·2^k yields two feasible β-elevated solutions covering
+/// all selected tasks. Here β = 1/4 and 2^k = smallest power of two
+/// ≤ min capacity, so the threshold is exact.
+#[test]
+fn lemma_14_elevation_split() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0x1e44_a014 ^ case);
+        let inst = arb_instance(&mut rng, 8, 10, 64);
         let two_k = {
             let mc = inst.network().min_capacity();
-            if mc < 4 { return Ok(()); }
+            if mc < 4 {
+                continue;
+            }
             1u64 << mc.ilog2()
         };
         let beta = Ratio::new(1, 4);
@@ -176,35 +205,43 @@ proptest! {
         let split = elevation_split(&inst, &sol, threshold);
         split.lifted.validate(&inst).unwrap();
         split.kept.validate(&inst).unwrap();
-        prop_assert!(is_elevated(&split.lifted, threshold));
-        prop_assert!(is_elevated(&split.kept, threshold));
-        prop_assert_eq!(split.lifted.len() + split.kept.len(), sol.len());
+        assert!(is_elevated(&split.lifted, threshold), "case {case}");
+        assert!(is_elevated(&split.kept, threshold), "case {case}");
+        assert_eq!(split.lifted.len() + split.kept.len(), sol.len(), "case {case}");
     }
+}
 
-    /// The SAP validator accepts exactly what a brute-force pairwise
-    /// rectangle-overlap check accepts.
-    #[test]
-    fn validator_matches_bruteforce(inst in arb_instance(6, 6, 8), heights in proptest::collection::vec(0u64..8, 6)) {
+/// The SAP validator accepts exactly what a brute-force pairwise
+/// rectangle-overlap check accepts.
+#[test]
+fn validator_matches_bruteforce() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0xb4f3_0ce ^ case);
+        let inst = arb_instance(&mut rng, 6, 6, 8);
         let placements: Vec<(TaskId, u64)> = inst
             .all_ids()
             .into_iter()
-            .zip(heights.iter().copied())
+            .map(|j| (j, rng.gen_range(0u64..8)))
             .collect();
         let sol = SapSolution::from_pairs(placements.clone());
         let fast = sol.validate(&inst).is_ok();
         // Brute force.
         let mut ok = true;
         for &(j, h) in &placements {
-            if h + inst.demand(j) > inst.bottleneck(j) { ok = false; }
+            if h + inst.demand(j) > inst.bottleneck(j) {
+                ok = false;
+            }
         }
         for (i, &(j1, h1)) in placements.iter().enumerate() {
             for &(j2, h2) in &placements[i + 1..] {
                 if inst.span(j1).overlaps(inst.span(j2)) {
                     let disjoint = h1 + inst.demand(j1) <= h2 || h2 + inst.demand(j2) <= h1;
-                    if !disjoint { ok = false; }
+                    if !disjoint {
+                        ok = false;
+                    }
                 }
             }
         }
-        prop_assert_eq!(fast, ok);
+        assert_eq!(fast, ok, "case {case}");
     }
 }

@@ -1,54 +1,61 @@
-//! Property tests for the DSA crate.
+//! Seeded property tests for the DSA crate (hermetic replacement for the
+//! old proptest suite — same invariants, in-repo PRNG).
+//!
+//! Build with `--features proptest` to raise the iteration counts.
 
 use dsa::{allocate, makespan_lower_bound, pack_into_strip, DsaOrder};
-use proptest::prelude::*;
 use sap_core::{Instance, PathNetwork, Task, UfppSolution};
+use sap_gen::Rng64;
 
-fn arb_instance() -> impl Strategy<Value = Instance> {
-    (2usize..=8, 1usize..=20).prop_flat_map(|(m, n)| {
-        let tasks = proptest::collection::vec((0..m, 1..=m, 1u64..=10, 1u64..=20), n);
-        tasks.prop_map(move |raw| {
-            let net = PathNetwork::uniform(m, 1 << 30).unwrap();
-            let tasks: Vec<Task> = raw
-                .into_iter()
-                .map(|(lo, len, d, w)| {
-                    let lo = lo.min(m - 1);
-                    let hi = (lo + len).min(m).max(lo + 1);
-                    Task::of(lo, hi, d, w)
-                })
-                .collect();
-            Instance::new(net, tasks).unwrap()
+const CASES: u64 = if cfg!(feature = "proptest") { 768 } else { 144 };
+
+fn arb_instance(rng: &mut Rng64) -> Instance {
+    let m = rng.gen_range(2usize..=8);
+    let n = rng.gen_range(1usize..=20);
+    let net = PathNetwork::uniform(m, 1 << 30).unwrap();
+    let tasks: Vec<Task> = (0..n)
+        .map(|_| {
+            let lo = rng.gen_range(0..m);
+            let len = rng.gen_range(1..=m);
+            let hi = (lo + len).min(m).max(lo + 1);
+            Task::of(lo, hi, rng.gen_range(1u64..=10), rng.gen_range(1u64..=20))
         })
-    })
+        .collect();
+    Instance::new(net, tasks).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
-
-    /// Every allocator output is overlap-free, places all tasks, and
-    /// respects the LOAD lower bound.
-    #[test]
-    fn allocations_are_valid_and_bounded_below(inst in arb_instance()) {
+/// Every allocator output is overlap-free, places all tasks, and
+/// respects the LOAD lower bound.
+#[test]
+fn allocations_are_valid_and_bounded_below() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0xd5a0_0001 ^ case);
+        let inst = arb_instance(&mut rng);
         let ids = inst.all_ids();
         let load = makespan_lower_bound(&inst, &ids);
         for order in [DsaOrder::LeftEndpoint, DsaOrder::DemandDecreasing, DsaOrder::AsGiven] {
             let alloc = allocate(&inst, &ids, order);
-            prop_assert_eq!(alloc.len(), ids.len());
+            assert_eq!(alloc.len(), ids.len(), "case {case}");
             alloc.validate(&inst).unwrap();
-            prop_assert!(alloc.max_makespan(&inst) >= load);
-            prop_assert!(dsa::alloc::is_valid_allocation(&inst, &alloc));
+            assert!(alloc.max_makespan(&inst) >= load, "case {case}");
+            assert!(dsa::alloc::is_valid_allocation(&inst, &alloc), "case {case}");
         }
     }
+}
 
-    /// Unit demands: first-fit by left endpoint is exactly LOAD
-    /// (interval-graph colouring is perfect).
-    #[test]
-    fn unit_demands_hit_load(m in 2usize..=8, spans in proptest::collection::vec((0usize..8, 1usize..=8), 1..=20)) {
+/// Unit demands: first-fit by left endpoint is exactly LOAD
+/// (interval-graph colouring is perfect).
+#[test]
+fn unit_demands_hit_load() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0xd5a0_0002 ^ case);
+        let m = rng.gen_range(2usize..=8);
+        let n = rng.gen_range(1usize..=20);
         let net = PathNetwork::uniform(m, 1 << 20).unwrap();
-        let tasks: Vec<Task> = spans
-            .into_iter()
-            .map(|(lo, len)| {
-                let lo = lo.min(m - 1);
+        let tasks: Vec<Task> = (0..n)
+            .map(|_| {
+                let lo = rng.gen_range(0usize..8).min(m - 1);
+                let len = rng.gen_range(1usize..=8);
                 let hi = (lo + len).min(m).max(lo + 1);
                 Task::of(lo, hi, 1, 1)
             })
@@ -56,13 +63,18 @@ proptest! {
         let inst = Instance::new(net, tasks).unwrap();
         let ids = inst.all_ids();
         let alloc = allocate(&inst, &ids, DsaOrder::LeftEndpoint);
-        prop_assert_eq!(alloc.max_makespan(&inst), makespan_lower_bound(&inst, &ids));
+        assert_eq!(alloc.max_makespan(&inst), makespan_lower_bound(&inst, &ids), "case {case}");
     }
+}
 
-    /// The strip engine returns a bound-packable sub-solution whose kept
-    /// and dropped tasks partition the input.
-    #[test]
-    fn strip_partitions_and_respects_bound(inst in arb_instance(), bound in 1u64..=40) {
+/// The strip engine returns a bound-packable sub-solution whose kept
+/// and dropped tasks partition the input.
+#[test]
+fn strip_partitions_and_respects_bound() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0xd5a0_0003 ^ case);
+        let inst = arb_instance(&mut rng);
+        let bound = rng.gen_range(1u64..=40);
         let ids = inst.all_ids();
         let packing = pack_into_strip(&inst, &ids, bound);
         packing.solution.validate_packable(&inst, bound).unwrap();
@@ -71,13 +83,17 @@ proptest! {
         seen.sort_unstable();
         let mut expect = ids.clone();
         expect.sort_unstable();
-        prop_assert_eq!(seen, expect, "kept ∪ dropped = input");
+        assert_eq!(seen, expect, "case {case}: kept ∪ dropped = input");
     }
+}
 
-    /// When the input is already bound-packable as a UFPP solution and the
-    /// DSA lands within the bound, nothing is dropped.
-    #[test]
-    fn no_drops_when_dsa_fits(inst in arb_instance()) {
+/// When the input is already bound-packable as a UFPP solution and the
+/// DSA lands within the bound, nothing is dropped.
+#[test]
+fn no_drops_when_dsa_fits() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0xd5a0_0004 ^ case);
+        let inst = arb_instance(&mut rng);
         let ids = inst.all_ids();
         let load = makespan_lower_bound(&inst, &ids);
         // A bound comfortably above any first-fit outcome.
@@ -87,11 +103,14 @@ proptest! {
             .copied()
             .filter(|&j| inst.demand(j) <= bound)
             .collect();
-        prop_assert!(UfppSolution::new(sel.clone()).validate_packable(&inst, 2 * bound).is_ok());
+        assert!(
+            UfppSolution::new(sel.clone()).validate_packable(&inst, 2 * bound).is_ok(),
+            "case {case}"
+        );
         let packing = pack_into_strip(&inst, &sel, bound);
         if packing.dsa_makespan <= bound {
-            prop_assert!(packing.dropped.is_empty());
-            prop_assert_eq!(packing.solution.len(), sel.len());
+            assert!(packing.dropped.is_empty(), "case {case}");
+            assert_eq!(packing.solution.len(), sel.len(), "case {case}");
         }
     }
 }

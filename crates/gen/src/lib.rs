@@ -11,8 +11,10 @@
 //!   Fig. 8 (a ½-large SAP solution whose rectangles form a 5-cycle);
 //! * [`rings`] — ring-network workloads for §7.
 //!
-//! All generators take an explicit seed and use `ChaCha8Rng`, so every
-//! experiment in EXPERIMENTS.md is reproducible bit-for-bit.
+//! All generators take an explicit seed and use the in-repo
+//! [`rng::Rng64`] (SplitMix64-seeded xoshiro256**), so every experiment
+//! in EXPERIMENTS.md is reproducible bit-for-bit with no dependency on
+//! external crates.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,6 +24,7 @@ pub mod figures;
 pub mod profiles;
 pub mod random;
 pub mod rings;
+pub mod rng;
 pub mod traces;
 
 pub use adversarial::{blocker, comb, knapsack_core, staircase_tower};
@@ -29,4 +32,5 @@ pub use figures::{fig1a, fig1b, fig8, Fig8};
 pub use profiles::CapacityProfile;
 pub use random::{generate, DemandRegime, GenConfig};
 pub use rings::{generate_ring, RingGenConfig};
+pub use rng::Rng64;
 pub use traces::{generate_trace, TraceConfig};

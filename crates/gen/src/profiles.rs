@@ -1,7 +1,6 @@
 //! Capacity profiles for the path network.
 
-use rand::Rng;
-use rand_chacha::ChaCha8Rng;
+use crate::rng::Rng64;
 use sap_core::Capacity;
 
 /// Shapes of capacity profiles used across the experiments.
@@ -44,7 +43,7 @@ pub enum CapacityProfile {
 
 impl CapacityProfile {
     /// Materialises the profile over `m` edges.
-    pub fn build(&self, m: usize, rng: &mut ChaCha8Rng) -> Vec<Capacity> {
+    pub fn build(&self, m: usize, rng: &mut Rng64) -> Vec<Capacity> {
         assert!(m > 0, "profiles need at least one edge");
         match *self {
             CapacityProfile::Uniform(c) => vec![c; m],
@@ -75,7 +74,7 @@ impl CapacityProfile {
                 let mut c = rng.gen_range(lo..=hi);
                 (0..m)
                     .map(|_| {
-                        match rng.gen_range(0..3) {
+                        match rng.gen_range(0u64..3) {
                             0 => c = (c / 2).max(lo),
                             1 => {}
                             _ => c = (c * 2).min(hi),
@@ -91,10 +90,9 @@ impl CapacityProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> ChaCha8Rng {
-        ChaCha8Rng::seed_from_u64(42)
+    fn rng() -> Rng64 {
+        Rng64::seed_from_u64(42)
     }
 
     #[test]

@@ -1,7 +1,6 @@
 //! Random task workloads in the paper's size regimes.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use crate::rng::Rng64;
 use sap_core::{Instance, PathNetwork, Span, Task};
 
 use crate::profiles::CapacityProfile;
@@ -63,7 +62,7 @@ impl GenConfig {
 /// Generates a seeded instance. Demands always respect the bottleneck
 /// (`d ≤ b(j)`), so every task is individually schedulable.
 pub fn generate(config: &GenConfig, seed: u64) -> Instance {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let m = config.num_edges;
     let caps = config.profile.build(m, &mut rng);
     let net = PathNetwork::new(caps).expect("valid profile");
@@ -81,7 +80,7 @@ pub fn generate(config: &GenConfig, seed: u64) -> Instance {
     Instance::new(net, tasks).expect("generated tasks respect bottlenecks")
 }
 
-fn draw_demand(rng: &mut ChaCha8Rng, b: u64, regime: DemandRegime) -> u64 {
+fn draw_demand(rng: &mut Rng64, b: u64, regime: DemandRegime) -> u64 {
     match regime {
         DemandRegime::Small { delta_inv } => {
             let hi = (b / delta_inv).max(1);

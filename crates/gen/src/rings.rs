@@ -1,7 +1,6 @@
 //! Ring-network workloads (§7).
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use crate::rng::Rng64;
 use sap_core::ring::{RingInstance, RingNetwork, RingTask};
 
 use crate::profiles::CapacityProfile;
@@ -26,7 +25,7 @@ pub struct RingGenConfig {
 /// its two arcs.
 pub fn generate_ring(config: &RingGenConfig, seed: u64) -> RingInstance {
     assert!(config.num_edges >= 3, "rings need at least 3 edges");
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let m = config.num_edges;
     let caps = config.profile.build(m, &mut rng);
     let net = RingNetwork::new(caps.clone()).expect("valid ring");

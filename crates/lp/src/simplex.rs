@@ -222,6 +222,8 @@ impl<'a> Simplex<'a> {
         let mut w = vec![0.0; m];
         if var < self.n {
             for &(r, a) in &self.p.cols[var] {
+                // lint:allow(f1) — exact-zero sparsity skip of a stored
+                // coefficient, not a numeric convergence test.
                 if a != 0.0 {
                     for i in 0..m {
                         w[i] += self.binv[i * m + r] * a;
@@ -243,6 +245,8 @@ impl<'a> Simplex<'a> {
         let mut y = vec![0.0; m];
         for (i, &bv) in self.basis.iter().enumerate() {
             let cb = self.obj_of(bv);
+            // lint:allow(f1) — exact-zero sparsity skip: objective entries
+            // are 0.0 exactly for slack variables, no tolerance intended.
             if cb != 0.0 {
                 for r in 0..m {
                     y[r] += cb * self.binv[i * m + r];
@@ -361,6 +365,8 @@ impl<'a> Simplex<'a> {
                     for i in 0..m {
                         if i != row {
                             let f = w[i];
+                            // lint:allow(f1) — exact-zero sparsity skip in the
+                            // B⁻¹ update; a tolerance would change numerics.
                             if f != 0.0 {
                                 for r in 0..m {
                                     self.binv[i * m + r] -= f * self.binv[row * m + r];
@@ -404,6 +410,8 @@ impl<'a> Simplex<'a> {
         let mut x = vec![0.0; self.n];
         for var in 0..self.n {
             match self.state[var] {
+                // lint:allow(p1) — var < n and basic `row` < m by the
+                // VarState invariant, so all three indexes are in bounds.
                 VarState::Basic(row) => x[var] = self.xb[row].clamp(0.0, self.p.upper[var]),
                 VarState::AtUpper => x[var] = self.p.upper[var],
                 VarState::AtLower => {}

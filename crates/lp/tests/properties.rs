@@ -1,10 +1,15 @@
-//! Property tests for the simplex: on random packing LPs the solver must
-//! return a feasible point whose optimality is certified by its own duals
-//! (weak duality makes the certificate sound regardless of the pivoting
-//! path taken).
+//! Seeded property tests for the simplex (hermetic replacement for the
+//! old proptest suite): on random packing LPs the solver must return a
+//! feasible point whose optimality is certified by its own duals (weak
+//! duality makes the certificate sound regardless of the pivoting path
+//! taken).
+//!
+//! Build with `--features proptest` to raise the iteration counts.
 
 use lp_solver::{LpProblem, LpStatus};
-use proptest::prelude::*;
+use sap_gen::Rng64;
+
+const CASES: u64 = if cfg!(feature = "proptest") { 1024 } else { 192 };
 
 #[derive(Debug, Clone)]
 struct RandomLp {
@@ -12,58 +17,52 @@ struct RandomLp {
     cols: Vec<(f64, Vec<(usize, f64)>)>, // (objective, entries)
 }
 
-fn arb_lp() -> impl Strategy<Value = RandomLp> {
-    (1usize..=6, 1usize..=12).prop_flat_map(|(m, n)| {
-        let rhs = proptest::collection::vec(0u32..50, m);
-        let cols = proptest::collection::vec(
-            (
-                0u32..100,
-                proptest::collection::vec((0..m, 1u32..8), 1..=m),
-            ),
-            n,
-        );
-        (rhs, cols).prop_map(|(rhs, cols)| RandomLp {
-            rhs: rhs.into_iter().map(f64::from).collect(),
-            cols: cols
-                .into_iter()
-                .map(|(obj, entries)| {
-                    // deduplicate rows within a column (keep max coef)
-                    let mut per_row = std::collections::BTreeMap::new();
-                    for (r, a) in entries {
-                        let e = per_row.entry(r).or_insert(0.0f64);
-                        *e = e.max(f64::from(a));
-                    }
-                    (
-                        f64::from(obj) / 7.0,
-                        per_row.into_iter().collect::<Vec<_>>(),
-                    )
-                })
-                .collect(),
+fn arb_lp(rng: &mut Rng64) -> RandomLp {
+    let m = rng.gen_range(1usize..=6);
+    let n = rng.gen_range(1usize..=12);
+    let rhs: Vec<f64> = (0..m).map(|_| rng.gen_range(0u64..50) as f64).collect();
+    let cols = (0..n)
+        .map(|_| {
+            let obj = rng.gen_range(0u64..100) as f64 / 7.0;
+            // deduplicate rows within a column (keep max coef)
+            let mut per_row = std::collections::BTreeMap::new();
+            for _ in 0..rng.gen_range(1usize..=m) {
+                let r = rng.gen_range(0..m);
+                let a = rng.gen_range(1u64..8) as f64;
+                let e = per_row.entry(r).or_insert(0.0f64);
+                *e = e.max(a);
+            }
+            (obj, per_row.into_iter().collect::<Vec<_>>())
         })
-    })
+        .collect();
+    RandomLp { rhs, cols }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn solver_is_feasible_and_certified(lp in arb_lp()) {
+#[test]
+fn solver_is_feasible_and_certified() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0x51a9_1e30 ^ case);
+        let lp = arb_lp(&mut rng);
         let mut p = LpProblem::new(lp.rhs.clone());
         for (obj, entries) in &lp.cols {
             p.add_var(*obj, 1.0, entries);
         }
         let s = p.solve(0);
-        prop_assert_eq!(s.status, LpStatus::Optimal);
-        prop_assert!(p.is_feasible(&s.x, 1e-6));
+        assert_eq!(s.status, LpStatus::Optimal, "case {case}");
+        assert!(p.is_feasible(&s.x, 1e-6), "case {case}");
         // Weak-duality certificate: gap ~ 0 at optimality.
         let gap = s.duality_gap(&p);
-        prop_assert!(gap.abs() < 1e-5, "duality gap {gap}");
+        assert!(gap.abs() < 1e-5, "case {case}: duality gap {gap}");
         // The dual objective bounds any feasible point, e.g. 0 and e_j.
-        prop_assert!(s.dual_objective(&p) >= -1e-9);
+        assert!(s.dual_objective(&p) >= -1e-9, "case {case}");
     }
+}
 
-    #[test]
-    fn objective_monotone_in_capacity(lp in arb_lp()) {
+#[test]
+fn objective_monotone_in_capacity() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0x0b03_0702 ^ case);
+        let lp = arb_lp(&mut rng);
         let mut p1 = LpProblem::new(lp.rhs.clone());
         let mut p2 = LpProblem::new(lp.rhs.iter().map(|b| b * 2.0).collect());
         for (obj, entries) in &lp.cols {
@@ -72,13 +71,20 @@ proptest! {
         }
         let s1 = p1.solve(0);
         let s2 = p2.solve(0);
-        prop_assert!(s2.objective + 1e-6 >= s1.objective,
-            "doubling capacities cannot lower the optimum: {} vs {}",
-            s2.objective, s1.objective);
+        assert!(
+            s2.objective + 1e-6 >= s1.objective,
+            "case {case}: doubling capacities cannot lower the optimum: {} vs {}",
+            s2.objective,
+            s1.objective
+        );
     }
+}
 
-    #[test]
-    fn scaling_objective_scales_optimum(lp in arb_lp()) {
+#[test]
+fn scaling_objective_scales_optimum() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0x5ca1_e0b1 ^ case);
+        let lp = arb_lp(&mut rng);
         let mut p1 = LpProblem::new(lp.rhs.clone());
         let mut p3 = LpProblem::new(lp.rhs.clone());
         for (obj, entries) in &lp.cols {
@@ -87,6 +93,9 @@ proptest! {
         }
         let s1 = p1.solve(0);
         let s3 = p3.solve(0);
-        prop_assert!((s3.objective - 3.0 * s1.objective).abs() < 1e-5 * (1.0 + s3.objective.abs()));
+        assert!(
+            (s3.objective - 3.0 * s1.objective).abs() < 1e-5 * (1.0 + s3.objective.abs()),
+            "case {case}"
+        );
     }
 }

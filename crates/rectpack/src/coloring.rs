@@ -36,6 +36,8 @@ pub fn degeneracy_order(adj: &[Vec<usize>]) -> (Vec<usize>, usize) {
         let v = (0..n)
             .filter(|&v| !removed[v])
             .min_by_key(|&v| degree[v])
+            // lint:allow(p1) — the loop runs exactly `n` times and removes one
+            // vertex per iteration, so unremoved vertices always remain.
             .expect("vertices remain");
         degeneracy = degeneracy.max(degree[v]);
         removed[v] = true;
@@ -61,6 +63,8 @@ pub fn greedy_coloring(adj: &[Vec<usize>], order: &[usize]) -> Vec<usize> {
                 used[color[u]] = true;
             }
         }
+        // lint:allow(p1) — pigeonhole: `used` has deg(v)+1 slots and at most
+        // deg(v) neighbours can occupy one, so a free colour always exists.
         color[v] = used.iter().position(|&b| !b).expect("a free colour exists");
     }
     color

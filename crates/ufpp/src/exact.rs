@@ -18,6 +18,8 @@ pub fn solve_exact(instance: &Instance, ids: &[TaskId]) -> UfppSolution {
     // Suffix weight sums for pruning.
     let mut suffix = vec![0u64; order.len() + 1];
     for i in (0..order.len()).rev() {
+        // lint:allow(p1) — suffix has len+1 slots and i < len, so both
+        // accesses (and order[i]) are in bounds.
         suffix[i] = suffix[i + 1] + instance.weight(order[i]);
     }
 

@@ -45,16 +45,17 @@ pub fn round_lp_against_capacities(instance: &Instance, ids: &[TaskId]) -> UfppS
 
 /// Best-of portfolio UFPP heuristic.
 pub fn solve_ufpp_heuristic(instance: &Instance, ids: &[TaskId]) -> UfppSolution {
-    let candidates = [
-        round_lp_against_capacities(instance, ids),
+    let mut best = round_lp_against_capacities(instance, ids);
+    for cand in [
         greedy_by_weight(instance, ids),
         greedy_by_density(instance, ids),
         UfppSolution::new(weighted_interval_scheduling(instance, ids)),
-    ];
-    candidates
-        .into_iter()
-        .max_by_key(|s| s.weight(instance))
-        .expect("non-empty portfolio")
+    ] {
+        if cand.weight(instance) > best.weight(instance) {
+            best = cand;
+        }
+    }
+    best
 }
 
 #[cfg(test)]

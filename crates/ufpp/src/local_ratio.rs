@@ -91,6 +91,8 @@ pub fn weighted_interval_scheduling(instance: &Instance, ids: &[TaskId]) -> Vec<
     let mut best = vec![0u64; n + 1];
     let mut take = vec![false; n];
     for i in 0..n {
+        // lint:allow(p1) — p[i] = partition_point(..) ≤ n and best has n+1
+        // slots, so every index is in bounds.
         let with = instance.weight(order[i]) + best[p[i]];
         if with > best[i] {
             best[i + 1] = with;

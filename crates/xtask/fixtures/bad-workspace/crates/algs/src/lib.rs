@@ -1,0 +1,24 @@
+//! Fixture: v1 and allow-hygiene violations in an "algs" library file.
+
+/// v1: returns a Solution without ever debug-asserting the validator.
+pub fn solve_unchecked(instance: &Instance) -> SapSolution {
+    SapSolution::empty_for(instance)
+}
+
+/// Passes v1: the validator runs under debug_assertions.
+pub fn solve_checked(instance: &Instance) -> SapSolution {
+    let sol = SapSolution::empty_for(instance);
+    debug_assert!(sol.validate(instance).is_ok());
+    sol
+}
+
+/// allow: suppression without a justification is itself a finding.
+pub fn sloppy(x: Option<u32>) -> u32 {
+    x.unwrap() // lint:allow(p1)
+}
+
+/// allow: directives must name a known lint.
+pub fn typoed(x: Option<u32>) -> u32 {
+    // lint:allow(p9) — this lint name does not exist anywhere
+    x.unwrap_or(9)
+}

@@ -1,0 +1,6 @@
+//! Fixture: f1 violations in the ε-classification file.
+
+/// Compares floats exactly — twice.
+pub fn misclassify(delta: f64, ratio: f64) -> bool {
+    ratio == delta || ratio != 0.5
+}

@@ -1,0 +1,29 @@
+//! Fixture: p1 and d1 violations in a "core" library file.
+
+/// Documented, but panics three ways.
+pub fn panicky(x: Option<u32>, v: &[u32]) -> u32 {
+    let a = x.unwrap();
+    let b = v[0] + v[1] + v[2];
+    if a > b {
+        panic!("a > b");
+    }
+    a + b
+}
+
+pub fn undocumented() -> u32 {
+    41
+}
+
+pub struct Undocumented {
+    field: u32,
+}
+
+/// The test module is exempt from p1.
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fine_here() {
+        None::<u32>.unwrap_or(0);
+        Some(1u32).unwrap();
+    }
+}

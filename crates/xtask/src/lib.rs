@@ -1,0 +1,284 @@
+//! Workspace maintenance tasks for the storage-allocation repo.
+//!
+//! The only task today is `lint`: a zero-dependency, line/token-level
+//! static-analysis pass that enforces the invariants the SAP algorithm
+//! crates rely on but `rustc` cannot check:
+//!
+//! * **h1 — hermeticity.** Every manifest in the default build may only
+//!   use `path` dependencies (dev-deps and `optional = true` deps are
+//!   exempt). The build environment has no registry access, so a single
+//!   version dependency breaks `cargo build` before any code compiles.
+//! * **p1 — panic freedom.** Library code of the algorithm crates must
+//!   not call `unwrap`/`expect`/`panic!`/`unreachable!` or index-chain
+//!   its way into a bounds panic; fallible paths return `SapError`.
+//! * **f1 — float equality.** The ε-classification and LP code must
+//!   compare floats with tolerances, never `==`/`!=`.
+//! * **v1 — validator coverage.** Every public algorithm entry point in
+//!   `sap-algs` that returns a `Solution` must feed it through the
+//!   sap-core feasibility validator under `debug_assertions`.
+//! * **d1 — docs.** Public functions and structs in `sap-core` and
+//!   `sap-algs` carry doc comments.
+//!
+//! Any finding can be suppressed with `// lint:allow(<name>) — why`
+//! (or `# lint:allow(h1) — why` in TOML). The justification text is
+//! mandatory: an allow without one is itself reported under the
+//! `allow` pseudo-lint.
+
+pub mod manifest;
+pub mod rust_lints;
+pub mod source;
+pub mod workspace;
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// The set of lints `xtask lint` knows about, plus the `allow`
+/// pseudo-lint that polices the suppression mechanism itself.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Lint {
+    /// Hermetic manifests: no registry dependencies in the default build.
+    H1,
+    /// Panic-freedom in algorithm library code.
+    P1,
+    /// No float `==`/`!=` in ε-classification / LP code.
+    F1,
+    /// Solutions returned by `sap-algs` pass the feasibility validator.
+    V1,
+    /// Doc comments on public items of `sap-core` / `sap-algs`.
+    D1,
+    /// Malformed `lint:allow` directives (missing justification,
+    /// unknown lint name).
+    Allow,
+}
+
+/// All lints, in reporting order.
+pub const ALL_LINTS: [Lint; 6] = [Lint::H1, Lint::P1, Lint::F1, Lint::V1, Lint::D1, Lint::Allow];
+
+impl Lint {
+    /// The short name used in diagnostics and on the command line.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::H1 => "h1",
+            Lint::P1 => "p1",
+            Lint::F1 => "f1",
+            Lint::V1 => "v1",
+            Lint::D1 => "d1",
+            Lint::Allow => "allow",
+        }
+    }
+
+    /// One-line description shown by `xtask lint --list`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Lint::H1 => "non-path registry dependency in a default-build manifest",
+            Lint::P1 => "panicking construct in algorithm library code",
+            Lint::F1 => "float == / != comparison in classification or LP code",
+            Lint::V1 => "pub fn returning a Solution without a debug-mode validator call",
+            Lint::D1 => "pub fn / pub struct without a doc comment",
+            Lint::Allow => "malformed lint:allow directive",
+        }
+    }
+
+    /// Parse a lint name as written on the command line or inside a
+    /// `lint:allow(...)` directive.
+    pub fn from_name(name: &str) -> Option<Lint> {
+        match name {
+            "h1" => Some(Lint::H1),
+            "p1" => Some(Lint::P1),
+            "f1" => Some(Lint::F1),
+            "v1" => Some(Lint::V1),
+            "d1" => Some(Lint::D1),
+            "allow" => Some(Lint::Allow),
+            _ => None,
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Lint::H1 => 0,
+            Lint::P1 => 1,
+            Lint::F1 => 2,
+            Lint::V1 => 3,
+            Lint::D1 => 4,
+            Lint::Allow => 5,
+        }
+    }
+}
+
+/// Severity assigned to a lint for one run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Level {
+    /// Findings are reported and make the run exit nonzero.
+    Deny,
+    /// Findings are reported but do not affect the exit code.
+    Warn,
+}
+
+/// Per-lint severity table. The default denies everything: the tree is
+/// expected to stay lint-clean.
+#[derive(Clone, Debug)]
+pub struct Levels([Level; 6]);
+
+impl Default for Levels {
+    fn default() -> Self {
+        Levels([Level::Deny; 6])
+    }
+}
+
+impl Levels {
+    /// Severity of `lint` under this table.
+    pub fn get(&self, lint: Lint) -> Level {
+        self.0[lint.index()]
+    }
+
+    /// Set one lint's severity.
+    pub fn set(&mut self, lint: Lint, level: Level) {
+        self.0[lint.index()] = level;
+    }
+
+    /// Set every lint's severity.
+    pub fn set_all(&mut self, level: Level) {
+        self.0 = [level; 6];
+    }
+}
+
+/// A single diagnostic: `file:line: [lint] message`.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.lint.name(), self.message)
+    }
+}
+
+/// Everything one `xtask lint` invocation needs to know.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Workspace root (the directory holding the root `Cargo.toml`).
+    pub root: PathBuf,
+    /// Per-lint severities.
+    pub levels: Levels,
+    /// Emit machine-readable JSON instead of `file:line:` diagnostics.
+    pub json: bool,
+}
+
+/// Outcome of a lint run, before rendering.
+#[derive(Debug)]
+pub struct Report {
+    /// All findings, sorted by (file, line, lint).
+    pub findings: Vec<Finding>,
+    /// How many findings are at `Deny` severity.
+    pub denied: usize,
+    /// How many findings are at `Warn` severity.
+    pub warned: usize,
+}
+
+/// Run every lint over the workspace at `cfg.root`.
+pub fn run_lint(cfg: &Config) -> Result<Report, String> {
+    let ws = workspace::discover(&cfg.root)?;
+    let mut findings = Vec::new();
+    for m in &ws.manifests {
+        let text = std::fs::read_to_string(&m.path)
+            .map_err(|e| format!("{}: {e}", m.path.display()))?;
+        findings.extend(manifest::lint_manifest(&m.rel, &text));
+    }
+    for f in &ws.rust_files {
+        // The linter does not lint its own sources: they necessarily
+        // spell out every needle (`panic!`, `lint:allow(...)`) in docs,
+        // messages and tests. Its manifest stays h1-checked above.
+        if f.rel.starts_with("crates/xtask/") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&f.path)
+            .map_err(|e| format!("{}: {e}", f.path.display()))?;
+        let src = source::SourceFile::parse(&f.rel, &text);
+        findings.extend(rust_lints::lint_source(&src));
+    }
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.lint).cmp(&(b.file.as_str(), b.line, b.lint))
+    });
+    let denied = findings.iter().filter(|f| cfg.levels.get(f.lint) == Level::Deny).count();
+    let warned = findings.len() - denied;
+    Ok(Report { findings, denied, warned })
+}
+
+/// Render a report as compact JSON (hand-rolled: xtask takes no deps).
+pub fn report_to_json(report: &Report, levels: &Levels) -> String {
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"lint\":\"{}\",\"level\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            f.lint.name(),
+            match levels.get(f.lint) {
+                Level::Deny => "deny",
+                Level::Warn => "warn",
+            },
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.message),
+        ));
+    }
+    out.push_str(&format!(
+        "],\"denied\":{},\"warned\":{}}}",
+        report.denied, report.warned
+    ));
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_names_round_trip() {
+        for lint in ALL_LINTS {
+            assert_eq!(Lint::from_name(lint.name()), Some(lint));
+        }
+        assert_eq!(Lint::from_name("z9"), None);
+    }
+
+    #[test]
+    fn levels_default_deny_and_override() {
+        let mut levels = Levels::default();
+        assert_eq!(levels.get(Lint::P1), Level::Deny);
+        levels.set(Lint::P1, Level::Warn);
+        assert_eq!(levels.get(Lint::P1), Level::Warn);
+        assert_eq!(levels.get(Lint::H1), Level::Deny);
+        levels.set_all(Level::Warn);
+        assert_eq!(levels.get(Lint::H1), Level::Warn);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,355 @@
+//! The h1 hermeticity lint: a line-oriented `Cargo.toml` scanner that
+//! rejects registry dependencies in the default build.
+//!
+//! The build environment resolves dependencies without network access
+//! and without a committed lockfile, so *any* non-`path` dependency in
+//! the resolved workspace graph — including transitively through
+//! `[workspace.dependencies]` — fails `cargo build` outright. This lint
+//! keeps the invariant machine-checked: a dependency entry must either
+//! carry a `path` key, inherit from the workspace (`workspace = true`),
+//! or be exempt (`[dev-dependencies]`, or `optional = true` so it only
+//! enters feature-gated builds).
+//!
+//! Suppression uses TOML comments: `# lint:allow(h1) — why`, on the
+//! dependency's line or the comment line directly above it.
+
+use crate::{Finding, Lint};
+
+/// Which kind of dependency table a section is.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum TableKind {
+    /// `[dependencies]`, `[workspace.dependencies]`,
+    /// `[build-dependencies]`, `[target.'…'.dependencies]`.
+    Checked,
+    /// `[dev-dependencies]` and target-specific dev tables — exempt.
+    Dev,
+    /// Anything else (`[package]`, `[features]`, …).
+    Other,
+}
+
+/// A dependency entry accumulated from one or more lines.
+#[derive(Debug)]
+struct DepEntry {
+    name: String,
+    line: usize, // 1-based line of the entry (or subtable header)
+    has_path: bool,
+    from_workspace: bool,
+    optional: bool,
+    registry_spec: bool, // saw version / git / registry keys
+}
+
+impl DepEntry {
+    fn new(name: &str, line: usize) -> DepEntry {
+        DepEntry {
+            name: name.to_string(),
+            line,
+            has_path: false,
+            from_workspace: false,
+            optional: false,
+            registry_spec: false,
+        }
+    }
+
+    fn absorb_key(&mut self, key: &str, value: &str) {
+        match key {
+            "path" => self.has_path = true,
+            "workspace" => self.from_workspace = value.trim() == "true",
+            "optional" => self.optional = value.trim() == "true",
+            "version" | "git" | "registry" | "branch" | "tag" | "rev" => {
+                self.registry_spec = true;
+            }
+            _ => {}
+        }
+    }
+
+    fn violation(&self) -> bool {
+        !(self.has_path || self.from_workspace || self.optional) && self.registry_spec
+    }
+}
+
+/// Lint one manifest. `rel_path` is used in diagnostics.
+pub fn lint_manifest(rel_path: &str, text: &str) -> Vec<Finding> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut findings = Vec::new();
+    let mut kind = TableKind::Other;
+    // For `[dependencies.foo]` subtables we accumulate until the next
+    // section header.
+    let mut open_entry: Option<DepEntry> = None;
+
+    for (idx, raw) in lines.iter().enumerate() {
+        let line = strip_toml_comment(raw);
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed.starts_with('[') {
+            if let Some(entry) = open_entry.take() {
+                push_if_violation(&mut findings, rel_path, &lines, entry);
+            }
+            let section = trimmed.trim_start_matches('[').trim_end_matches(']').trim();
+            let (table, subdep) = classify_section(section);
+            kind = table;
+            if let (TableKind::Checked, Some(dep_name)) = (table, subdep) {
+                open_entry = Some(DepEntry::new(dep_name, idx + 1));
+            }
+            continue;
+        }
+        let Some((key, value)) = split_key_value(trimmed) else { continue };
+        if let Some(entry) = open_entry.as_mut() {
+            entry.absorb_key(key, value);
+            continue;
+        }
+        if kind != TableKind::Checked {
+            continue;
+        }
+        // A dependency line inside a checked table.
+        let mut entry;
+        if let Some((name, sub)) = key.split_once('.') {
+            // Dotted form: `foo.workspace = true` / `foo.path = "…"`.
+            entry = DepEntry::new(name.trim(), idx + 1);
+            entry.absorb_key(sub.trim(), value);
+        } else {
+            entry = DepEntry::new(key, idx + 1);
+            let value = value.trim();
+            if value.starts_with('{') {
+                for (k, v) in inline_table_pairs(value) {
+                    entry.absorb_key(&k, &v);
+                }
+            } else if value.starts_with('"') {
+                // `foo = "1.0"` — plain registry version.
+                entry.registry_spec = true;
+            }
+        }
+        push_if_violation(&mut findings, rel_path, &lines, entry);
+    }
+    if let Some(entry) = open_entry.take() {
+        push_if_violation(&mut findings, rel_path, &lines, entry);
+    }
+    findings
+}
+
+fn push_if_violation(
+    findings: &mut Vec<Finding>,
+    rel_path: &str,
+    lines: &[&str],
+    entry: DepEntry,
+) {
+    if !entry.violation() {
+        return;
+    }
+    match toml_allowed(lines, entry.line - 1) {
+        Some(true) => {}
+        Some(false) => findings.push(Finding {
+            lint: Lint::Allow,
+            file: rel_path.to_string(),
+            line: entry.line,
+            message: "lint:allow(h1) requires a justification, e.g. \
+                      `# lint:allow(h1) — vendored before release`"
+                .to_string(),
+        }),
+        None => findings.push(Finding {
+            lint: Lint::H1,
+            file: rel_path.to_string(),
+            line: entry.line,
+            message: format!(
+                "registry dependency `{}` in a default-build manifest breaks the \
+                 offline build; use a path dependency, mark it `optional = true`, \
+                 or move it to [dev-dependencies]",
+                entry.name
+            ),
+        }),
+    }
+}
+
+/// Classify a section header; for `dependencies.foo` subtables also
+/// return the dependency name.
+fn classify_section(section: &str) -> (TableKind, Option<&str>) {
+    // Normalise `target.'cfg(…)'.dependencies` to its trailing part.
+    let tail = if let Some(stripped) = section.strip_prefix("target.") {
+        if let Some(p) = stripped.rfind("dev-dependencies") {
+            &stripped[p..]
+        } else if let Some(p) = stripped.rfind("dependencies") {
+            &stripped[p..]
+        } else {
+            return (TableKind::Other, None);
+        }
+    } else {
+        section
+    };
+    for dev in ["dev-dependencies", "dev_dependencies"] {
+        if tail == dev || tail.starts_with(&format!("{dev}.")) {
+            return (TableKind::Dev, None);
+        }
+    }
+    for checked in ["dependencies", "workspace.dependencies", "build-dependencies"] {
+        if tail == checked {
+            return (TableKind::Checked, None);
+        }
+        if let Some(dep) = tail.strip_prefix(&format!("{checked}.")) {
+            return (TableKind::Checked, Some(dep));
+        }
+    }
+    (TableKind::Other, None)
+}
+
+/// Split `key = value`, tolerating quoted keys.
+fn split_key_value(line: &str) -> Option<(&str, &str)> {
+    let eq = line.find('=')?;
+    let key = line[..eq].trim().trim_matches('"');
+    let value = line[eq + 1..].trim();
+    if key.is_empty() {
+        None
+    } else {
+        Some((key, value))
+    }
+}
+
+/// Parse the `k = v` pairs of a single-line inline table `{ … }`.
+/// Values containing commas inside arrays are handled by bracket
+/// tracking; nested tables are not (cargo manifests don't need them).
+fn inline_table_pairs(value: &str) -> Vec<(String, String)> {
+    let inner = value.trim().trim_start_matches('{').trim_end_matches('}');
+    let mut pairs = Vec::new();
+    let mut depth = 0i32;
+    let mut item = String::new();
+    let mut items = Vec::new();
+    for c in inner.chars() {
+        match c {
+            '[' | '{' => {
+                depth += 1;
+                item.push(c);
+            }
+            ']' | '}' => {
+                depth -= 1;
+                item.push(c);
+            }
+            ',' if depth == 0 => {
+                items.push(item.clone());
+                item.clear();
+            }
+            _ => item.push(c),
+        }
+    }
+    if !item.trim().is_empty() {
+        items.push(item);
+    }
+    for it in items {
+        if let Some((k, v)) = split_key_value(it.trim()) {
+            pairs.push((k.to_string(), v.to_string()));
+        }
+    }
+    pairs
+}
+
+/// Everything after an unquoted `#` is a TOML comment.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Find a `# lint:allow(h1)` directive on `idx` (0-based) or the run of
+/// comment lines directly above; returns its `justified` flag.
+fn toml_allowed(lines: &[&str], idx: usize) -> Option<bool> {
+    if let Some(j) = line_allow(lines[idx]) {
+        return Some(j);
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let trimmed = lines[i].trim();
+        if !trimmed.starts_with('#') {
+            break;
+        }
+        if let Some(j) = line_allow(lines[i]) {
+            return Some(j);
+        }
+    }
+    None
+}
+
+fn line_allow(raw: &str) -> Option<bool> {
+    let hash = {
+        let mut in_str = false;
+        let mut found = None;
+        for (i, c) in raw.char_indices() {
+            match c {
+                '"' => in_str = !in_str,
+                '#' if !in_str => {
+                    found = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        found?
+    };
+    let comment = &raw[hash..];
+    let pos = comment.find("lint:allow(")?;
+    let after = &comment[pos + "lint:allow(".len()..];
+    let close = after.find(')')?;
+    if after[..close].trim() != "h1" {
+        return None;
+    }
+    let tail = after[close + 1..]
+        .trim_start_matches([' ', '\t', ':', '-', '—', '–', '.'])
+        .trim();
+    Some(tail.len() >= crate::source::MIN_JUSTIFICATION)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_dep_flagged() {
+        let toml = "[package]\nname = \"x\"\n\n[dependencies]\nserde = \"1.0\"\n";
+        let f = lint_manifest("Cargo.toml", toml);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].lint, Lint::H1);
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn path_and_workspace_deps_pass() {
+        let toml = "[dependencies]\nsap-core = { path = \"../core\" }\nlp-solver.workspace = true\nother = { workspace = true }\n";
+        assert!(lint_manifest("Cargo.toml", toml).is_empty());
+    }
+
+    #[test]
+    fn dev_and_optional_exempt() {
+        let toml = "[dev-dependencies]\ncriterion = \"0.5\"\n\n[dependencies]\nserde = { version = \"1\", optional = true }\n";
+        assert!(lint_manifest("Cargo.toml", toml).is_empty());
+    }
+
+    #[test]
+    fn git_dep_flagged_and_subtable_form() {
+        let toml = "[dependencies.rayon]\ngit = \"https://example.com/rayon\"\nbranch = \"main\"\n";
+        let f = lint_manifest("Cargo.toml", toml);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn workspace_dependencies_checked() {
+        let toml = "[workspace.dependencies]\nserde = \"1.0\"\nsap-core = { path = \"crates/core\" }\n";
+        let f = lint_manifest("Cargo.toml", toml);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("serde"));
+    }
+
+    #[test]
+    fn allow_with_justification_suppresses() {
+        let toml = "[dependencies]\n# lint:allow(h1) — vendored into /vendor before release builds\nserde = \"1.0\"\nrand = \"0.8\" # lint:allow(h1)\n";
+        let f = lint_manifest("Cargo.toml", toml);
+        assert_eq!(f.len(), 1, "unjustified allow becomes an allow finding");
+        assert_eq!(f[0].lint, Lint::Allow);
+        assert_eq!(f[0].line, 4);
+    }
+}

@@ -1,0 +1,176 @@
+//! Workspace discovery: which manifests and source files the lints
+//! cover. Only default-build members count — crates listed under
+//! `[workspace] exclude` (like `crates/bench`, which keeps its registry
+//! deps behind its own workspace) are invisible to the lint pass.
+
+use std::path::{Path, PathBuf};
+
+/// A file to lint, with its workspace-relative display path.
+#[derive(Debug)]
+pub struct WsFile {
+    /// Absolute path on disk.
+    pub path: PathBuf,
+    /// `/`-separated path relative to the workspace root.
+    pub rel: String,
+}
+
+/// The lintable surface of a workspace.
+#[derive(Debug)]
+pub struct Workspace {
+    /// The workspace root directory.
+    pub root: PathBuf,
+    /// Root manifest plus each member's manifest.
+    pub manifests: Vec<WsFile>,
+    /// Every `.rs` file under the root package's and members' `src/`.
+    pub rust_files: Vec<WsFile>,
+}
+
+/// Discover the workspace rooted at `root` (the directory holding the
+/// root `Cargo.toml`).
+pub fn discover(root: &Path) -> Result<Workspace, String> {
+    let root_manifest = root.join("Cargo.toml");
+    let text = std::fs::read_to_string(&root_manifest)
+        .map_err(|e| format!("{}: {e}", root_manifest.display()))?;
+    let members = parse_string_array(&text, "members");
+    let excludes = parse_string_array(&text, "exclude");
+
+    let mut member_dirs: Vec<PathBuf> = vec![root.to_path_buf()];
+    for m in &members {
+        if let Some(prefix) = m.strip_suffix("/*") {
+            let dir = root.join(prefix);
+            let Ok(entries) = std::fs::read_dir(&dir) else { continue };
+            let mut subs: Vec<PathBuf> = entries
+                .flatten()
+                .map(|e| e.path())
+                .filter(|p| p.join("Cargo.toml").is_file())
+                .collect();
+            subs.sort();
+            member_dirs.extend(subs);
+        } else {
+            member_dirs.push(root.join(m));
+        }
+    }
+    member_dirs.retain(|d| {
+        let rel = rel_of(root, d);
+        !excludes.iter().any(|e| rel == *e)
+    });
+    member_dirs.dedup();
+
+    let mut manifests = Vec::new();
+    let mut rust_files = Vec::new();
+    for dir in &member_dirs {
+        let manifest = dir.join("Cargo.toml");
+        if !manifest.is_file() {
+            return Err(format!("member manifest not found: {}", manifest.display()));
+        }
+        manifests.push(WsFile { rel: rel_of(root, &manifest), path: manifest });
+        let src = dir.join("src");
+        if src.is_dir() {
+            collect_rs(root, &src, &mut rust_files)?;
+        }
+    }
+    rust_files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(Workspace { root: root.to_path_buf(), manifests, rust_files })
+}
+
+/// Walk upward from `start` to the nearest directory whose Cargo.toml
+/// declares a `[workspace]`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<WsFile>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(WsFile { rel: rel_of(root, &path), path });
+        }
+    }
+    Ok(())
+}
+
+fn rel_of(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Extract `key = [ "a", "b", … ]` (possibly multi-line) from TOML text.
+fn parse_string_array(text: &str, key: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_array = false;
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("");
+        let trimmed = line.trim();
+        if !in_array {
+            let Some(rest) = trimmed.strip_prefix(key) else { continue };
+            let Some(rest) = rest.trim_start().strip_prefix('=') else { continue };
+            let rest = rest.trim_start();
+            if !rest.starts_with('[') {
+                continue;
+            }
+            in_array = true;
+            collect_quoted(rest, &mut out);
+            if rest.contains(']') {
+                in_array = false;
+            }
+        } else {
+            collect_quoted(trimmed, &mut out);
+            if trimmed.contains(']') {
+                in_array = false;
+            }
+        }
+    }
+    out
+}
+
+fn collect_quoted(s: &str, out: &mut Vec<String>) {
+    let mut rest = s;
+    while let Some(start) = rest.find('"') {
+        let Some(len) = rest[start + 1..].find('"') else { break };
+        out.push(rest[start + 1..start + 1 + len].to_string());
+        rest = &rest[start + 2 + len..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_inline_and_multiline_arrays() {
+        let toml = "members = [\"a\", \"b\"]\nexclude = [\n    \"c\",\n    \"d\",\n]\n";
+        assert_eq!(parse_string_array(toml, "members"), ["a", "b"]);
+        assert_eq!(parse_string_array(toml, "exclude"), ["c", "d"]);
+    }
+
+    #[test]
+    fn real_workspace_discovers_members_and_sources() {
+        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let ws = discover(&root).unwrap();
+        assert!(ws.manifests.iter().any(|m| m.rel == "Cargo.toml"));
+        assert!(ws.manifests.iter().any(|m| m.rel == "crates/core/Cargo.toml"));
+        assert!(
+            !ws.manifests.iter().any(|m| m.rel.contains("bench")),
+            "excluded members must not be linted"
+        );
+        assert!(ws.rust_files.iter().any(|f| f.rel == "crates/core/src/lib.rs"));
+        assert!(ws.rust_files.iter().any(|f| f.rel == "src/lib.rs"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Fixture-based self-tests: every lint must fire on the known-bad
+//! snippets and stay quiet on the known-clean ones.
+
+use std::path::PathBuf;
+
+use xtask::source::SourceFile;
+use xtask::{manifest, rust_lints, Lint};
+
+fn fixture(rel: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+fn lints_of(findings: &[xtask::Finding]) -> Vec<Lint> {
+    findings.iter().map(|f| f.lint).collect()
+}
+
+#[test]
+fn bad_core_lib_fires_p1_and_d1() {
+    let src = SourceFile::parse(
+        "crates/core/src/lib.rs",
+        &fixture("bad-workspace/crates/core/src/lib.rs"),
+    );
+    let findings = rust_lints::lint_source(&src);
+    let lints = lints_of(&findings);
+    assert_eq!(lints.iter().filter(|&&l| l == Lint::P1).count(), 3, "{findings:?}");
+    assert_eq!(lints.iter().filter(|&&l| l == Lint::D1).count(), 2, "{findings:?}");
+    assert!(
+        findings.iter().any(|f| f.lint == Lint::P1 && f.message.contains("indexing-heavy")),
+        "{findings:?}"
+    );
+    assert!(
+        !findings.iter().any(|f| f.line > 21),
+        "nothing may fire inside the #[cfg(test)] module: {findings:?}"
+    );
+}
+
+#[test]
+fn bad_classify_fires_f1() {
+    let src = SourceFile::parse(
+        "crates/core/src/classify.rs",
+        &fixture("bad-workspace/crates/core/src/classify.rs"),
+    );
+    let findings = rust_lints::lint_source(&src);
+    assert_eq!(lints_of(&findings), [Lint::F1, Lint::F1], "{findings:?}");
+}
+
+#[test]
+fn bad_algs_fires_v1_and_allow_hygiene() {
+    let src = SourceFile::parse(
+        "crates/algs/src/lib.rs",
+        &fixture("bad-workspace/crates/algs/src/lib.rs"),
+    );
+    let findings = rust_lints::lint_source(&src);
+    let v1: Vec<_> = findings.iter().filter(|f| f.lint == Lint::V1).collect();
+    assert_eq!(v1.len(), 1, "{findings:?}");
+    assert!(v1[0].message.contains("solve_unchecked"));
+    let allow: Vec<_> = findings.iter().filter(|f| f.lint == Lint::Allow).collect();
+    assert_eq!(allow.len(), 2, "{findings:?}");
+    assert!(allow.iter().any(|f| f.message.contains("justification")));
+    assert!(allow.iter().any(|f| f.message.contains("unknown lint")));
+    assert!(
+        !findings.iter().any(|f| f.lint == Lint::P1),
+        "the unjustified allow converts the p1 finding: {findings:?}"
+    );
+}
+
+#[test]
+fn bad_manifest_fires_h1() {
+    let findings = manifest::lint_manifest(
+        "crates/core/Cargo.toml",
+        &fixture("bad-workspace/crates/core/Cargo.toml"),
+    );
+    assert_eq!(lints_of(&findings), [Lint::H1, Lint::H1], "{findings:?}");
+    assert!(findings[0].message.contains("rand"));
+    assert!(findings[1].message.contains("rayon"));
+}
+
+#[test]
+fn clean_snippet_passes_every_scope() {
+    let text = fixture("clean/snippet.rs");
+    for rel in ["crates/algs/src/snippet.rs", "crates/lp/src/snippet.rs"] {
+        let findings = rust_lints::lint_source(&SourceFile::parse(rel, &text));
+        assert!(findings.is_empty(), "{rel}: {findings:?}");
+    }
+}
+
+#[test]
+fn clean_manifest_passes() {
+    let findings = manifest::lint_manifest("Cargo.toml", &fixture("clean/Cargo.toml"));
+    assert!(findings.is_empty(), "{findings:?}");
+}

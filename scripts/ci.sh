@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a clean offline checkout must pass.
+#
+#   1. release build of the default workspace (path-only dependencies,
+#      so this succeeds with no registry and no lockfile),
+#   2. the full test suite,
+#   3. the in-repo static-analysis pass with every lint denied.
+#
+# Run from anywhere inside the repository.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo run -p xtask -- lint --deny all"
+cargo run --release -p xtask -- lint --deny all
+
+echo "ci: all gates passed"

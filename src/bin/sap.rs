@@ -11,7 +11,7 @@
 use std::process::ExitCode;
 
 use storage_alloc::io::{
-    InstanceDto, RingInstanceDto, RingSolutionDto, SolutionDto,
+    InstanceDto, JsonDto, RingInstanceDto, RingSolutionDto, SolutionDto,
 };
 use storage_alloc::prelude::*;
 use storage_alloc::sap_algs::{self, ExactConfig, MediumParams};
@@ -50,9 +50,9 @@ fn main() -> ExitCode {
     }
 }
 
-fn read_json<T: serde::de::DeserializeOwned>(path: &str) -> Result<T, String> {
+fn read_json<T: JsonDto>(path: &str) -> Result<T, String> {
     let data = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    serde_json::from_str(&data).map_err(|e| format!("{path}: {e}"))
+    T::from_json_str(&data).map_err(|e| format!("{path}: {e}"))
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -105,7 +105,7 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         eprintln!("wrote {path}");
     }
     let out = SolutionDto::from_solution(&instance, &solution);
-    let json = serde_json::to_string_pretty(&out).expect("serialisable");
+    let json = out.to_json_string_pretty();
     match flag_value(args, "-o") {
         Some(path) => std::fs::write(path, json).map_err(|e| e.to_string())?,
         None => println!("{json}"),
@@ -162,7 +162,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     };
     let instance = generate(&cfg, seed);
     let dto = InstanceDto::from_instance(&instance);
-    println!("{}", serde_json::to_string_pretty(&dto).expect("serialisable"));
+    println!("{}", dto.to_json_string_pretty());
     Ok(())
 }
 
@@ -202,7 +202,7 @@ fn cmd_ring_solve(args: &[String]) -> Result<(), String> {
         stats.knapsack_weight
     );
     let out = RingSolutionDto::from_solution(&instance, &solution);
-    let json = serde_json::to_string_pretty(&out).expect("serialisable");
+    let json = out.to_json_string_pretty();
     match flag_value(args, "-o") {
         Some(path) => std::fs::write(path, json).map_err(|e| e.to_string())?,
         None => println!("{json}"),

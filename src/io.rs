@@ -14,14 +14,80 @@
 //! Ring instances replace `capacities` with `ring_capacities` and tasks
 //! with `{from, to, demand, weight}` vertices. Solutions serialise as
 //! `{ "placements": [{ "task": 0, "height": 0 }, …] }`.
+//!
+//! Encoding/decoding is implemented on the in-repo [`crate::json`]
+//! module (the hermetic-build policy keeps serde out of the default
+//! build); every DTO implements [`JsonDto`].
 
-use serde::{Deserialize, Serialize};
-
+use crate::json::{parse, Json};
 use sap_core::ring::{ArcChoice, RingInstance, RingNetwork, RingPlacement, RingSolution, RingTask};
 use sap_core::{Instance, PathNetwork, Placement, SapError, SapResult, SapSolution, Task};
 
+/// Conversion between a DTO and its JSON document form.
+pub trait JsonDto: Sized {
+    /// Encodes the DTO as a JSON value.
+    fn to_json(&self) -> Json;
+    /// Decodes the DTO from a JSON value, with a descriptive error.
+    fn from_json(value: &Json) -> Result<Self, String>;
+
+    /// Encodes as a pretty-printed JSON document.
+    fn to_json_string_pretty(&self) -> String {
+        self.to_json().to_string_pretty()
+    }
+
+    /// Encodes as a compact JSON document.
+    fn to_json_string(&self) -> String {
+        self.to_json().to_string_compact()
+    }
+
+    /// Parses and decodes a JSON document.
+    fn from_json_str(text: &str) -> Result<Self, String> {
+        let value = parse(text).map_err(|e| e.to_string())?;
+        Self::from_json(&value)
+    }
+}
+
+fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, String> {
+    obj.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn u64_field(obj: &Json, key: &str) -> Result<u64, String> {
+    field(obj, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field {key:?} must be a non-negative integer"))
+}
+
+fn usize_field(obj: &Json, key: &str) -> Result<usize, String> {
+    field(obj, key)?
+        .as_usize()
+        .ok_or_else(|| format!("field {key:?} must be a non-negative integer"))
+}
+
+fn u64_array_field(obj: &Json, key: &str) -> Result<Vec<u64>, String> {
+    field(obj, key)?
+        .as_array()
+        .ok_or_else(|| format!("field {key:?} must be an array"))?
+        .iter()
+        .map(|v| v.as_u64().ok_or_else(|| format!("field {key:?} must hold integers")))
+        .collect()
+}
+
+fn decode_array<T>(
+    obj: &Json,
+    key: &str,
+    decode: impl Fn(&Json) -> Result<T, String>,
+) -> Result<Vec<T>, String> {
+    field(obj, key)?
+        .as_array()
+        .ok_or_else(|| format!("field {key:?} must be an array"))?
+        .iter()
+        .enumerate()
+        .map(|(i, v)| decode(v).map_err(|e| format!("{key}[{i}]: {e}")))
+        .collect()
+}
+
 /// JSON form of a path task.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaskDto {
     /// First edge used.
     pub lo: usize,
@@ -33,8 +99,28 @@ pub struct TaskDto {
     pub weight: u64,
 }
 
+impl JsonDto for TaskDto {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("lo".into(), Json::UInt(self.lo as u64)),
+            ("hi".into(), Json::UInt(self.hi as u64)),
+            ("demand".into(), Json::UInt(self.demand)),
+            ("weight".into(), Json::UInt(self.weight)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<Self, String> {
+        Ok(TaskDto {
+            lo: usize_field(value, "lo")?,
+            hi: usize_field(value, "hi")?,
+            demand: u64_field(value, "demand")?,
+            weight: u64_field(value, "weight")?,
+        })
+    }
+}
+
 /// JSON form of a path instance.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InstanceDto {
     /// Per-edge capacities.
     pub capacities: Vec<u64>,
@@ -42,18 +128,59 @@ pub struct InstanceDto {
     pub tasks: Vec<TaskDto>,
 }
 
+impl JsonDto for InstanceDto {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            (
+                "capacities".into(),
+                Json::Array(self.capacities.iter().map(|&c| Json::UInt(c)).collect()),
+            ),
+            ("tasks".into(), Json::Array(self.tasks.iter().map(JsonDto::to_json).collect())),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<Self, String> {
+        Ok(InstanceDto {
+            capacities: u64_array_field(value, "capacities")?,
+            tasks: decode_array(value, "tasks", TaskDto::from_json)?,
+        })
+    }
+}
+
 /// JSON form of a SAP solution.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SolutionDto {
     /// Selected tasks with heights.
     pub placements: Vec<PlacementDto>,
-    /// Total weight (informational; re-checked on load).
-    #[serde(default)]
+    /// Total weight (informational; re-checked on load, defaults to 0).
     pub weight: u64,
 }
 
+impl JsonDto for SolutionDto {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            (
+                "placements".into(),
+                Json::Array(self.placements.iter().map(JsonDto::to_json).collect()),
+            ),
+            ("weight".into(), Json::UInt(self.weight)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<Self, String> {
+        Ok(SolutionDto {
+            placements: decode_array(value, "placements", PlacementDto::from_json)?,
+            // Optional, informational: absent means 0.
+            weight: match value.get("weight") {
+                Some(w) => w.as_u64().ok_or("field \"weight\" must be an integer")?,
+                None => 0,
+            },
+        })
+    }
+}
+
 /// JSON form of one placement.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlacementDto {
     /// Task id (index into the instance's task list).
     pub task: usize,
@@ -61,8 +188,24 @@ pub struct PlacementDto {
     pub height: u64,
 }
 
+impl JsonDto for PlacementDto {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("task".into(), Json::UInt(self.task as u64)),
+            ("height".into(), Json::UInt(self.height)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<Self, String> {
+        Ok(PlacementDto {
+            task: usize_field(value, "task")?,
+            height: u64_field(value, "height")?,
+        })
+    }
+}
+
 /// JSON form of a ring task.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RingTaskDto {
     /// Start vertex.
     pub from: usize,
@@ -74,8 +217,28 @@ pub struct RingTaskDto {
     pub weight: u64,
 }
 
+impl JsonDto for RingTaskDto {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("from".into(), Json::UInt(self.from as u64)),
+            ("to".into(), Json::UInt(self.to as u64)),
+            ("demand".into(), Json::UInt(self.demand)),
+            ("weight".into(), Json::UInt(self.weight)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<Self, String> {
+        Ok(RingTaskDto {
+            from: usize_field(value, "from")?,
+            to: usize_field(value, "to")?,
+            demand: u64_field(value, "demand")?,
+            weight: u64_field(value, "weight")?,
+        })
+    }
+}
+
 /// JSON form of a ring instance.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RingInstanceDto {
     /// Per-edge capacities around the ring.
     pub ring_capacities: Vec<u64>,
@@ -83,18 +246,58 @@ pub struct RingInstanceDto {
     pub tasks: Vec<RingTaskDto>,
 }
 
+impl JsonDto for RingInstanceDto {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            (
+                "ring_capacities".into(),
+                Json::Array(self.ring_capacities.iter().map(|&c| Json::UInt(c)).collect()),
+            ),
+            ("tasks".into(), Json::Array(self.tasks.iter().map(JsonDto::to_json).collect())),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<Self, String> {
+        Ok(RingInstanceDto {
+            ring_capacities: u64_array_field(value, "ring_capacities")?,
+            tasks: decode_array(value, "tasks", RingTaskDto::from_json)?,
+        })
+    }
+}
+
 /// JSON form of a ring solution.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RingSolutionDto {
     /// Selected tasks with routing and heights.
     pub placements: Vec<RingPlacementDto>,
-    /// Total weight (informational).
-    #[serde(default)]
+    /// Total weight (informational, defaults to 0).
     pub weight: u64,
 }
 
+impl JsonDto for RingSolutionDto {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            (
+                "placements".into(),
+                Json::Array(self.placements.iter().map(JsonDto::to_json).collect()),
+            ),
+            ("weight".into(), Json::UInt(self.weight)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<Self, String> {
+        Ok(RingSolutionDto {
+            placements: decode_array(value, "placements", RingPlacementDto::from_json)?,
+            weight: match value.get("weight") {
+                Some(w) => w.as_u64().ok_or("field \"weight\" must be an integer")?,
+                None => 0,
+            },
+        })
+    }
+}
+
 /// JSON form of one ring placement.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RingPlacementDto {
     /// Task id.
     pub task: usize,
@@ -102,6 +305,27 @@ pub struct RingPlacementDto {
     pub arc: String,
     /// Height.
     pub height: u64,
+}
+
+impl JsonDto for RingPlacementDto {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("task".into(), Json::UInt(self.task as u64)),
+            ("arc".into(), Json::Str(self.arc.clone())),
+            ("height".into(), Json::UInt(self.height)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<Self, String> {
+        Ok(RingPlacementDto {
+            task: usize_field(value, "task")?,
+            arc: field(value, "arc")?
+                .as_str()
+                .ok_or("field \"arc\" must be a string")?
+                .to_string(),
+            height: u64_field(value, "height")?,
+        })
+    }
 }
 
 impl InstanceDto {
@@ -242,8 +466,8 @@ mod tests {
     fn instance_round_trip() {
         let inst = sample();
         let dto = InstanceDto::from_instance(&inst);
-        let json = serde_json::to_string_pretty(&dto).unwrap();
-        let back: InstanceDto = serde_json::from_str(&json).unwrap();
+        let json = dto.to_json_string_pretty();
+        let back = InstanceDto::from_json_str(&json).unwrap();
         assert_eq!(dto, back);
         let inst2 = back.to_instance().unwrap();
         assert_eq!(inst, inst2);
@@ -254,12 +478,30 @@ mod tests {
         let inst = sample();
         let sol = crate::solve_sap(&inst);
         let dto = SolutionDto::from_solution(&inst, &sol);
-        let json = serde_json::to_string(&dto).unwrap();
-        let back: SolutionDto = serde_json::from_str(&json).unwrap();
+        let json = dto.to_json_string();
+        let back = SolutionDto::from_json_str(&json).unwrap();
         let sol2 = back.to_solution();
         sol2.validate(&inst).unwrap();
         assert_eq!(sol.weight(&inst), sol2.weight(&inst));
         assert_eq!(dto.weight, sol.weight(&inst));
+    }
+
+    #[test]
+    fn missing_weight_defaults_to_zero() {
+        let dto = SolutionDto::from_json_str(r#"{"placements": []}"#).unwrap();
+        assert_eq!(dto.weight, 0);
+        assert!(dto.placements.is_empty());
+    }
+
+    #[test]
+    fn decode_errors_name_the_field() {
+        let err = InstanceDto::from_json_str(r#"{"capacities": [4]}"#).unwrap_err();
+        assert!(err.contains("tasks"), "{err}");
+        let err =
+            InstanceDto::from_json_str(r#"{"capacities": [4], "tasks": [{"lo": 0}]}"#).unwrap_err();
+        assert!(err.contains("hi"), "{err}");
+        let err = InstanceDto::from_json_str("[]").unwrap_err();
+        assert!(err.contains("capacities"), "{err}");
     }
 
     #[test]
@@ -287,11 +529,16 @@ mod tests {
             RingInstance::new(net, vec![RingTask::of(0, 2, 2, 7), RingTask::of(2, 0, 2, 7)])
                 .unwrap();
         let dto = RingInstanceDto::from_instance(&inst);
-        let back = dto.to_instance().unwrap();
-        assert_eq!(inst, back);
+        let back = RingInstanceDto::from_json_str(&dto.to_json_string_pretty()).unwrap();
+        assert_eq!(dto, back);
+        let back_inst = back.to_instance().unwrap();
+        assert_eq!(inst, back_inst);
         let sol = crate::solve_sap_ring(&inst);
         let sdto = RingSolutionDto::from_solution(&inst, &sol);
-        let sol2 = sdto.to_solution().unwrap();
+        let sol2 = RingSolutionDto::from_json_str(&sdto.to_json_string())
+            .unwrap()
+            .to_solution()
+            .unwrap();
         sol2.validate(&inst).unwrap();
         assert_eq!(sol.weight(&inst), sol2.weight(&inst));
     }

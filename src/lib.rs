@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod io;
+pub mod json;
 
 pub use dsa;
 pub use knapsack;

@@ -138,15 +138,15 @@ fn ring_validator_rejects_wrong_arc() {
 
 #[test]
 fn validators_agree_with_dto_round_trip() {
-    use storage_alloc::io::{InstanceDto, SolutionDto};
+    use storage_alloc::io::{InstanceDto, JsonDto, SolutionDto};
     let (inst, sol) = solved(7);
-    let json_inst = serde_json::to_string(&InstanceDto::from_instance(&inst)).unwrap();
-    let json_sol = serde_json::to_string(&SolutionDto::from_solution(&inst, &sol)).unwrap();
-    let inst2 = serde_json::from_str::<InstanceDto>(&json_inst)
+    let json_inst = InstanceDto::from_instance(&inst).to_json_string();
+    let json_sol = SolutionDto::from_solution(&inst, &sol).to_json_string();
+    let inst2 = InstanceDto::from_json_str(&json_inst)
         .unwrap()
         .to_instance()
         .unwrap();
-    let sol2 = serde_json::from_str::<SolutionDto>(&json_sol).unwrap().to_solution();
+    let sol2 = SolutionDto::from_json_str(&json_sol).unwrap().to_solution();
     sol2.validate(&inst2).unwrap();
     assert_eq!(sol.weight(&inst), sol2.weight(&inst2));
 }
