@@ -12,11 +12,12 @@
 //! The three sub-solvers run in parallel (scoped threads via
 //! [`sap_core::join3`]) — they work on disjoint task subsets.
 
+use sap_core::budget::Budget;
 use sap_core::{classify_by_size, ClassifiedTasks, Instance, Ratio, SapSolution, TaskId};
 
 use crate::baselines::greedy_sap_best;
 use crate::medium::{solve_medium, MediumParams};
-use crate::small::{solve_small, SmallAlgo};
+use crate::small::{try_solve_small, SmallAlgo};
 
 /// Parameters of the combined algorithm.
 #[derive(Debug, Clone)]
@@ -32,6 +33,10 @@ pub struct SapParams {
     /// Medium-task parameters (β = 2^{-q} must satisfy
     /// `delta_large ≤ 1 − 2β`; the defaults pair δ′ = ½ with β = ¼).
     pub medium: MediumParams,
+    /// Simplex pivot cap for the Strip-Pack LP solves (`0` = automatic).
+    /// A too-small cap never corrupts the answer: a non-optimal LP routes
+    /// the small arm to the greedy baseline (see [`crate::small`]).
+    pub lp_max_iters: usize,
 }
 
 impl Default for SapParams {
@@ -41,6 +46,7 @@ impl Default for SapParams {
             delta_large: Ratio::new(1, 2),
             small_algo: SmallAlgo::LpRounding,
             medium: MediumParams::default(),
+            lp_max_iters: 0,
         }
     }
 }
@@ -88,7 +94,20 @@ pub fn solve_with_stats(
     }
 
     let (small_sol, medium_sol, large_sol) = sap_core::join3(
-        || solve_small(instance, &classified.small, params.small_algo),
+        || {
+            // Unlimited budget: the Err arm is dead; the pivot cap
+            // (`lp_max_iters`) still applies and degrades to greedy.
+            match try_solve_small(
+                instance,
+                &classified.small,
+                params.small_algo,
+                params.lp_max_iters,
+                &Budget::unlimited(),
+            ) {
+                Ok(run) => run.solution,
+                Err(_) => greedy_sap_best(instance, &classified.small),
+            }
+        },
         || solve_medium(instance, &classified.medium, params.medium),
         || {
             crate::large::solve_large(instance, &classified.large)

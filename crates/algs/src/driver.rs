@@ -1,0 +1,416 @@
+//! Budgeted, fault-tolerant portfolio driver.
+//!
+//! [`try_solve`] runs the Theorem 4 best-of-three portfolio under a
+//! cooperative [`Budget`], isolates each arm against panics, and degrades
+//! down a guaranteed chain when arms fail:
+//!
+//! 1. the three portfolio arms (small / medium / large), each on a
+//!    [child budget](Budget::child) and behind
+//!    [`sap_core::join3_isolated`];
+//! 2. if **no** arm produced a solution, the Lemma 13 DP over the full
+//!    task set (it is exact when it finishes, and budget-aware);
+//! 3. greedy first-fit, which needs no budget and always succeeds.
+//!
+//! The returned [`SolveReport`] records, per arm and fallback stage, how
+//! it ended ([`ArmOutcome`]), what it weighed, and what it consumed — so a
+//! degraded answer is always *labelled* as degraded. The solution itself
+//! is feasible in every path (each producer validates in debug builds).
+//!
+//! Determinism: when the budget [is metered](Budget::is_metered) every arm
+//! runs its internal fan-out sequentially and trips based only on its own
+//! checkpoint sequence, so equal seeds and equal work-unit limits yield
+//! byte-identical solutions *and* reports.
+
+use sap_core::budget::{ArmOutcome, ArmReport, Budget, CheckpointClass, SolveReport};
+use sap_core::error::{SapError, SapResult};
+use sap_core::{classify_by_size, ClassifiedTasks, Instance, SapSolution, TaskId};
+
+use crate::baselines::greedy_sap_best;
+use crate::combined::SapParams;
+use crate::lemma13::{solve_lemma13_dp_budgeted, Lemma13Config};
+use crate::medium::try_solve_medium_with_stats;
+use crate::small::try_solve_small;
+
+/// One arm's digested result: its report entry plus the solution it
+/// contributed, if any.
+struct ArmRun {
+    report: ArmReport,
+    solution: Option<SapSolution>,
+}
+
+/// Runs the combined algorithm under `budget` and reports what happened.
+///
+/// The result is always a feasible solution over `ids` — over-budget or
+/// failing arms fall down the chain (portfolio → Lemma 13 DP → greedy
+/// first-fit), and the terminal greedy stage cannot fail. The `SapResult`
+/// wrapper is for signature stability; no current path returns `Err`.
+pub fn try_solve(
+    instance: &Instance,
+    ids: &[TaskId],
+    params: &SapParams,
+    budget: &Budget,
+) -> SapResult<(SapSolution, SolveReport)> {
+    let classified = classify_restricted(instance, ids, params);
+
+    let small_b = budget.child();
+    let medium_b = budget.child();
+    let large_b = budget.child();
+
+    // One coarse unit for orchestration; also the anchor for injected
+    // `Driver`-class exhaustion before any arm starts.
+    let dispatch = budget.checkpoint(CheckpointClass::Driver, 1);
+
+    let mut arms: Vec<ArmRun> = Vec::new();
+    if dispatch.is_ok() {
+        let (small_r, medium_r, large_r) = sap_core::join3_isolated(
+            || {
+                small_b.worker_fault(0);
+                try_solve_small(
+                    instance,
+                    &classified.small,
+                    params.small_algo,
+                    params.lp_max_iters,
+                    &small_b,
+                )
+            },
+            || {
+                medium_b.worker_fault(1);
+                try_solve_medium_with_stats(instance, &classified.medium, params.medium, &medium_b)
+            },
+            || {
+                large_b.worker_fault(2);
+                crate::large::try_solve_large(instance, &classified.large, &large_b)
+            },
+        );
+
+        arms.push(match small_r {
+            Ok(Ok(run)) => {
+                let weight = run.solution.weight(instance);
+                let (outcome, fallback) = if run.lp_degraded {
+                    (ArmOutcome::LpNonOptimal, Some("greedy"))
+                } else {
+                    (ArmOutcome::Completed, None)
+                };
+                ArmRun {
+                    report: arm_report("small", outcome, weight, &small_b, fallback),
+                    solution: Some(run.solution),
+                }
+            }
+            Ok(Err(e)) => ArmRun {
+                report: arm_report("small", failure_outcome(&e), 0, &small_b, None),
+                solution: None,
+            },
+            Err(_panic) => ArmRun {
+                report: arm_report("small", ArmOutcome::Panicked, 0, &small_b, None),
+                solution: None,
+            },
+        });
+        arms.push(match medium_r {
+            Ok(Ok((sol, _stats))) => {
+                let weight = sol.weight(instance);
+                ArmRun {
+                    report: arm_report("medium", ArmOutcome::Completed, weight, &medium_b, None),
+                    solution: Some(sol),
+                }
+            }
+            Ok(Err(e)) => ArmRun {
+                report: arm_report("medium", failure_outcome(&e), 0, &medium_b, None),
+                solution: None,
+            },
+            Err(_panic) => ArmRun {
+                report: arm_report("medium", ArmOutcome::Panicked, 0, &medium_b, None),
+                solution: None,
+            },
+        });
+        arms.push(match large_r {
+            // `Ok(None)` is the rectangle solver's own state budget giving
+            // up — substitute greedy on the large ids, exactly as the
+            // infallible combined path always has.
+            Ok(Ok(opt)) => {
+                let (sol, fallback) = match opt {
+                    Some(sol) => (sol, None),
+                    None => (greedy_sap_best(instance, &classified.large), Some("greedy")),
+                };
+                let weight = sol.weight(instance);
+                ArmRun {
+                    report: arm_report("large", ArmOutcome::Completed, weight, &large_b, fallback),
+                    solution: Some(sol),
+                }
+            }
+            Ok(Err(e)) => ArmRun {
+                report: arm_report("large", failure_outcome(&e), 0, &large_b, None),
+                solution: None,
+            },
+            Err(_panic) => ArmRun {
+                report: arm_report("large", ArmOutcome::Panicked, 0, &large_b, None),
+                solution: None,
+            },
+        });
+    } else {
+        // The budget tripped before dispatch: every arm is exhausted by
+        // fiat and the fallback chain takes over.
+        for arm in ["small", "medium", "large"] {
+            arms.push(ArmRun {
+                report: ArmReport {
+                    arm,
+                    outcome: ArmOutcome::BudgetExhausted,
+                    weight: 0,
+                    work_consumed: 0,
+                    fallback: None,
+                },
+                solution: None,
+            });
+        }
+    }
+
+    // Winner: first of [small, medium, large] attaining the maximum
+    // weight (same tie-break as the infallible combined path), among the
+    // arms that actually produced a solution.
+    let mut best: Option<(&'static str, SapSolution)> = None;
+    for run in &mut arms {
+        if let Some(sol) = run.solution.take() {
+            let better = match &best {
+                Some((_, b)) => run.report.weight > b.weight(instance),
+                None => true,
+            };
+            if better {
+                best = Some((run.report.arm, sol));
+            }
+        }
+    }
+
+    let mut fallbacks: Vec<&'static str> = Vec::new();
+    let mut reports: Vec<ArmReport> = arms.into_iter().map(|r| r.report).collect();
+    let mut fallback_work = 0u64;
+    let mut fallback_checkpoints = 0u64;
+
+    if best.is_none() {
+        // Stage 2: the Lemma 13 DP over the full set — exact when it
+        // finishes, and still budget-aware via a fresh child.
+        fallbacks.push("lemma13");
+        let fb = budget.child();
+        let outcome = sap_core::run_isolated(|| {
+            solve_lemma13_dp_budgeted(instance, ids, Lemma13Config::default(), &fb)
+        });
+        fallback_work += fb.consumed();
+        fallback_checkpoints += fb.checkpoints_passed();
+        match outcome {
+            Ok(Ok(Some(sol))) => {
+                let weight = sol.weight(instance);
+                reports.push(arm_report("lemma13", ArmOutcome::Completed, weight, &fb, None));
+                best = Some(("lemma13", sol));
+            }
+            Ok(Ok(None)) | Ok(Err(_)) => {
+                reports.push(arm_report("lemma13", ArmOutcome::BudgetExhausted, 0, &fb, None));
+            }
+            Err(_panic) => {
+                reports.push(arm_report("lemma13", ArmOutcome::Panicked, 0, &fb, None));
+            }
+        }
+    }
+    if best.is_none() {
+        // Stage 3: greedy first-fit — no budget, cannot fail.
+        fallbacks.push("greedy");
+        let sol = greedy_sap_best(instance, ids);
+        let weight = sol.weight(instance);
+        reports.push(ArmReport {
+            arm: "greedy",
+            outcome: ArmOutcome::Completed,
+            weight,
+            work_consumed: 0,
+            fallback: None,
+        });
+        best = Some(("greedy", sol));
+    }
+
+    // lint:allow(p1) — the greedy stage above always fills `best`.
+    let (winner, solution) = best.expect("terminal greedy stage always produces a solution");
+    debug_assert!(solution.validate(instance).is_ok());
+    let weight = solution.weight(instance);
+    let work_consumed = budget.consumed()
+        + small_b.consumed()
+        + medium_b.consumed()
+        + large_b.consumed()
+        + fallback_work;
+    let checkpoints = budget.checkpoints_passed()
+        + small_b.checkpoints_passed()
+        + medium_b.checkpoints_passed()
+        + large_b.checkpoints_passed()
+        + fallback_checkpoints;
+    let report =
+        SolveReport { arms: reports, fallbacks, winner, weight, work_consumed, checkpoints };
+    Ok((solution, report))
+}
+
+/// Budgeted counterpart of the practical facade: the driver's answer,
+/// replaced by unbudgeted greedy first-fit when greedy is strictly
+/// heavier (greedy carries no approximation guarantee, so the
+/// driver/combined side wins ties). The replacement is recorded in the
+/// report as a `"greedy"` arm and winner.
+pub fn try_solve_practical(
+    instance: &Instance,
+    ids: &[TaskId],
+    params: &SapParams,
+    budget: &Budget,
+) -> SapResult<(SapSolution, SolveReport)> {
+    let (sol, mut report) = try_solve(instance, ids, params, budget)?;
+    let greedy = greedy_sap_best(instance, ids);
+    let gw = greedy.weight(instance);
+    debug_assert!(greedy.validate(instance).is_ok());
+    if gw > report.weight {
+        report.arms.push(ArmReport {
+            arm: "greedy",
+            outcome: ArmOutcome::Completed,
+            weight: gw,
+            work_consumed: 0,
+            fallback: None,
+        });
+        report.winner = "greedy";
+        report.weight = gw;
+        return Ok((greedy, report));
+    }
+    Ok((sol, report))
+}
+
+/// The combined algorithm's three-way split, restricted to `ids`.
+fn classify_restricted(
+    instance: &Instance,
+    ids: &[TaskId],
+    params: &SapParams,
+) -> ClassifiedTasks {
+    let all = classify_by_size(instance, params.delta_small, params.delta_large);
+    let wanted: std::collections::HashSet<TaskId> = ids.iter().copied().collect();
+    ClassifiedTasks {
+        small: all.small.into_iter().filter(|j| wanted.contains(j)).collect(),
+        medium: all.medium.into_iter().filter(|j| wanted.contains(j)).collect(),
+        large: all.large.into_iter().filter(|j| wanted.contains(j)).collect(),
+    }
+}
+
+fn arm_report(
+    arm: &'static str,
+    outcome: ArmOutcome,
+    weight: u64,
+    child: &Budget,
+    fallback: Option<&'static str>,
+) -> ArmReport {
+    ArmReport { arm, outcome, weight, work_consumed: child.consumed(), fallback }
+}
+
+/// Maps a propagated solver error to the arm outcome it represents.
+///
+/// `try_*` arms only surface [`SapError::BudgetExhausted`]; any other
+/// variant would indicate an internal bug, recorded as `Panicked` so it
+/// can never masquerade as a clean completion.
+fn failure_outcome(e: &SapError) -> ArmOutcome {
+    match e {
+        SapError::BudgetExhausted => ArmOutcome::BudgetExhausted,
+        _ => ArmOutcome::Panicked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combined::solve_with_stats;
+    use sap_core::{PathNetwork, Task};
+
+    fn mixed_instance(seed: u64, m: usize, n: usize) -> Instance {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let caps: Vec<u64> = (0..m).map(|_| 64 << (next() % 3)).collect();
+        let net = PathNetwork::new(caps).unwrap();
+        let mut tasks = Vec::new();
+        for _ in 0..n {
+            let lo = (next() % m as u64) as usize;
+            let hi = (lo + 1 + (next() % (m as u64 - lo as u64)) as usize).min(m);
+            let b = net.bottleneck(sap_core::Span { lo, hi });
+            let d = 1 + next() % b;
+            tasks.push(Task::of(lo, hi, d, 1 + next() % 40));
+        }
+        Instance::new(net, tasks).unwrap()
+    }
+
+    #[test]
+    fn unlimited_budget_matches_combined() {
+        for seed in 0..5 {
+            let inst = mixed_instance(seed, 6, 30);
+            let ids = inst.all_ids();
+            let params = SapParams::default();
+            let (combined_sol, stats) = solve_with_stats(&inst, &ids, &params);
+            let (sol, report) =
+                try_solve(&inst, &ids, &params, &Budget::unlimited()).unwrap();
+            sol.validate(&inst).unwrap();
+            assert_eq!(sol.weight(&inst), combined_sol.weight(&inst), "seed {seed}");
+            assert_eq!(report.winner, stats.winner, "seed {seed}");
+            assert_eq!(report.weight, sol.weight(&inst));
+            assert!(report.fallbacks.is_empty());
+            assert_eq!(report.arms.len(), 3);
+        }
+    }
+
+    #[test]
+    fn zero_work_budget_degrades_to_greedy_and_reports_it() {
+        let inst = mixed_instance(7, 6, 30);
+        let ids = inst.all_ids();
+        let budget = Budget::unlimited().with_work_units(0);
+        let (sol, report) =
+            try_solve(&inst, &ids, &SapParams::default(), &budget).unwrap();
+        sol.validate(&inst).unwrap();
+        assert!(!sol.is_empty());
+        assert_eq!(report.winner, "greedy");
+        assert_eq!(report.fallbacks, vec!["lemma13", "greedy"]);
+        assert!(!report.is_clean());
+        for arm in ["small", "medium", "large"] {
+            assert_eq!(report.arm(arm).unwrap().outcome, ArmOutcome::BudgetExhausted);
+        }
+        assert_eq!(report.weight, sol.weight(&inst));
+    }
+
+    #[test]
+    fn cancelled_budget_still_yields_feasible_solution() {
+        let inst = mixed_instance(11, 5, 20);
+        let ids = inst.all_ids();
+        let budget = Budget::unlimited();
+        budget.cancel();
+        let (sol, report) =
+            try_solve(&inst, &ids, &SapParams::default(), &budget).unwrap();
+        sol.validate(&inst).unwrap();
+        assert_eq!(report.winner, "greedy");
+    }
+
+    #[test]
+    fn practical_never_below_greedy() {
+        for seed in 0..5 {
+            let inst = mixed_instance(seed + 50, 6, 25);
+            let ids = inst.all_ids();
+            let (sol, report) = try_solve_practical(
+                &inst,
+                &ids,
+                &SapParams::default(),
+                &Budget::unlimited(),
+            )
+            .unwrap();
+            let gw = greedy_sap_best(&inst, &ids).weight(&inst);
+            assert!(sol.weight(&inst) >= gw, "seed {seed}");
+            assert_eq!(report.weight, sol.weight(&inst));
+        }
+    }
+
+    #[test]
+    fn report_json_is_single_line_and_stable() {
+        let inst = mixed_instance(3, 5, 15);
+        let ids = inst.all_ids();
+        let (_, r1) =
+            try_solve(&inst, &ids, &SapParams::default(), &Budget::unlimited()).unwrap();
+        let json = r1.to_json_string();
+        assert!(!json.contains('\n'));
+        assert!(json.contains("\"winner\":"));
+        assert!(json.contains("\"arms\":["));
+    }
+}

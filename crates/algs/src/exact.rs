@@ -12,6 +12,8 @@
 
 use std::collections::HashSet;
 
+use sap_core::budget::{Budget, CheckpointClass};
+use sap_core::error::{SapError, SapResult};
 use sap_core::{canonical_heights, Instance, SapSolution, TaskId};
 
 /// Budget knobs for the exact search.
@@ -35,6 +37,8 @@ struct Search<'a> {
     best_order: Vec<TaskId>,
     max_states: usize,
     exhausted: bool,
+    budget: Option<&'a Budget>,
+    budget_tripped: bool,
 }
 
 /// Solves SAP exactly over `ids` (at most 64 tasks). Returns `None` when
@@ -44,6 +48,34 @@ pub fn solve_exact_sap(
     ids: &[TaskId],
     config: ExactConfig,
 ) -> Option<SapSolution> {
+    // Without a cooperative budget the only Err source is absent.
+    let sol = run_exact(instance, ids, config, None).unwrap_or(None);
+    debug_assert!(sol.as_ref().map_or(true, |s| s.validate(instance).is_ok()));
+    sol
+}
+
+/// Budget-aware variant of [`solve_exact_sap`]: charges one `DpRow` work
+/// unit per expanded search state against `budget`.
+///
+/// `Err(BudgetExhausted)` is the cooperative budget tripping; `Ok(None)`
+/// is the solver's own memo-state budget giving up.
+pub fn solve_exact_sap_budgeted(
+    instance: &Instance,
+    ids: &[TaskId],
+    config: ExactConfig,
+    budget: &Budget,
+) -> SapResult<Option<SapSolution>> {
+    let r = run_exact(instance, ids, config, Some(budget));
+    debug_assert!(!matches!(&r, Ok(Some(s)) if s.validate(instance).is_err()));
+    r
+}
+
+fn run_exact(
+    instance: &Instance,
+    ids: &[TaskId],
+    config: ExactConfig,
+    budget: Option<&Budget>,
+) -> SapResult<Option<SapSolution>> {
     assert!(ids.len() <= 64, "exact solver limited to 64 tasks");
     let mut s = Search {
         inst: instance,
@@ -53,12 +85,17 @@ pub fn solve_exact_sap(
         best_order: Vec::new(),
         max_states: config.max_states,
         exhausted: false,
+        budget,
+        budget_tripped: false,
     };
     let mu = vec![0u64; instance.num_edges()];
     let mut order = Vec::new();
     s.dfs(0, &mu, 0, &mut order);
+    if s.budget_tripped {
+        return Err(SapError::BudgetExhausted);
+    }
     if s.exhausted {
-        return None;
+        return Ok(None);
     }
     let sol = canonical_heights(instance, &s.best_order)
         // lint:allow(p1) — the DFS only records orders whose canonical
@@ -66,13 +103,22 @@ pub fn solve_exact_sap(
         .expect("searched orders are feasible by construction");
     debug_assert_eq!(sol.weight(instance), s.best_weight);
     debug_assert!(sol.validate(instance).is_ok());
-    Some(sol)
+    Ok(Some(sol))
 }
 
 impl Search<'_> {
     fn dfs(&mut self, mask: u64, mu: &[u64], weight: u64, order: &mut Vec<TaskId>) {
         if self.exhausted {
             return;
+        }
+        if let Some(b) = self.budget {
+            if b.checkpoint(CheckpointClass::DpRow, 1).is_err() {
+                // Unwind the whole search; the caller maps this to
+                // Err(BudgetExhausted), so the partial best is never used.
+                self.exhausted = true;
+                self.budget_tripped = true;
+                return;
+            }
         }
         if weight > self.best_weight {
             self.best_weight = weight;

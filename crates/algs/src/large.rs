@@ -6,7 +6,9 @@
 //! residual height `ℓ(j)`), and by the `(2k−1)`-degeneracy colouring
 //! argument (Lemmas 16–17) its weight is at least `OPT_SAP / (2k−1)`.
 
-use rectpack::{max_weight_packing, MwisConfig};
+use rectpack::{max_weight_packing, max_weight_packing_budgeted, MwisConfig};
+use sap_core::budget::Budget;
+use sap_core::error::SapResult;
 use sap_core::{Instance, SapSolution, TaskId};
 
 /// Solves the large-task sub-problem: an optimal rectangle packing of
@@ -17,6 +19,26 @@ pub fn solve_large(instance: &Instance, ids: &[TaskId]) -> Option<SapSolution> {
     let sol = rectpack::reduction::packing_to_sap(instance, &chosen);
     debug_assert!(sol.validate(instance).is_ok());
     Some(sol)
+}
+
+/// Budget-aware variant of [`solve_large`]: the rectangle sweep is charged
+/// against `budget` (`PackSweep` units).
+///
+/// `Err(BudgetExhausted)` is the cooperative budget tripping; `Ok(None)`
+/// is the rectangle solver's own memo-state budget giving up (the caller
+/// substitutes the greedy baseline, as [`crate::combined`] always has).
+pub fn try_solve_large(
+    instance: &Instance,
+    ids: &[TaskId],
+    budget: &Budget,
+) -> SapResult<Option<SapSolution>> {
+    let Some(chosen) = max_weight_packing_budgeted(instance, ids, MwisConfig::default(), budget)?
+    else {
+        return Ok(None);
+    };
+    let sol = rectpack::reduction::packing_to_sap(instance, &chosen);
+    debug_assert!(sol.validate(instance).is_ok());
+    Ok(Some(sol))
 }
 
 #[cfg(test)]

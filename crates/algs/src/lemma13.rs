@@ -20,6 +20,8 @@
 
 use std::collections::HashMap;
 
+use sap_core::budget::{Budget, CheckpointClass};
+use sap_core::error::SapResult;
 use sap_core::{Instance, Placement, SapSolution, TaskId};
 
 /// Budget for the number of DP states (across all edges).
@@ -48,8 +50,37 @@ pub fn solve_lemma13_dp(
     ids: &[TaskId],
     config: Lemma13Config,
 ) -> Option<SapSolution> {
+    // Without a cooperative budget the only Err source is absent.
+    let sol = run_lemma13(instance, ids, config, None).unwrap_or(None);
+    debug_assert!(sol.as_ref().map_or(true, |s| s.validate(instance).is_ok()));
+    sol
+}
+
+/// Budget-aware variant of [`solve_lemma13_dp`]: charges `DpRow` work
+/// units against `budget` — one per edge row (weighted by the frontier
+/// size) and one per expanded DP state.
+///
+/// `Err(BudgetExhausted)` is the cooperative budget tripping; `Ok(None)`
+/// is the DP's own state/height budget giving up.
+pub fn solve_lemma13_dp_budgeted(
+    instance: &Instance,
+    ids: &[TaskId],
+    config: Lemma13Config,
+    budget: &Budget,
+) -> SapResult<Option<SapSolution>> {
+    let r = run_lemma13(instance, ids, config, Some(budget));
+    debug_assert!(!matches!(&r, Ok(Some(s)) if s.validate(instance).is_err()));
+    r
+}
+
+fn run_lemma13(
+    instance: &Instance,
+    ids: &[TaskId],
+    config: Lemma13Config,
+    budget: Option<&Budget>,
+) -> SapResult<Option<SapSolution>> {
     if ids.is_empty() {
-        return Some(SapSolution::empty());
+        return Ok(Some(SapSolution::empty()));
     }
     let m = instance.num_edges();
 
@@ -71,7 +102,7 @@ pub fn solve_lemma13_dp(
                 }
             }
             if sums.len() > config.max_heights {
-                return None;
+                return Ok(None);
             }
         }
         sums.sort_unstable();
@@ -93,6 +124,9 @@ pub fn solve_lemma13_dp(
     for e in 0..m {
         let mut cur: HashMap<State, (u64, State, Vec<Placement>)> = HashMap::new();
         for (state, (w, _, _)) in &prev {
+            if let Some(b) = budget {
+                b.checkpoint(CheckpointClass::DpRow, 1)?;
+            }
             // Tasks leaving before edge e keep nothing; survivors persist.
             let survivors: State = state
                 .iter()
@@ -125,7 +159,7 @@ pub fn solve_lemma13_dp(
                     continue;
                 }
                 if total_states > config.max_states {
-                    return None;
+                    return Ok(None);
                 }
                 let j = starters[e][si];
                 // Skip j.
@@ -156,7 +190,7 @@ pub fn solve_lemma13_dp(
         if prev.is_empty() {
             // No feasible state (cannot happen: the empty crossing set is
             // always feasible). Defensive.
-            return Some(SapSolution::empty());
+            return Ok(Some(SapSolution::empty()));
         }
     }
 
@@ -166,7 +200,7 @@ pub fn solve_lemma13_dp(
         .max_by_key(|(_, (w, _, _))| *w)
         .map(|(s, v)| (s.clone(), v.0))
     else {
-        return Some(SapSolution::empty());
+        return Ok(Some(SapSolution::empty()));
     };
     let mut placements: Vec<Placement> = Vec::new();
     let mut state = best_state;
@@ -180,7 +214,7 @@ pub fn solve_lemma13_dp(
     }
     let sol = SapSolution::new(placements);
     debug_assert!(sol.validate(instance).is_ok());
-    Some(sol)
+    Ok(Some(sol))
 }
 
 #[cfg(test)]

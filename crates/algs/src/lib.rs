@@ -22,6 +22,7 @@
 
 pub mod baselines;
 pub mod combined;
+pub mod driver;
 pub mod exact;
 pub mod large;
 pub mod lemma13;
@@ -32,11 +33,12 @@ pub mod sapu;
 pub mod small;
 
 pub use combined::{solve, SapParams};
-pub use exact::{is_sap_feasible, solve_exact_sap, ExactConfig};
-pub use large::solve_large;
-pub use lemma13::{solve_lemma13_dp, Lemma13Config};
-pub use medium::{solve_medium, ElevatorSolver, MediumParams};
+pub use driver::{try_solve, try_solve_practical};
+pub use exact::{is_sap_feasible, solve_exact_sap, solve_exact_sap_budgeted, ExactConfig};
+pub use large::{solve_large, try_solve_large};
+pub use lemma13::{solve_lemma13_dp, solve_lemma13_dp_budgeted, Lemma13Config};
+pub use medium::{solve_medium, try_solve_medium_with_stats, ElevatorSolver, MediumParams};
 pub use portfolio::{solve_batch, sweep_params, Portfolio};
 pub use ring::{solve_ring, RingParams};
 pub use sapu::solve_sapu_exact_dp;
-pub use small::{solve_small, SmallAlgo};
+pub use small::{solve_small, try_solve_small, SmallAlgo, SmallRun};

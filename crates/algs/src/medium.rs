@@ -28,14 +28,16 @@
 //! The `T2` experiment reports how often the fallback fires (never, on
 //! the evaluation workloads).
 
+use sap_core::budget::{Budget, CheckpointClass};
+use sap_core::error::SapResult;
 use sap_core::{
     canonical_heights, classes_k_ell, clip_to_band, elevation_split, parallel_map, stack,
     Instance, PathNetwork, SapSolution, Task, TaskId,
 };
 
 use crate::baselines::greedy_sap_best;
-use crate::exact::{solve_exact_sap, ExactConfig};
-use crate::lemma13::{solve_lemma13_dp, Lemma13Config};
+use crate::exact::{solve_exact_sap_budgeted, ExactConfig};
+use crate::lemma13::{solve_lemma13_dp_budgeted, Lemma13Config};
 
 /// Which optimal sub-solver Elevator uses per class (both are exact; they
 /// cross-validate each other in the test-suite).
@@ -111,6 +113,28 @@ pub fn solve_medium_with_stats(
     ids: &[TaskId],
     params: MediumParams,
 ) -> (SapSolution, MediumStats) {
+    // An unlimited budget cannot trip, so the Err arm is dead; greedy
+    // keeps the wrapper total without a panic path.
+    let out = match try_solve_medium_with_stats(instance, ids, params, &Budget::unlimited()) {
+        Ok(x) => x,
+        Err(_) => (greedy_sap_best(instance, ids), MediumStats::default()),
+    };
+    debug_assert!(out.0.validate(instance).is_ok());
+    out
+}
+
+/// Budget-aware fallible AlmostUniform: the per-class exact solvers are
+/// charged against `budget` (`DpRow` units per expanded state, plus one
+/// `Driver` unit per class). When the budget
+/// [is metered](Budget::is_metered) the classes run sequentially so the
+/// trip point is deterministic; otherwise they fan out in parallel exactly
+/// as the infallible path always has.
+pub fn try_solve_medium_with_stats(
+    instance: &Instance,
+    ids: &[TaskId],
+    params: MediumParams,
+    budget: &Budget,
+) -> SapResult<(SapSolution, MediumStats)> {
     let q = params.q;
     let ell = params.ell.max(1);
     assert!(q >= 2 && q + ell <= 14, "q ≥ 2 (β < ½) and q + ℓ ≤ 14 supported");
@@ -125,7 +149,7 @@ pub fn solve_medium_with_stats(
         .filter(|&j| smallness.le_scaled(instance.demand(j), instance.bottleneck(j)))
         .collect();
     if ids.is_empty() {
-        return (SapSolution::empty(), MediumStats::default());
+        return Ok((SapSolution::empty(), MediumStats::default()));
     }
     let ids = &ids[..];
 
@@ -139,15 +163,24 @@ pub fn solve_medium_with_stats(
         // in this degenerate regime, so fall back to the greedy baseline
         // (always feasible, no ratio guarantee).
         let sol = crate::baselines::greedy_sap_best(instance, ids);
-        return (sol, MediumStats::default());
+        return Ok((sol, MediumStats::default()));
     };
 
     // Classes over the scaled bottlenecks (all k ≥ q since b ≥ 2^q).
     let classes = classes_k_ell(&scaled, ids, ell);
-    let stats_exact: Vec<(u32, SapSolution, bool)> = parallel_map(&classes, |(k, members)| {
-        let (sol, was_exact) = elevator(&scaled, *k, ell, q, members, &params);
-        (*k, sol, was_exact)
-    });
+    let run_class = |(k, members): &(u32, Vec<TaskId>)| {
+        elevator(&scaled, *k, ell, q, members, &params, budget)
+            .map(|(sol, was_exact)| (*k, sol, was_exact))
+    };
+    let class_results: Vec<SapResult<(u32, SapSolution, bool)>> = if budget.is_metered() {
+        classes.iter().map(run_class).collect()
+    } else {
+        parallel_map(&classes, run_class)
+    };
+    let mut stats_exact: Vec<(u32, SapSolution, bool)> = Vec::with_capacity(class_results.len());
+    for r in class_results {
+        stats_exact.push(r?);
+    }
 
     let mut stats = MediumStats {
         classes: stats_exact.len(),
@@ -186,7 +219,7 @@ pub fn solve_medium_with_stats(
         // an order feasible at ×2^{q+ℓ} re-grounds feasibly at ×1.
         .expect("scaled-feasible order re-grounds feasibly");
     debug_assert!(sol.validate(instance).is_ok());
-    (sol, stats)
+    Ok((sol, stats))
 }
 
 /// Multiplies every capacity and demand by `factor`; `None` when the
@@ -215,7 +248,9 @@ fn elevator(
     q: u32,
     members: &[TaskId],
     params: &MediumParams,
-) -> (SapSolution, bool) {
+    budget: &Budget,
+) -> SapResult<(SapSolution, bool)> {
+    budget.checkpoint(CheckpointClass::Driver, 1)?;
     debug_assert!(k > q, "scaling guarantees every class index exceeds q");
     let band_lo = 1u64 << k;
     let band_hi = 1u64 << (k + ell);
@@ -225,17 +260,20 @@ fn elevator(
     // and keeps the sub-solver's search space small.
     let (sub, map) = match clip_to_band(scaled, members, band_lo, band_hi) {
         Ok(x) => x,
-        Err(_) => return (SapSolution::empty(), true),
+        Err(_) => return Ok((SapSolution::empty(), true)),
     };
     let sub_ids = sub.all_ids();
     let (opt, was_exact) = if sub_ids.len() <= params.max_class_size.min(64) {
         let solved = match params.solver {
-            ElevatorSolver::Search => solve_exact_sap(&sub, &sub_ids, params.exact),
-            ElevatorSolver::Lemma13Dp => solve_lemma13_dp(
+            ElevatorSolver::Search => {
+                solve_exact_sap_budgeted(&sub, &sub_ids, params.exact, budget)?
+            }
+            ElevatorSolver::Lemma13Dp => solve_lemma13_dp_budgeted(
                 &sub,
                 &sub_ids,
                 Lemma13Config { max_states: params.exact.max_states, max_heights: 4096 },
-            ),
+                budget,
+            )?,
         };
         match solved {
             Some(s) => (s, true),
@@ -256,12 +294,13 @@ fn elevator(
     let mapped = SapSolution::from_pairs(
         chosen.placements.iter().map(|p| (map[p.task], p.height)),
     );
-    (mapped, was_exact)
+    Ok((mapped, was_exact))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exact::solve_exact_sap;
     use sap_core::{is_delta_small, PathNetwork, Ratio};
 
     /// Medium workload: 1/8-large and ½-small tasks over mixed strata.

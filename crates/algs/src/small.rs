@@ -18,9 +18,14 @@
 //! Strata are processed in parallel (scoped threads via
 //! [`sap_core::parallel_map`]) — they are independent subproblems.
 
+use lp_solver::LpStatus;
+use sap_core::budget::{Budget, CheckpointClass};
+use sap_core::error::SapResult;
 use sap_core::{
     clip_to_band, lift, parallel_map, stack, strata_by_bottleneck, Instance, SapSolution, TaskId,
 };
+
+use crate::baselines::greedy_sap_best;
 
 /// Which per-stratum UFPP packer to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,45 +36,115 @@ pub enum SmallAlgo {
     LocalRatio,
 }
 
+/// Outcome of [`try_solve_small`].
+#[derive(Debug, Clone)]
+pub struct SmallRun {
+    /// The feasible solution (Strip-Pack, or the greedy baseline when
+    /// `lp_degraded`).
+    pub solution: SapSolution,
+    /// True when some stratum's LP came back non-optimal and the whole
+    /// arm fell back to the greedy baseline (the Theorem 1 guarantee
+    /// requires optimal fractional points).
+    pub lp_degraded: bool,
+}
+
 /// Runs Strip-Pack on the δ-small tasks `ids` of `instance`.
 ///
 /// The caller is responsible for passing δ-small tasks (the theorem's
 /// guarantee only holds then); the output is a feasible SAP solution for
-/// any input.
+/// any input. A non-optimal LP (pivot-limited) routes the whole arm to the
+/// greedy baseline — the partial fractional point is never rounded.
 pub fn solve_small(instance: &Instance, ids: &[TaskId], algo: SmallAlgo) -> SapSolution {
+    // An unlimited budget cannot trip, so the Err arm is dead; greedy
+    // keeps the wrapper total without a panic path.
+    let sol = match try_solve_small(instance, ids, algo, 0, &Budget::unlimited()) {
+        Ok(run) => run.solution,
+        Err(_) => greedy_sap_best(instance, ids),
+    };
+    debug_assert!(sol.validate(instance).is_ok());
+    sol
+}
+
+/// Budget-aware fallible Strip-Pack.
+///
+/// Per stratum, the LP solve is charged against `budget` (`LpPivot`
+/// units, at most `lp_max_iters` pivots, `0` = automatic) plus one
+/// `Driver` unit. When the budget [is metered](Budget::is_metered) the
+/// strata run sequentially so the trip point is deterministic; otherwise
+/// they fan out in parallel exactly as the infallible path always has.
+///
+/// If any stratum's LP is non-optimal (pivot limit or injected fault) the
+/// **entire arm** falls back to the greedy baseline over `ids` — packing
+/// one stratum greedily would violate the strip discipline that
+/// [`sap_core::stack`] relies on — and the run is flagged `lp_degraded`.
+pub fn try_solve_small(
+    instance: &Instance,
+    ids: &[TaskId],
+    algo: SmallAlgo,
+    lp_max_iters: usize,
+    budget: &Budget,
+) -> SapResult<SmallRun> {
     let strata = strata_by_bottleneck(instance, ids);
-    let parts: Vec<SapSolution> =
-        parallel_map(&strata, |(t, members)| pack_stratum(instance, *t, members, algo));
-    let combined = stack(&parts);
+    let pack = |(t, members): &(u32, Vec<TaskId>)| {
+        pack_stratum(instance, *t, members, algo, lp_max_iters, budget)
+    };
+    let parts: Vec<SapResult<(SapSolution, bool)>> = if budget.is_metered() {
+        strata.iter().map(pack).collect()
+    } else {
+        parallel_map(&strata, pack)
+    };
+    let mut sols = Vec::with_capacity(parts.len());
+    let mut lp_ok = true;
+    for part in parts {
+        let (sol, ok) = part?;
+        lp_ok &= ok;
+        sols.push(sol);
+    }
+    if !lp_ok {
+        return Ok(SmallRun { solution: greedy_sap_best(instance, ids), lp_degraded: true });
+    }
+    let combined = stack(&sols);
     debug_assert!(combined.validate(instance).is_ok());
-    combined
+    Ok(SmallRun { solution: combined, lp_degraded: false })
 }
 
 /// Packs one stratum `J_t` into the strip `[2^{t−1}, 2^t)` (tasks of
 /// stratum 0 — bottleneck 1, demand 1 — cannot be half-packed; the strip
 /// bound `2^{t−1}` is 0 there and the stratum yields nothing, matching the
 /// theory: δ-small tasks with integer demands have `b(j) ≥ 1/δ > 2`).
+///
+/// The boolean is false when the stratum's LP was non-optimal (the
+/// returned empty solution is then a placeholder the caller discards).
 fn pack_stratum(
     instance: &Instance,
     t: u32,
     members: &[TaskId],
     algo: SmallAlgo,
-) -> SapSolution {
+    lp_max_iters: usize,
+    budget: &Budget,
+) -> SapResult<(SapSolution, bool)> {
+    budget.checkpoint(CheckpointClass::Driver, 1)?;
     if t == 0 {
-        return SapSolution::empty();
+        return Ok((SapSolution::empty(), true));
     }
     let band_lo = 1u64 << t;
     let band_hi = 2 * band_lo;
     let half = band_lo / 2; // 2^{t−1}: strip height and lift amount
     let (sub, map) = match clip_to_band(instance, members, band_lo, band_hi) {
         Ok(x) => x,
-        Err(_) => return SapSolution::empty(),
+        Err(_) => return Ok((SapSolution::empty(), true)),
     };
     let sub_ids = sub.all_ids();
     // Step 2: half-B-packable UFPP solution.
     let ufpp_sol = match algo {
         SmallAlgo::LpRounding => {
-            ufpp::round_scaled_lp(&sub, &sub_ids, half).solution
+            let strip =
+                ufpp::round_scaled_lp_budgeted(&sub, &sub_ids, half, lp_max_iters, budget)?;
+            if strip.lp_status != LpStatus::Optimal {
+                // Lemma 5 needs the fractional optimum; discard.
+                return Ok((SapSolution::empty(), false));
+            }
+            strip.solution
         }
         SmallAlgo::LocalRatio => ufpp::strip_local_ratio(&sub, &sub_ids, band_lo),
     };
@@ -79,9 +154,10 @@ fn pack_stratum(
     debug_assert!(packing.solution.validate_packable(&sub, half).is_ok());
     // Step 4: lift into [half, 2^t) and translate ids back.
     let lifted = lift(&packing.solution, half);
-    SapSolution::from_pairs(
-        lifted.placements.iter().map(|p| (map[p.task], p.height)),
-    )
+    Ok((
+        SapSolution::from_pairs(lifted.placements.iter().map(|p| (map[p.task], p.height))),
+        true,
+    ))
 }
 
 #[cfg(test)]

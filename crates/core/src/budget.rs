@@ -1,0 +1,626 @@
+//! Cooperative budgets, solve reports, and deterministic fault injection.
+//!
+//! The portfolio driver in `sap-algs` is a best-of-three race (Theorem 4:
+//! small / medium / large). Each arm is given a [`Budget`] — a wall-clock
+//! deadline plus a work-unit counter plus a shared cancellation flag — and
+//! is expected to call [`Budget::checkpoint`] at its natural loop
+//! boundaries (simplex pivots, DP rows, rectangle-packing sweeps). A
+//! checkpoint that trips returns [`SapError::BudgetExhausted`], which the
+//! driver converts into a fallback down the chain
+//! (combined → Lemma 13 DP → greedy first-fit) rather than a hard failure.
+//!
+//! Determinism contract: the wall clock is consulted **only** when a
+//! deadline was explicitly set. A budget limited purely by work units
+//! (see [`Budget::with_work_units`]) trips at a point that depends only on
+//! the sequence of checkpoints executed, so two runs with the same
+//! instance and the same work-unit limit degrade identically.
+//!
+//! The [`SolveReport`] returned alongside every driver solution records
+//! per-arm outcomes, fired fallbacks and budget consumption. It contains
+//! no timing fields, so reports from deterministic runs are byte-identical.
+//!
+//! With the `fault-injection` cargo feature enabled, a [`FaultPlan`] can be
+//! attached to a budget to deterministically fail the Nth LP solve, panic
+//! the Nth portfolio worker, or exhaust the budget at the Nth checkpoint
+//! of a given class. With the feature off the plan type does not exist and
+//! the hooks compile to no-ops.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::{SapError, SapResult};
+
+/// Where in an algorithm a [`Budget::checkpoint`] call sits.
+///
+/// The class is part of the fault-injection addressing scheme (a
+/// [`FaultPlan`] can exhaust the budget at the Nth checkpoint of one
+/// specific class) and is otherwise only informational.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CheckpointClass {
+    /// One simplex pivot in the LP solver.
+    LpPivot,
+    /// One row (or frontier expansion) of a dynamic program — the exact
+    /// elevator search, the Lemma 13 DP, or the subset-sum height
+    /// enumeration.
+    DpRow,
+    /// One recursive sweep of the rectangle-packing (MWIS) solver.
+    PackSweep,
+    /// A coarse checkpoint in driver / orchestration code, between arms
+    /// or strata.
+    Driver,
+}
+
+impl CheckpointClass {
+    /// Stable lower-case name, used in reports and CLI flags.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CheckpointClass::LpPivot => "lp_pivot",
+            CheckpointClass::DpRow => "dp_row",
+            CheckpointClass::PackSweep => "pack_sweep",
+            CheckpointClass::Driver => "driver",
+        }
+    }
+}
+
+/// Deterministic fault plan: which injected failures fire during a solve.
+///
+/// All counters are 1-based and counted per [`Budget`] (a [`Budget::child`]
+/// starts fresh), so a plan addresses e.g. "the 2nd LP solve performed by
+/// the small arm" deterministically even when arms run in parallel.
+#[cfg(feature = "fault-injection")]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Fail the Nth LP solve (1-based) as if the solver returned a
+    /// non-optimal status.
+    pub fail_lp_solve: Option<u64>,
+    /// Panic inside the portfolio worker with this index (0 = small,
+    /// 1 = medium, 2 = large).
+    pub panic_worker: Option<usize>,
+    /// Exhaust the budget at the Nth checkpoint (1-based), optionally
+    /// restricted to one [`CheckpointClass`] (`None` matches any class).
+    pub exhaust_at: Option<(Option<CheckpointClass>, u64)>,
+}
+
+#[cfg(feature = "fault-injection")]
+impl FaultPlan {
+    /// Derives a plan from a `u64` seed with the same splitmix64 expansion
+    /// used to seed the in-repo `Rng64` (`sap-gen`), re-implemented here
+    /// because `sap-gen` depends on `sap-core`.
+    ///
+    /// Each of the three fault dimensions independently fires with
+    /// probability 1/2, so seed sweeps exercise single and combined
+    /// faults. Seed 0 yields the empty plan.
+    pub fn from_seed(seed: u64) -> FaultPlan {
+        if seed == 0 {
+            return FaultPlan::default();
+        }
+        fn splitmix64(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        let mut state = seed;
+        let r0 = splitmix64(&mut state);
+        let r1 = splitmix64(&mut state);
+        let r2 = splitmix64(&mut state);
+        let fail_lp_solve = (r0 & 1 == 0).then(|| 1 + (r0 >> 8) % 4);
+        let panic_worker = (r1 & 1 == 0).then(|| ((r1 >> 8) % 3) as usize);
+        let exhaust_at = (r2 & 1 == 0).then(|| {
+            let class = match (r2 >> 8) % 5 {
+                0 => Some(CheckpointClass::LpPivot),
+                1 => Some(CheckpointClass::DpRow),
+                2 => Some(CheckpointClass::PackSweep),
+                3 => Some(CheckpointClass::Driver),
+                _ => None,
+            };
+            (class, 1 + (r2 >> 16) % 64)
+        });
+        FaultPlan { fail_lp_solve, panic_worker, exhaust_at }
+    }
+
+    /// True when no fault is scheduled.
+    pub fn is_empty(&self) -> bool {
+        *self == FaultPlan::default()
+    }
+}
+
+/// Cooperative execution budget shared down one solver call chain.
+///
+/// A budget combines three independent limits:
+///
+/// * a **wall-clock deadline** ([`Budget::with_deadline_ms`]), checked at
+///   every checkpoint *only when set*;
+/// * a **work-unit limit** ([`Budget::with_work_units`]), a deterministic
+///   abstract-cost counter incremented by checkpoints;
+/// * a **cancellation flag**, shared between a budget and all its
+///   [children](Budget::child), so a deadline trip (or an explicit
+///   [`Budget::cancel`]) stops sibling arms at their next checkpoint.
+///
+/// Solvers treat a trip as [`SapError::BudgetExhausted`] and unwind to the
+/// driver, which falls back to a cheaper algorithm. A budget is `Sync`;
+/// checkpoints are lock-free atomic updates.
+#[derive(Debug)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    work_limit: u64,
+    consumed: AtomicU64,
+    checkpoints: AtomicU64,
+    cancelled: Arc<AtomicBool>,
+    #[cfg(feature = "fault-injection")]
+    fault: FaultPlan,
+    #[cfg(feature = "fault-injection")]
+    lp_solves: AtomicU64,
+}
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget::unlimited()
+    }
+}
+
+impl Budget {
+    /// A budget with no deadline and no work-unit limit. Checkpoints only
+    /// observe the cancellation flag.
+    pub fn unlimited() -> Budget {
+        Budget {
+            deadline: None,
+            work_limit: u64::MAX,
+            consumed: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+            cancelled: Arc::new(AtomicBool::new(false)),
+            #[cfg(feature = "fault-injection")]
+            fault: FaultPlan::default(),
+            #[cfg(feature = "fault-injection")]
+            lp_solves: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds a wall-clock deadline `ms` milliseconds from now.
+    ///
+    /// Deadline checks read [`Instant::now`], so deadline-limited runs are
+    /// *not* deterministic; combine with care in tests that compare runs.
+    pub fn with_deadline_ms(mut self, ms: u64) -> Budget {
+        self.deadline = Some(Instant::now() + Duration::from_millis(ms));
+        self
+    }
+
+    /// Limits the budget to `units` work units. `u64::MAX` means
+    /// unmetered. The trip point depends only on the checkpoint sequence,
+    /// never on the wall clock.
+    pub fn with_work_units(mut self, units: u64) -> Budget {
+        self.work_limit = units;
+        self
+    }
+
+    /// Attaches a deterministic fault plan (testing only).
+    #[cfg(feature = "fault-injection")]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Budget {
+        self.fault = plan;
+        self
+    }
+
+    /// A child budget for one portfolio arm: same limits and fault plan,
+    /// fresh counters, **shared** cancellation flag.
+    ///
+    /// Fresh counters keep metered runs deterministic when arms race in
+    /// parallel — each arm trips based only on its own work, while a
+    /// deadline trip in any arm still cancels the siblings.
+    pub fn child(&self) -> Budget {
+        Budget {
+            deadline: self.deadline,
+            work_limit: self.work_limit,
+            consumed: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+            cancelled: Arc::clone(&self.cancelled),
+            #[cfg(feature = "fault-injection")]
+            fault: self.fault,
+            #[cfg(feature = "fault-injection")]
+            lp_solves: AtomicU64::new(0),
+        }
+    }
+
+    /// True when the budget can trip deterministically — a finite
+    /// work-unit limit or an attached fault plan. Algorithms use this to
+    /// switch intra-arm fan-out to sequential execution so the trip point
+    /// does not depend on thread scheduling.
+    pub fn is_metered(&self) -> bool {
+        #[cfg(feature = "fault-injection")]
+        if !self.fault.is_empty() {
+            return true;
+        }
+        self.work_limit != u64::MAX
+    }
+
+    /// Records `units` of work at a loop boundary and checks every limit.
+    ///
+    /// Returns [`SapError::BudgetExhausted`] when the budget is cancelled,
+    /// over its work-unit limit, past its deadline, or hits an injected
+    /// exhaustion fault. Algorithms must propagate the error upward
+    /// without producing a partial answer.
+    pub fn checkpoint(&self, class: CheckpointClass, units: u64) -> SapResult<()> {
+        let passed = self.checkpoints.fetch_add(1, Ordering::Relaxed).saturating_add(1);
+        let used = self.consumed.fetch_add(units, Ordering::Relaxed).saturating_add(units);
+        if self.cancelled.load(Ordering::Relaxed) {
+            return Err(SapError::BudgetExhausted);
+        }
+        #[cfg(feature = "fault-injection")]
+        if let Some((want_class, nth)) = self.fault.exhaust_at {
+            if passed >= nth && want_class.map_or(true, |c| c == class) {
+                return Err(SapError::BudgetExhausted);
+            }
+        }
+        #[cfg(not(feature = "fault-injection"))]
+        let _ = (class, passed);
+        if used > self.work_limit {
+            return Err(SapError::BudgetExhausted);
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                // Deadline trips cancel the whole solve, not just this arm.
+                self.cancelled.store(true, Ordering::Relaxed);
+                return Err(SapError::BudgetExhausted);
+            }
+        }
+        Ok(())
+    }
+
+    /// Work units consumed through this budget (children not included).
+    pub fn consumed(&self) -> u64 {
+        self.consumed.load(Ordering::Relaxed)
+    }
+
+    /// Checkpoints passed through this budget (children not included).
+    pub fn checkpoints_passed(&self) -> u64 {
+        self.checkpoints.load(Ordering::Relaxed)
+    }
+
+    /// Cancels this budget and every budget sharing its flag; they trip at
+    /// their next checkpoint.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`Budget::cancel`] was called or a deadline tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Fault-injection hook at the top of portfolio worker `idx`
+    /// (0 = small, 1 = medium, 2 = large): panics when the plan targets
+    /// this worker. No-op without the `fault-injection` feature.
+    #[cfg(feature = "fault-injection")]
+    pub fn worker_fault(&self, idx: usize) {
+        if self.fault.panic_worker == Some(idx) {
+            // lint:allow(p1) — deliberate injected panic; the driver's
+            // catch_unwind isolation is exactly what is under test.
+            panic!("injected fault: portfolio worker {idx} panicked");
+        }
+    }
+
+    /// Fault-injection hook at the top of portfolio worker `idx`;
+    /// compiled out without the `fault-injection` feature.
+    #[cfg(not(feature = "fault-injection"))]
+    pub fn worker_fault(&self, _idx: usize) {}
+
+    /// Fault-injection hook counting LP solves: returns `true` when this
+    /// solve (1-based, per budget) is planned to fail and should be
+    /// treated as non-optimal. Always `false` without the feature.
+    #[cfg(feature = "fault-injection")]
+    pub fn lp_solve_fault(&self) -> bool {
+        let nth = self.lp_solves.fetch_add(1, Ordering::Relaxed).saturating_add(1);
+        self.fault.fail_lp_solve == Some(nth)
+    }
+
+    /// Fault-injection hook counting LP solves; compiled out without the
+    /// `fault-injection` feature.
+    #[cfg(not(feature = "fault-injection"))]
+    pub fn lp_solve_fault(&self) -> bool {
+        false
+    }
+}
+
+/// How one portfolio arm (or fallback stage) ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArmOutcome {
+    /// The arm produced its intended solution.
+    Completed,
+    /// The arm tripped its budget (work units, deadline, or cancellation).
+    BudgetExhausted,
+    /// An LP inside the arm returned a non-optimal status; the partial LP
+    /// solution was discarded.
+    LpNonOptimal,
+    /// The arm panicked and was isolated by the driver.
+    Panicked,
+}
+
+impl ArmOutcome {
+    /// Stable name used in the JSON report.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ArmOutcome::Completed => "completed",
+            ArmOutcome::BudgetExhausted => "budget_exhausted",
+            ArmOutcome::LpNonOptimal => "lp_non_optimal",
+            ArmOutcome::Panicked => "panicked",
+        }
+    }
+}
+
+impl fmt::Display for ArmOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Outcome of one portfolio arm, as recorded in a [`SolveReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArmReport {
+    /// Arm name: `"small"`, `"medium"`, `"large"`, `"lemma13"`, `"greedy"`.
+    pub arm: &'static str,
+    /// How the arm ended.
+    pub outcome: ArmOutcome,
+    /// Weight of the feasible solution this arm contributed (0 when it
+    /// contributed none).
+    pub weight: u64,
+    /// Work units the arm consumed from its child budget.
+    pub work_consumed: u64,
+    /// Name of the within-arm fallback that produced the arm's solution,
+    /// when the primary algorithm did not (e.g. `"greedy"` for the small
+    /// arm after a non-optimal LP).
+    pub fallback: Option<&'static str>,
+}
+
+/// Machine-readable account of a driver solve: per-arm outcomes, the
+/// fallback chain that fired, and budget consumption.
+///
+/// The report deliberately contains **no timing fields**, so byte-identical
+/// reports certify deterministic degradation (see the budget-determinism
+/// test suite).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolveReport {
+    /// One entry per arm and fallback stage that ran, in execution order.
+    pub arms: Vec<ArmReport>,
+    /// Stage-level fallbacks fired by the driver, in order
+    /// (subset of `["lemma13", "greedy"]`).
+    pub fallbacks: Vec<&'static str>,
+    /// Name of the arm whose solution was returned.
+    pub winner: &'static str,
+    /// Weight of the returned solution.
+    pub weight: u64,
+    /// Total work units consumed across all child budgets.
+    pub work_consumed: u64,
+    /// Total checkpoints passed across all child budgets.
+    pub checkpoints: u64,
+}
+
+impl SolveReport {
+    /// True when every arm completed and no fallback fired.
+    pub fn is_clean(&self) -> bool {
+        self.fallbacks.is_empty()
+            && self.arms.iter().all(|a| a.outcome == ArmOutcome::Completed && a.fallback.is_none())
+    }
+
+    /// The report for `arm`, if that arm ran.
+    pub fn arm(&self, arm: &str) -> Option<&ArmReport> {
+        self.arms.iter().find(|a| a.arm == arm)
+    }
+
+    /// Deterministic single-line JSON encoding (hand-rolled: the workspace
+    /// is hermetic, and every field is a number or a known identifier, so
+    /// no escaping is needed).
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::from("{\"arms\":[");
+        for (i, a) in self.arms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"arm\":\"{}\",\"outcome\":\"{}\",\"weight\":{},\"work_consumed\":{}",
+                a.arm, a.outcome, a.weight, a.work_consumed
+            ));
+            match a.fallback {
+                Some(fb) => out.push_str(&format!(",\"fallback\":\"{fb}\"}}")),
+                None => out.push_str(",\"fallback\":null}"),
+            }
+        }
+        out.push_str("],\"fallbacks\":[");
+        for (i, fb) in self.fallbacks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{fb}\""));
+        }
+        out.push_str(&format!(
+            "],\"winner\":\"{}\",\"weight\":{},\"work_consumed\":{},\"checkpoints\":{}}}",
+            self.winner, self.weight, self.work_consumed, self.checkpoints
+        ));
+        out
+    }
+}
+
+impl fmt::Display for SolveReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "winner={} weight={}", self.winner, self.weight)?;
+        for a in &self.arms {
+            write!(f, " {}={}", a.arm, a.outcome)?;
+            if let Some(fb) = a.fallback {
+                write!(f, "(fallback={fb})")?;
+            }
+        }
+        if !self.fallbacks.is_empty() {
+            write!(f, " driver_fallbacks={}", self.fallbacks.join(","))?;
+        }
+        write!(f, " work={} checkpoints={}", self.work_consumed, self.checkpoints)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let b = Budget::unlimited();
+        for _ in 0..10_000 {
+            b.checkpoint(CheckpointClass::DpRow, 17).unwrap();
+        }
+        assert!(!b.is_metered());
+        assert_eq!(b.consumed(), 170_000);
+        assert_eq!(b.checkpoints_passed(), 10_000);
+    }
+
+    #[test]
+    fn work_units_trip_deterministically() {
+        for _ in 0..3 {
+            let b = Budget::unlimited().with_work_units(100);
+            assert!(b.is_metered());
+            let mut passed = 0u64;
+            while b.checkpoint(CheckpointClass::LpPivot, 7).is_ok() {
+                passed += 1;
+            }
+            // trips on the first checkpoint pushing consumed past 100
+            assert_eq!(passed, 14);
+        }
+    }
+
+    #[test]
+    fn cancel_stops_children() {
+        let parent = Budget::unlimited();
+        let child = parent.child();
+        child.checkpoint(CheckpointClass::Driver, 1).unwrap();
+        parent.cancel();
+        assert!(child.is_cancelled());
+        assert_eq!(
+            child.checkpoint(CheckpointClass::Driver, 1),
+            Err(SapError::BudgetExhausted)
+        );
+    }
+
+    #[test]
+    fn child_counters_are_fresh() {
+        let parent = Budget::unlimited().with_work_units(10);
+        parent.checkpoint(CheckpointClass::Driver, 10).unwrap();
+        let child = parent.child();
+        assert_eq!(child.consumed(), 0);
+        child.checkpoint(CheckpointClass::Driver, 10).unwrap();
+        assert_eq!(
+            child.checkpoint(CheckpointClass::Driver, 1),
+            Err(SapError::BudgetExhausted)
+        );
+    }
+
+    #[test]
+    fn deadline_zero_trips_and_cancels_siblings() {
+        let parent = Budget::unlimited().with_deadline_ms(0);
+        let a = parent.child();
+        let b = parent.child();
+        assert_eq!(a.checkpoint(CheckpointClass::DpRow, 1), Err(SapError::BudgetExhausted));
+        // the deadline trip in `a` cancelled the shared flag
+        assert_eq!(b.checkpoint(CheckpointClass::DpRow, 1), Err(SapError::BudgetExhausted));
+    }
+
+    #[test]
+    fn report_json_is_deterministic() {
+        let report = SolveReport {
+            arms: vec![
+                ArmReport {
+                    arm: "small",
+                    outcome: ArmOutcome::LpNonOptimal,
+                    weight: 4,
+                    work_consumed: 12,
+                    fallback: Some("greedy"),
+                },
+                ArmReport {
+                    arm: "large",
+                    outcome: ArmOutcome::Completed,
+                    weight: 9,
+                    work_consumed: 3,
+                    fallback: None,
+                },
+            ],
+            fallbacks: vec![],
+            winner: "large",
+            weight: 9,
+            work_consumed: 15,
+            checkpoints: 6,
+        };
+        let json = report.to_json_string();
+        assert_eq!(
+            json,
+            "{\"arms\":[{\"arm\":\"small\",\"outcome\":\"lp_non_optimal\",\"weight\":4,\
+             \"work_consumed\":12,\"fallback\":\"greedy\"},{\"arm\":\"large\",\
+             \"outcome\":\"completed\",\"weight\":9,\"work_consumed\":3,\"fallback\":null}],\
+             \"fallbacks\":[],\"winner\":\"large\",\"weight\":9,\"work_consumed\":15,\
+             \"checkpoints\":6}"
+        );
+        assert!(!report.is_clean());
+        assert_eq!(report.arm("small").map(|a| a.outcome), Some(ArmOutcome::LpNonOptimal));
+    }
+
+    #[cfg(feature = "fault-injection")]
+    mod fault {
+        use super::*;
+
+        #[test]
+        fn from_seed_zero_is_empty() {
+            assert!(FaultPlan::from_seed(0).is_empty());
+        }
+
+        #[test]
+        fn from_seed_is_deterministic_and_varied() {
+            let mut any_lp = false;
+            let mut any_panic = false;
+            let mut any_exhaust = false;
+            for seed in 1..=64 {
+                let plan = FaultPlan::from_seed(seed);
+                assert_eq!(plan, FaultPlan::from_seed(seed));
+                any_lp |= plan.fail_lp_solve.is_some();
+                any_panic |= plan.panic_worker.is_some();
+                any_exhaust |= plan.exhaust_at.is_some();
+            }
+            assert!(any_lp && any_panic && any_exhaust);
+        }
+
+        #[test]
+        fn exhaust_at_nth_checkpoint_of_class() {
+            let plan = FaultPlan {
+                exhaust_at: Some((Some(CheckpointClass::DpRow), 3)),
+                ..FaultPlan::default()
+            };
+            let b = Budget::unlimited().with_fault_plan(plan);
+            assert!(b.is_metered());
+            b.checkpoint(CheckpointClass::DpRow, 1).unwrap();
+            b.checkpoint(CheckpointClass::DpRow, 1).unwrap();
+            assert_eq!(b.checkpoint(CheckpointClass::DpRow, 1), Err(SapError::BudgetExhausted));
+            // a different class at/after the trip index keeps running
+            let b2 = Budget::unlimited().with_fault_plan(plan);
+            for _ in 0..5 {
+                b2.checkpoint(CheckpointClass::LpPivot, 1).unwrap();
+            }
+        }
+
+        #[test]
+        fn lp_solve_fault_counts_per_budget() {
+            let plan = FaultPlan { fail_lp_solve: Some(2), ..FaultPlan::default() };
+            let b = Budget::unlimited().with_fault_plan(plan);
+            assert!(!b.lp_solve_fault());
+            assert!(b.lp_solve_fault());
+            assert!(!b.lp_solve_fault());
+            let child = b.child();
+            assert!(!child.lp_solve_fault());
+            assert!(child.lp_solve_fault());
+        }
+
+        #[test]
+        #[should_panic(expected = "injected fault")]
+        fn worker_fault_panics_on_target() {
+            let plan = FaultPlan { panic_worker: Some(1), ..FaultPlan::default() };
+            let b = Budget::unlimited().with_fault_plan(plan);
+            b.worker_fault(0);
+            b.worker_fault(1);
+        }
+    }
+}

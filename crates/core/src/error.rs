@@ -74,6 +74,10 @@ pub enum SapError {
     Overflow,
     /// An algorithm-specific parameter is out of its documented range.
     InvalidParameter(&'static str),
+    /// A cooperative [`crate::budget::Budget`] tripped (work-unit limit,
+    /// deadline, or cancellation) before the algorithm finished. The
+    /// caller should fall back to a cheaper algorithm.
+    BudgetExhausted,
 }
 
 impl fmt::Display for SapError {
@@ -101,6 +105,7 @@ impl fmt::Display for SapError {
             }
             SapError::Overflow => write!(f, "numeric overflow"),
             SapError::InvalidParameter(p) => write!(f, "invalid parameter: {p}"),
+            SapError::BudgetExhausted => write!(f, "budget exhausted before completion"),
         }
     }
 }

@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod classify;
 pub mod clip;
 pub mod elevate;
@@ -56,6 +57,9 @@ pub mod stats;
 pub mod task;
 pub mod units;
 
+#[cfg(feature = "fault-injection")]
+pub use budget::FaultPlan;
+pub use budget::{ArmOutcome, ArmReport, Budget, CheckpointClass, SolveReport};
 pub use classify::{
     classes_k_ell, classify_by_size, is_delta_large, is_delta_small, strata_by_bottleneck,
     stratum_of, ClassifiedTasks, SizeClass,
@@ -66,7 +70,7 @@ pub use error::{SapError, SapResult};
 pub use gravity::{apply_gravity, canonical_heights, is_grounded};
 pub use instance::Instance;
 pub use network::PathNetwork;
-pub use parallel::{join, join3, parallel_map};
+pub use parallel::{join, join3, join3_isolated, parallel_map, run_isolated};
 pub use render::{render_solution, render_solution_svg};
 pub use rmq::RangeMin;
 pub use solution::{Placement, SapSolution, UfppSolution};

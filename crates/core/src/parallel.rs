@@ -55,6 +55,53 @@ where
     (ra, rb, rc)
 }
 
+/// Runs `f` with panic isolation: a panic is caught and returned as
+/// `Err(message)` instead of unwinding into the caller.
+///
+/// This is the non-propagating counterpart to [`join`]/[`join3`], used by
+/// the fault-tolerant portfolio driver so one poisoned arm cannot take
+/// down the solve. The panic payload is downcast to a `String` when
+/// possible; opaque payloads are reported generically.
+pub fn run_isolated<R, F>(f: F) -> Result<R, String>
+where
+    F: FnOnce() -> R,
+{
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(r) => Ok(r),
+        Err(payload) => Err(panic_message(payload.as_ref())),
+    }
+}
+
+/// Best-effort extraction of a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Runs three closures, potentially in parallel, each with panic
+/// isolation; a panicking closure yields `Err(message)` in its slot while
+/// the other two still return their results.
+pub fn join3_isolated<A, B, C, RA, RB, RC>(
+    a: A,
+    b: B,
+    c: C,
+) -> (Result<RA, String>, Result<RB, String>, Result<RC, String>)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    C: FnOnce() -> RC + Send,
+    RA: Send,
+    RB: Send,
+    RC: Send,
+{
+    join3(|| run_isolated(a), || run_isolated(b), || run_isolated(c))
+}
+
 /// Applies `f` to every element of `items` and collects the results in
 /// input order, fanning the work out over scoped threads.
 ///
@@ -141,6 +188,21 @@ mod tests {
         let empty: Vec<u32> = vec![];
         assert!(parallel_map(&empty, |x| *x).is_empty());
         assert_eq!(parallel_map(&[7u32], |x| *x + 1), vec![8]);
+    }
+
+    #[test]
+    fn run_isolated_catches_panics() {
+        assert_eq!(run_isolated(|| 41 + 1), Ok(42));
+        let err = run_isolated(|| -> u32 { panic!("boom {}", 7) }).unwrap_err();
+        assert_eq!(err, "boom 7");
+    }
+
+    #[test]
+    fn join3_isolated_survives_one_panicking_arm() {
+        let (a, b, c) = join3_isolated(|| 1, || -> u32 { panic!("arm b down") }, || 3);
+        assert_eq!(a, Ok(1));
+        assert_eq!(b.unwrap_err(), "arm b down");
+        assert_eq!(c, Ok(3));
     }
 
     #[test]

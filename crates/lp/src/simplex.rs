@@ -1,5 +1,8 @@
 //! Bounded-variable revised simplex for packing LPs.
 
+use sap_core::budget::{Budget, CheckpointClass};
+use sap_core::error::SapResult;
+
 /// Numerical tolerance for feasibility / optimality decisions.
 const TOL: f64 = 1e-9;
 /// Pivot elements smaller than this are rejected for stability.
@@ -148,11 +151,43 @@ impl LpProblem {
     /// Solves the LP. `max_iters = 0` selects an automatic limit of
     /// `64·(n + m) + 4096` pivots.
     pub fn solve(&self, max_iters: usize) -> LpSolution {
-        Simplex::new(self).run(if max_iters == 0 {
+        // No budget ⇒ no checkpoint can trip, so the Err arm is dead; the
+        // trivial point keeps this total without a panic path.
+        Simplex::new(self)
+            .run(self.pivot_limit(max_iters), None)
+            .unwrap_or_else(|_| self.trivial_solution())
+    }
+
+    /// Solves the LP under a cooperative [`Budget`], charging one
+    /// `LpPivot` work unit per simplex iteration.
+    ///
+    /// Returns [`sap_core::SapError::BudgetExhausted`] when the budget
+    /// trips mid-solve; no partial point is returned, because a
+    /// sub-optimal LP point must not be silently rounded (the caller
+    /// routes to its greedy fallback instead). A pivot-limit stop is still
+    /// reported in-band as [`LpStatus::IterationLimit`].
+    pub fn solve_budgeted(&self, max_iters: usize, budget: &Budget) -> SapResult<LpSolution> {
+        Simplex::new(self).run(self.pivot_limit(max_iters), Some(budget))
+    }
+
+    fn pivot_limit(&self, max_iters: usize) -> usize {
+        if max_iters == 0 {
             64 * (self.num_vars() + self.num_rows) + 4096
         } else {
             max_iters
-        })
+        }
+    }
+
+    /// The all-zero point (feasible for every packing LP) with a
+    /// dual-feasible certificate, flagged as non-optimal.
+    fn trivial_solution(&self) -> LpSolution {
+        LpSolution {
+            status: LpStatus::IterationLimit,
+            objective: 0.0,
+            x: vec![0.0; self.num_vars()],
+            row_duals: vec![0.0; self.num_rows],
+            bound_duals: self.obj.iter().map(|c| c.max(0.0)).collect(),
+        }
     }
 }
 
@@ -269,11 +304,14 @@ impl<'a> Simplex<'a> {
         d
     }
 
-    fn run(mut self, max_iters: usize) -> LpSolution {
+    fn run(mut self, max_iters: usize, budget: Option<&Budget>) -> SapResult<LpSolution> {
         let mut stall = 0usize;
         let mut last_obj = f64::NEG_INFINITY;
         let mut status = LpStatus::IterationLimit;
         for _ in 0..max_iters {
+            if let Some(b) = budget {
+                b.checkpoint(CheckpointClass::LpPivot, 1)?;
+            }
             let y = self.duals();
             // Pricing: Dantzig (most attractive reduced cost), Bland when
             // stalling.
@@ -390,7 +428,7 @@ impl<'a> Simplex<'a> {
                 stall += 1;
             }
         }
-        self.extract(status)
+        Ok(self.extract(status))
     }
 
     fn current_objective(&self) -> f64 {
@@ -581,6 +619,24 @@ mod tests {
         }
         let s = p.solve(1);
         assert!(p.is_feasible(&s.x, 1e-9));
+    }
+
+    #[test]
+    fn budgeted_solve_matches_unbudgeted_and_trips() {
+        let mut p = LpProblem::new(vec![2.0, 4.0, 2.0]);
+        p.add_var(2.0, 1.0, &[(0, 2.0), (1, 2.0)]);
+        p.add_var(2.0, 1.0, &[(1, 2.0), (2, 2.0)]);
+        p.add_var(3.0, 1.0, &[(0, 2.0), (1, 2.0), (2, 2.0)]);
+        let plain = p.solve(0);
+        let budgeted = p.solve_budgeted(0, &Budget::unlimited()).unwrap();
+        assert_eq!(budgeted.status, LpStatus::Optimal);
+        assert_eq!(budgeted.x, plain.x);
+        // one pivot of budget is not enough for this LP
+        let tight = Budget::unlimited().with_work_units(1);
+        assert!(matches!(
+            p.solve_budgeted(0, &tight),
+            Err(sap_core::SapError::BudgetExhausted)
+        ));
     }
 
     #[test]

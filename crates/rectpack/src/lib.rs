@@ -49,5 +49,7 @@ pub mod mwis;
 pub mod reduction;
 
 pub use coloring::{degeneracy_order, greedy_coloring, intersection_graph};
-pub use mwis::{max_weight_packing, max_weight_packing_bruteforce, MwisConfig};
+pub use mwis::{
+    max_weight_packing, max_weight_packing_bruteforce, max_weight_packing_budgeted, MwisConfig,
+};
 pub use reduction::{rect_of, rects_disjoint, Rect};

@@ -21,6 +21,8 @@
 
 use std::collections::HashMap;
 
+use sap_core::budget::{Budget, CheckpointClass};
+use sap_core::error::{SapError, SapResult};
 use sap_core::{EdgeId, Instance, TaskId};
 
 use crate::reduction::{is_valid_packing, rect_of};
@@ -51,6 +53,8 @@ struct Solver<'a> {
     memo: HashMap<StateKey, (u64, Option<TaskId>)>,
     max_states: usize,
     exhausted: bool,
+    budget: Option<&'a Budget>,
+    budget_tripped: bool,
 }
 
 /// Computes a maximum-weight subset of `ids` whose rectangles `R(j)` are
@@ -61,8 +65,34 @@ pub fn max_weight_packing(
     ids: &[TaskId],
     config: MwisConfig,
 ) -> Option<Vec<TaskId>> {
+    // Without a cooperative budget the only Err source is absent, so the
+    // error arm folds into the state-budget `None`.
+    run_packing(instance, ids, config, None).unwrap_or(None)
+}
+
+/// Budget-aware variant of [`max_weight_packing`]: charges one
+/// `PackSweep` work unit per recursive sweep against `budget`.
+///
+/// `Err(BudgetExhausted)` is the cooperative budget tripping; `Ok(None)`
+/// is the solver's own memo-state budget giving up, as in the infallible
+/// variant.
+pub fn max_weight_packing_budgeted(
+    instance: &Instance,
+    ids: &[TaskId],
+    config: MwisConfig,
+    budget: &Budget,
+) -> SapResult<Option<Vec<TaskId>>> {
+    run_packing(instance, ids, config, Some(budget))
+}
+
+fn run_packing(
+    instance: &Instance,
+    ids: &[TaskId],
+    config: MwisConfig,
+    budget: Option<&Budget>,
+) -> SapResult<Option<Vec<TaskId>>> {
     if ids.is_empty() {
-        return Some(Vec::new());
+        return Ok(Some(Vec::new()));
     }
     let mut solver = Solver {
         inst: instance,
@@ -70,17 +100,22 @@ pub fn max_weight_packing(
         memo: HashMap::new(),
         max_states: config.max_states,
         exhausted: false,
+        budget,
+        budget_tripped: false,
     };
     let m = instance.num_edges();
     let value = solver.solve(0, m, &[]);
+    if solver.budget_tripped {
+        return Err(SapError::BudgetExhausted);
+    }
     if solver.exhausted {
-        return None;
+        return Ok(None);
     }
     let mut chosen = Vec::new();
     solver.reconstruct(0, m, &[], &mut chosen);
     debug_assert!(is_valid_packing(instance, &chosen));
     debug_assert_eq!(instance.total_weight(&chosen), value);
-    Some(chosen)
+    Ok(Some(chosen))
 }
 
 impl<'a> Solver<'a> {
@@ -138,6 +173,15 @@ impl<'a> Solver<'a> {
     fn solve(&mut self, lo: usize, hi: usize, cons: &[Constraint]) -> u64 {
         if lo >= hi || self.exhausted {
             return 0;
+        }
+        if let Some(b) = self.budget {
+            if b.checkpoint(CheckpointClass::PackSweep, 1).is_err() {
+                // Unwind the whole recursion; the caller maps this to
+                // Err(BudgetExhausted), so the bogus 0 value is never used.
+                self.exhausted = true;
+                self.budget_tripped = true;
+                return 0;
+            }
         }
         let cons = self.canonical(lo, hi, cons);
         let key = (lo, hi, cons.clone());
@@ -380,5 +424,24 @@ mod tests {
             max_weight_packing(&inst, &[], MwisConfig::default()).unwrap(),
             Vec::<TaskId>::new()
         );
+    }
+
+    #[test]
+    fn budgeted_matches_unbudgeted_and_trips() {
+        let net = PathNetwork::new(vec![10, 4, 10]).unwrap();
+        let tasks = vec![Task::of(0, 3, 2, 10), Task::of(0, 1, 5, 4), Task::of(2, 3, 7, 4)];
+        let inst = Instance::new(net, tasks).unwrap();
+        let ids = inst.all_ids();
+        let plain = max_weight_packing(&inst, &ids, MwisConfig::default()).unwrap();
+        let budgeted =
+            max_weight_packing_budgeted(&inst, &ids, MwisConfig::default(), &Budget::unlimited())
+                .unwrap()
+                .unwrap();
+        assert_eq!(plain, budgeted);
+        let tight = Budget::unlimited().with_work_units(1);
+        assert!(matches!(
+            max_weight_packing_budgeted(&inst, &ids, MwisConfig::default(), &tight),
+            Err(SapError::BudgetExhausted)
+        ));
     }
 }

@@ -35,4 +35,4 @@ pub use greedy::{greedy_by_density, greedy_by_weight};
 pub use heuristic::{round_lp_against_capacities, solve_ufpp_heuristic};
 pub use local_ratio::{strip_local_ratio, uniform_best_of};
 pub use relax::{build_relaxation, lp_upper_bound};
-pub use rounding::{round_scaled_lp, RoundedStrip};
+pub use rounding::{round_scaled_lp, round_scaled_lp_budgeted, RoundedStrip};

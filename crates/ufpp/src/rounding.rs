@@ -16,6 +16,9 @@
 //! of the bound, which is what makes the measured retention high (the
 //! `T6` experiment quantifies it).
 
+use lp_solver::{LpSolution, LpStatus};
+use sap_core::budget::Budget;
+use sap_core::error::SapResult;
 use sap_core::{Instance, TaskId, UfppSolution};
 
 use crate::relax::build_relaxation;
@@ -26,19 +29,60 @@ pub struct RoundedStrip {
     /// The integral solution; `bound`-packable.
     pub solution: UfppSolution,
     /// The fractional LP optimum before scaling (an upper bound on the
-    /// best integral solution under the *original* capacities).
+    /// best integral solution under the *original* capacities — only valid
+    /// when `lp_status` is [`LpStatus::Optimal`]).
     pub lp_value: f64,
     /// The load bound the solution satisfies (= `B/2` in the paper,
     /// passed in by the caller).
     pub bound: u64,
+    /// Status of the underlying LP solve. Anything other than
+    /// [`LpStatus::Optimal`] means the rounding order was guided by a
+    /// sub-optimal fractional point: the solution is still feasible and
+    /// `bound`-packable, but carries no Lemma 5 guarantee, and callers
+    /// that need the approximation ratio must fall back.
+    pub lp_status: LpStatus,
 }
 
 /// Runs the scale-by-¼-and-round pipeline targeting load `bound` on every
 /// edge. Returns a `bound`-packable UFPP solution over `ids`.
 pub fn round_scaled_lp(instance: &Instance, ids: &[TaskId], bound: u64) -> RoundedStrip {
     let lp = build_relaxation(instance, ids);
-    let lp_sol = lp.solve(0);
+    round_solution(instance, ids, bound, lp.solve(0))
+}
+
+/// Budget-aware variant of [`round_scaled_lp`]: the LP solve is charged
+/// against `budget` (one `LpPivot` unit per pivot, capped at `max_iters`
+/// pivots, `0` = automatic) and the fault-injection hook
+/// [`Budget::lp_solve_fault`] can force a non-optimal status.
+///
+/// Returns `Err(BudgetExhausted)` when the budget trips mid-solve; a
+/// pivot-limit stop is reported in-band via
+/// [`RoundedStrip::lp_status`].
+pub fn round_scaled_lp_budgeted(
+    instance: &Instance,
+    ids: &[TaskId],
+    bound: u64,
+    max_iters: usize,
+    budget: &Budget,
+) -> SapResult<RoundedStrip> {
+    let lp = build_relaxation(instance, ids);
+    let mut lp_sol = lp.solve_budgeted(max_iters, budget)?;
+    if budget.lp_solve_fault() {
+        lp_sol.status = LpStatus::IterationLimit;
+    }
+    Ok(round_solution(instance, ids, bound, lp_sol))
+}
+
+/// Greedy rounding of a fractional point (shared tail of both entry
+/// points).
+fn round_solution(
+    instance: &Instance,
+    ids: &[TaskId],
+    bound: u64,
+    lp_sol: LpSolution,
+) -> RoundedStrip {
     let lp_value = lp_sol.objective;
+    let lp_status = lp_sol.status;
 
     // Scaled fractional values x'_j = x*_j / 4 guide the greedy order.
     // (The ¼ factor cancels in the ordering but matters for the analysis:
@@ -77,7 +121,7 @@ pub fn round_scaled_lp(instance: &Instance, ids: &[TaskId], bound: u64) -> Round
             chosen.push(j);
         }
     }
-    RoundedStrip { solution: UfppSolution::new(chosen), lp_value, bound }
+    RoundedStrip { solution: UfppSolution::new(chosen), lp_value, bound, lp_status }
 }
 
 #[cfg(test)]

@@ -18,6 +18,10 @@
 //!   sap-core feasibility validator under `debug_assertions`.
 //! * **d1 — docs.** Public functions and structs in `sap-core` and
 //!   `sap-algs` carry doc comments.
+//! * **r1 — panic isolation.** Driver code in `sap-algs` must not
+//!   re-raise captured panics with `resume_unwind`: portfolio arms are
+//!   isolated (`sap_core::run_isolated`) and failures become report
+//!   entries, not process aborts.
 //!
 //! Any finding can be suppressed with `// lint:allow(<name>) — why`
 //! (or `# lint:allow(h1) — why` in TOML). The justification text is
@@ -46,13 +50,17 @@ pub enum Lint {
     V1,
     /// Doc comments on public items of `sap-core` / `sap-algs`.
     D1,
+    /// No `resume_unwind` in `sap-algs` driver code (panics must be
+    /// isolated and reported, not re-raised).
+    R1,
     /// Malformed `lint:allow` directives (missing justification,
     /// unknown lint name).
     Allow,
 }
 
 /// All lints, in reporting order.
-pub const ALL_LINTS: [Lint; 6] = [Lint::H1, Lint::P1, Lint::F1, Lint::V1, Lint::D1, Lint::Allow];
+pub const ALL_LINTS: [Lint; 7] =
+    [Lint::H1, Lint::P1, Lint::F1, Lint::V1, Lint::D1, Lint::R1, Lint::Allow];
 
 impl Lint {
     /// The short name used in diagnostics and on the command line.
@@ -63,6 +71,7 @@ impl Lint {
             Lint::F1 => "f1",
             Lint::V1 => "v1",
             Lint::D1 => "d1",
+            Lint::R1 => "r1",
             Lint::Allow => "allow",
         }
     }
@@ -75,6 +84,7 @@ impl Lint {
             Lint::F1 => "float == / != comparison in classification or LP code",
             Lint::V1 => "pub fn returning a Solution without a debug-mode validator call",
             Lint::D1 => "pub fn / pub struct without a doc comment",
+            Lint::R1 => "resume_unwind in sap-algs driver code (isolate and report instead)",
             Lint::Allow => "malformed lint:allow directive",
         }
     }
@@ -88,6 +98,7 @@ impl Lint {
             "f1" => Some(Lint::F1),
             "v1" => Some(Lint::V1),
             "d1" => Some(Lint::D1),
+            "r1" => Some(Lint::R1),
             "allow" => Some(Lint::Allow),
             _ => None,
         }
@@ -100,7 +111,8 @@ impl Lint {
             Lint::F1 => 2,
             Lint::V1 => 3,
             Lint::D1 => 4,
-            Lint::Allow => 5,
+            Lint::R1 => 5,
+            Lint::Allow => 6,
         }
     }
 }
@@ -117,11 +129,11 @@ pub enum Level {
 /// Per-lint severity table. The default denies everything: the tree is
 /// expected to stay lint-clean.
 #[derive(Clone, Debug)]
-pub struct Levels([Level; 6]);
+pub struct Levels([Level; 7]);
 
 impl Default for Levels {
     fn default() -> Self {
-        Levels([Level::Deny; 6])
+        Levels([Level::Deny; 7])
     }
 }
 
@@ -138,7 +150,7 @@ impl Levels {
 
     /// Set every lint's severity.
     pub fn set_all(&mut self, level: Level) {
-        self.0 = [level; 6];
+        self.0 = [level; 7];
     }
 }
 

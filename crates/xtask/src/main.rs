@@ -57,7 +57,8 @@ options:
   --list         print the lint set and exit
 
 lints: h1 (hermetic deps)  p1 (panic freedom)  f1 (float equality)
-       v1 (validator coverage)  d1 (docs)  allow (directive hygiene)";
+       v1 (validator coverage)  d1 (docs)  r1 (panic isolation)
+       allow (directive hygiene)";
 
 fn lint_cmd(args: &[String]) -> i32 {
     let mut levels = Levels::default();

@@ -1,5 +1,5 @@
 //! The source-level lints: p1 panic-freedom, f1 float-equality,
-//! v1 validator coverage, d1 docs.
+//! v1 validator coverage, d1 docs, r1 panic isolation.
 //!
 //! All four work on the blanked "code view" produced by
 //! [`crate::source::SourceFile`], so comments and string contents never
@@ -32,6 +32,7 @@ pub fn lint_source(src: &SourceFile) -> Vec<Finding> {
     }
     if src.rel_path.starts_with("crates/algs/src/") {
         findings.extend(lint_v1(src));
+        findings.extend(lint_r1(src));
     }
     if src.rel_path.starts_with("crates/core/src/") || src.rel_path.starts_with("crates/algs/src/")
     {
@@ -310,6 +311,29 @@ fn has_float_literal(s: &str) -> bool {
     false
 }
 
+// ---------------------------------------------------------------- r1
+
+/// Driver code in `sap-algs` must not re-raise captured panics: arms run
+/// behind `sap_core::run_isolated` / `join3_isolated` and failures become
+/// `SolveReport` entries. A `resume_unwind` call site defeats that
+/// isolation and turns an injected fault into a process abort.
+fn lint_r1(src: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (idx, line) in src.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        if line.code.contains("resume_unwind") {
+            push(src, &mut out, Lint::R1, idx, String::from(
+                "`resume_unwind` re-raises a captured panic in driver code; route the \
+                 failure into the SolveReport (run_isolated / ArmOutcome::Panicked), or \
+                 justify with lint:allow(r1)",
+            ));
+        }
+    }
+    out
+}
+
 // ---------------------------------------------------------------- v1
 
 fn lint_v1(src: &SourceFile) -> Vec<Finding> {
@@ -557,6 +581,18 @@ mod tests {
     fn f1_ignores_ranges_and_ints() {
         let text = "fn f(n: usize) -> usize {\n    if n == 1 { (0..2).len() } else { 0 }\n}\n";
         assert!(lint_f1(&parse("crates/lp/src/lib.rs", text)).is_empty());
+    }
+
+    #[test]
+    fn r1_flags_resume_unwind_in_algs_only() {
+        let text = "fn f(p: Box<dyn std::any::Any + Send>) {\n    std::panic::resume_unwind(p)\n}\nfn g(p: Box<dyn std::any::Any + Send>) {\n    // lint:allow(r1) — deliberate re-raise at the process boundary\n    std::panic::resume_unwind(p)\n}\n#[cfg(test)]\nmod tests {\n    fn t(p: Box<dyn std::any::Any + Send>) { std::panic::resume_unwind(p) }\n}\n";
+        let f = lint_r1(&parse("crates/algs/src/driver.rs", text));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("resume_unwind"));
+        // Same text in sap-core (the isolation primitives themselves) is
+        // out of scope.
+        let core = parse("crates/core/src/parallel.rs", text);
+        assert!(lint_source(&core).iter().all(|f| f.lint != Lint::R1));
     }
 
     #[test]

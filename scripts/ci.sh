@@ -4,7 +4,9 @@
 #   1. release build of the default workspace (path-only dependencies,
 #      so this succeeds with no registry and no lockfile),
 #   2. the full test suite,
-#   3. the in-repo static-analysis pass with every lint denied.
+#   3. the chaos suite: the same tests plus deterministic fault injection
+#      (worker panics, failed LP solves, injected budget exhaustion),
+#   4. the in-repo static-analysis pass with every lint denied.
 #
 # Run from anywhere inside the repository.
 set -euo pipefail
@@ -16,6 +18,9 @@ cargo build --release
 
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> cargo test -q --features fault-injection"
+cargo test -q --features fault-injection
 
 echo "==> cargo run -p xtask -- lint --deny all"
 cargo run --release -p xtask -- lint --deny all

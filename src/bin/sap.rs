@@ -31,6 +31,7 @@ fn main() -> ExitCode {
                 "usage: sap <solve|validate|generate|ring-solve> …\n\
                  \n\
                  sap solve <inst.json> [--algo combined|practical|greedy|exact|small|medium|large]\n\
+                 \x20         [--deadline-ms N] [--work-units N] [--report]\n\
                  \x20         [--render] [--svg out.svg] [-o solution.json]\n\
                  sap validate <inst.json> <solution.json>\n\
                  sap generate --edges N --tasks N [--regime small|medium|large|mixed]\n\
@@ -68,9 +69,45 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     let instance = dto.to_instance().map_err(|e| e.to_string())?;
     let ids = instance.all_ids();
     let algo = flag_value(args, "--algo").unwrap_or("practical");
+    // Budget flags: only the portfolio drivers (combined / practical)
+    // thread a cooperative budget; reject them elsewhere rather than
+    // silently ignoring them.
+    let deadline_ms: Option<u64> = flag_value(args, "--deadline-ms")
+        .map(|v| v.parse().map_err(|_| "--deadline-ms must be a number"))
+        .transpose()?;
+    let work_units: Option<u64> = flag_value(args, "--work-units")
+        .map(|v| v.parse().map_err(|_| "--work-units must be a number"))
+        .transpose()?;
+    let want_report = args.iter().any(|a| a == "--report");
+    if (deadline_ms.is_some() || work_units.is_some() || want_report)
+        && !matches!(algo, "combined" | "practical")
+    {
+        return Err(format!(
+            "--deadline-ms/--work-units/--report require --algo combined or practical \
+             (got {algo:?})"
+        ));
+    }
+    let mut budget = storage_alloc::sap_core::Budget::unlimited();
+    if let Some(ms) = deadline_ms {
+        budget = budget.with_deadline_ms(ms);
+    }
+    if let Some(units) = work_units {
+        budget = budget.with_work_units(units);
+    }
+    let mut report = None;
     let solution = match algo {
-        "combined" => sap_algs::solve(&instance, &ids, &SapParams::default()),
-        "practical" => storage_alloc::solve_sap_practical(&instance),
+        "combined" => {
+            let (sol, r) = storage_alloc::try_solve_sap(&instance, &budget)
+                .map_err(|e| e.to_string())?;
+            report = Some(r);
+            sol
+        }
+        "practical" => {
+            let (sol, r) = storage_alloc::try_solve_sap_practical(&instance, &budget)
+                .map_err(|e| e.to_string())?;
+            report = Some(r);
+            sol
+        }
         "greedy" => sap_algs::baselines::greedy_sap_best(&instance, &ids),
         "small" => sap_algs::solve_small(&instance, &ids, SmallAlgo::LpRounding),
         "medium" => sap_algs::solve_medium(&instance, &ids, MediumParams::default()),
@@ -96,6 +133,13 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         solution.weight(&instance),
         instance.weight_sum()
     );
+    if want_report {
+        // `--report` implies a driver algo (checked above), so the report
+        // is always present here.
+        if let Some(r) = &report {
+            eprintln!("{}", r.to_json_string());
+        }
+    }
     if args.iter().any(|a| a == "--render") {
         eprintln!("{}", render_solution(&instance, &solution, 24));
     }

@@ -25,6 +25,9 @@
 //! * [`sap_algs::solve_large`] — `2k−1` for `1/k`-large instances (Thm 3);
 //! * [`solve_sap_ring`] — `(10+ε)` on ring networks (Theorem 5);
 //! * [`solve_sap_practical`] — combined ∨ greedy (guarantee kept);
+//! * [`try_solve_sap`] / [`try_solve_sap_practical`] — the same under a
+//!   cooperative [`sap_core::Budget`], with a [`sap_core::SolveReport`]
+//!   describing per-arm outcomes and any degradation;
 //! * [`sap_algs::solve_exact_sap`] — exact reference solver (plus the
 //!   paper's Lemma-13 DP and the Chen et al. SAP-U column DP as
 //!   independent exact cross-checks).
@@ -64,14 +67,35 @@ pub use sap_core;
 pub use sap_gen;
 pub use ufpp;
 
+use sap_core::error::SapResult;
 use sap_core::ring::{RingInstance, RingSolution};
-use sap_core::{Instance, SapSolution};
+use sap_core::{Budget, Instance, SapSolution, SolveReport};
 
 /// Solves a SAP instance with the paper's combined `(9+ε)`-approximation
 /// (Theorem 4) under default parameters (`δ = 1/16`, `δ′ = ½`, `β = ¼`,
 /// `ℓ = 4`, LP-rounding for small tasks).
 pub fn solve_sap(instance: &Instance) -> SapSolution {
-    sap_algs::solve(instance, &instance.all_ids(), &sap_algs::SapParams::default())
+    // An unlimited budget cannot trip and the driver's terminal greedy
+    // stage cannot fail, so the Err arm is dead; greedy keeps this total
+    // without a panic path.
+    match try_solve_sap(instance, &Budget::unlimited()) {
+        Ok((sol, _)) => sol,
+        Err(_) => sap_algs::baselines::greedy_sap_best(instance, &instance.all_ids()),
+    }
+}
+
+/// Budgeted variant of [`solve_sap`]: runs the combined algorithm under a
+/// cooperative [`Budget`] and also returns the [`SolveReport`] describing
+/// per-arm outcomes and any degradation that occurred.
+///
+/// The solution is always feasible — over-budget or failing arms fall
+/// down the chain combined → Lemma 13 DP → greedy first-fit (see
+/// [`sap_algs::driver`]).
+pub fn try_solve_sap(
+    instance: &Instance,
+    budget: &Budget,
+) -> SapResult<(SapSolution, SolveReport)> {
+    sap_algs::try_solve(instance, &instance.all_ids(), &sap_algs::SapParams::default(), budget)
 }
 
 /// Solves SAP on a ring with the `(10+ε)`-approximation (Theorem 5)
@@ -87,14 +111,25 @@ pub fn solve_sap_ring(instance: &RingInstance) -> RingSolution {
 /// greedy's unguaranteed-but-strong solutions are kept (see the `BL`
 /// experiment in EXPERIMENTS.md for why both matter).
 pub fn solve_sap_practical(instance: &Instance) -> SapSolution {
-    let ids = instance.all_ids();
-    let combined = sap_algs::solve(instance, &ids, &sap_algs::SapParams::default());
-    let greedy = sap_algs::baselines::greedy_sap_best(instance, &ids);
-    if combined.weight(instance) >= greedy.weight(instance) {
-        combined
-    } else {
-        greedy
+    match try_solve_sap_practical(instance, &Budget::unlimited()) {
+        Ok((sol, _)) => sol,
+        Err(_) => sap_algs::baselines::greedy_sap_best(instance, &instance.all_ids()),
     }
+}
+
+/// Budgeted variant of [`solve_sap_practical`], returning the
+/// [`SolveReport`] alongside the solution (a greedy takeover is recorded
+/// as a `"greedy"` winner).
+pub fn try_solve_sap_practical(
+    instance: &Instance,
+    budget: &Budget,
+) -> SapResult<(SapSolution, SolveReport)> {
+    sap_algs::try_solve_practical(
+        instance,
+        &instance.all_ids(),
+        &sap_algs::SapParams::default(),
+        budget,
+    )
 }
 
 /// Commonly used items.

@@ -1,0 +1,138 @@
+//! Budget semantics of the fault-tolerant solve driver (always-on: no
+//! `fault-injection` feature needed).
+//!
+//! * An unlimited budget reproduces the infallible facade exactly.
+//! * Work-unit budgets degrade *deterministically*: same instance, same
+//!   limit → byte-identical solution and report (the work-unit path has
+//!   no wall-clock branch).
+//! * Every degradation path still yields a validator-clean solution, and
+//!   the report says what happened.
+
+use storage_alloc::prelude::*;
+use storage_alloc::sap_core::{ArmOutcome, Budget};
+use storage_alloc::sap_gen::{generate, CapacityProfile, DemandRegime, GenConfig};
+use storage_alloc::{solve_sap, try_solve_sap, try_solve_sap_practical};
+
+fn workload(seed: u64, regime: DemandRegime) -> Instance {
+    generate(
+        &GenConfig {
+            num_edges: 10,
+            num_tasks: 40,
+            profile: CapacityProfile::Random { lo: 16, hi: 64 },
+            regime,
+            max_span: 5,
+            max_weight: 30,
+        },
+        seed,
+    )
+}
+
+#[test]
+fn unlimited_budget_matches_infallible_facade() {
+    for seed in 0..4 {
+        let inst = workload(seed, DemandRegime::Mixed);
+        let plain = solve_sap(&inst);
+        let (budgeted, report) = try_solve_sap(&inst, &Budget::unlimited()).unwrap();
+        budgeted.validate(&inst).unwrap();
+        assert_eq!(plain.weight(&inst), budgeted.weight(&inst), "seed {seed}");
+        assert_eq!(report.weight, budgeted.weight(&inst));
+        assert!(report.fallbacks.is_empty(), "seed {seed}: {report:?}");
+    }
+}
+
+#[test]
+fn work_unit_budgets_degrade_deterministically() {
+    // Same seed + same work-unit limit ⇒ byte-identical solutions and
+    // reports, across the whole degradation range.
+    let inst = workload(9, DemandRegime::Mixed);
+    for limit in [0u64, 7, 50, 500, 5_000, 50_000] {
+        let (sol_a, rep_a) =
+            try_solve_sap(&inst, &Budget::unlimited().with_work_units(limit)).unwrap();
+        let (sol_b, rep_b) =
+            try_solve_sap(&inst, &Budget::unlimited().with_work_units(limit)).unwrap();
+        sol_a.validate(&inst).unwrap();
+        assert_eq!(sol_a, sol_b, "limit {limit}: solutions must be identical");
+        assert_eq!(rep_a, rep_b, "limit {limit}: reports must be identical");
+        assert_eq!(
+            rep_a.to_json_string(),
+            rep_b.to_json_string(),
+            "limit {limit}: report JSON must be byte-identical"
+        );
+    }
+}
+
+#[test]
+fn exhausted_budget_still_yields_feasible_solution_and_says_so() {
+    let inst = workload(3, DemandRegime::Mixed);
+    let (sol, report) = try_solve_sap(&inst, &Budget::unlimited().with_work_units(0)).unwrap();
+    sol.validate(&inst).unwrap();
+    assert!(!sol.is_empty(), "greedy fallback packs something");
+    assert!(!report.is_clean());
+    assert!(report
+        .arms
+        .iter()
+        .any(|a| a.outcome == ArmOutcome::BudgetExhausted));
+    assert_eq!(report.winner, "greedy");
+    assert_eq!(report.weight, sol.weight(&inst));
+}
+
+#[test]
+fn expired_deadline_still_yields_feasible_solution() {
+    let inst = workload(4, DemandRegime::Mixed);
+    let (sol, report) = try_solve_sap(&inst, &Budget::unlimited().with_deadline_ms(0)).unwrap();
+    sol.validate(&inst).unwrap();
+    assert!(!sol.is_empty());
+    assert_eq!(report.winner, "greedy", "everything past the deadline degrades to greedy");
+    assert_eq!(report.weight, sol.weight(&inst));
+}
+
+#[test]
+fn practical_driver_reports_greedy_takeovers() {
+    for seed in 0..4 {
+        let inst = workload(seed + 20, DemandRegime::Mixed);
+        let (sol, report) = try_solve_sap_practical(&inst, &Budget::unlimited()).unwrap();
+        sol.validate(&inst).unwrap();
+        assert_eq!(report.weight, sol.weight(&inst));
+        let greedy =
+            storage_alloc::sap_algs::baselines::greedy_sap_best(&inst, &inst.all_ids());
+        assert!(sol.weight(&inst) >= greedy.weight(&inst), "seed {seed}");
+        if report.winner == "greedy" && report.fallbacks.is_empty() {
+            assert_eq!(sol.weight(&inst), greedy.weight(&inst));
+        }
+    }
+}
+
+#[test]
+fn starved_lp_routes_small_arm_to_greedy_and_reports_lp_non_optimal() {
+    // Regression for the silent-acceptance audit: a pivot-starved LP must
+    // never have its partial fractional point rounded. The arm degrades
+    // to greedy and the report labels it `lp_non_optimal`.
+    let inst = workload(5, DemandRegime::Small { delta_inv: 16 });
+    let ids = inst.all_ids();
+    let params = storage_alloc::sap_algs::SapParams {
+        lp_max_iters: 1,
+        ..Default::default()
+    };
+    let (sol, report) =
+        storage_alloc::sap_algs::try_solve(&inst, &ids, &params, &Budget::unlimited()).unwrap();
+    sol.validate(&inst).unwrap();
+    let small = report.arm("small").expect("small arm ran");
+    assert_eq!(small.outcome, ArmOutcome::LpNonOptimal, "{report:?}");
+    assert_eq!(small.fallback, Some("greedy"));
+    // The arm still contributed a feasible (greedy) solution.
+    assert!(small.weight > 0);
+    assert_eq!(report.weight, sol.weight(&inst));
+}
+
+#[test]
+fn infallible_facades_are_untouched_by_default_params() {
+    // `solve_sap` / `solve_sap_practical` are now wrappers over the
+    // budgeted driver; their contract (feasible, practical ≥ combined)
+    // must be unchanged.
+    let inst = workload(6, DemandRegime::Mixed);
+    let combined = solve_sap(&inst);
+    combined.validate(&inst).unwrap();
+    let practical = storage_alloc::solve_sap_practical(&inst);
+    practical.validate(&inst).unwrap();
+    assert!(practical.weight(&inst) >= combined.weight(&inst));
+}

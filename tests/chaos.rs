@@ -1,0 +1,173 @@
+//! Chaos suite: deterministic fault injection across every injection
+//! point, asserting that *every* degradation path yields a
+//! validator-clean solution and an accurate report.
+//!
+//! Requires the `fault-injection` cargo feature (`scripts/ci.sh` runs it;
+//! without the feature this file compiles to nothing).
+
+#![cfg(feature = "fault-injection")]
+
+use storage_alloc::prelude::*;
+use storage_alloc::sap_algs::try_solve;
+use storage_alloc::sap_core::{ArmOutcome, Budget, CheckpointClass, FaultPlan};
+use storage_alloc::sap_gen::{generate, CapacityProfile, DemandRegime, GenConfig};
+
+fn workload(seed: u64) -> Instance {
+    generate(
+        &GenConfig {
+            num_edges: 8,
+            num_tasks: 28,
+            profile: CapacityProfile::Random { lo: 16, hi: 64 },
+            regime: DemandRegime::Mixed,
+            max_span: 5,
+            max_weight: 30,
+        },
+        seed,
+    )
+}
+
+/// Shared postcondition: feasible solution, self-consistent report.
+fn check(inst: &Instance, plan: FaultPlan) -> storage_alloc::sap_core::SolveReport {
+    let budget = Budget::unlimited().with_fault_plan(plan);
+    let (sol, report) =
+        try_solve(inst, &inst.all_ids(), &SapParams::default(), &budget).unwrap();
+    sol.validate(inst).unwrap_or_else(|e| panic!("{plan:?}: infeasible output: {e}"));
+    assert_eq!(report.weight, sol.weight(inst), "{plan:?}: report weight mismatch");
+    assert!(
+        report.arm(report.winner).is_some(),
+        "{plan:?}: winner {} missing from arms",
+        report.winner
+    );
+    report
+}
+
+#[test]
+fn injected_worker_panics_are_isolated_and_reported() {
+    let inst = workload(1);
+    for (idx, arm) in ["small", "medium", "large"].iter().enumerate() {
+        let plan = FaultPlan { panic_worker: Some(idx), ..Default::default() };
+        let report = check(&inst, plan);
+        assert_eq!(
+            report.arm(arm).unwrap().outcome,
+            ArmOutcome::Panicked,
+            "worker {idx}: {report:?}"
+        );
+        // The surviving arms complete and one of them wins — the panic
+        // never escalates to the fallback chain, let alone the process.
+        assert!(report.fallbacks.is_empty(), "worker {idx}: {report:?}");
+        assert_ne!(report.winner, *arm, "worker {idx}: a panicked arm cannot win");
+        for other in ["small", "medium", "large"] {
+            if other != *arm {
+                assert_eq!(report.arm(other).unwrap().outcome, ArmOutcome::Completed);
+            }
+        }
+    }
+}
+
+#[test]
+fn injected_lp_failures_degrade_the_small_arm_only() {
+    let inst = workload(2);
+    for nth in 1..=3u64 {
+        let plan = FaultPlan { fail_lp_solve: Some(nth), ..Default::default() };
+        let report = check(&inst, plan);
+        let small = report.arm("small").unwrap();
+        // The Nth LP solve may or may not exist (fewer strata than N);
+        // when it fires, the arm must be labelled, never silently rounded.
+        if small.outcome != ArmOutcome::Completed {
+            assert_eq!(small.outcome, ArmOutcome::LpNonOptimal, "nth {nth}: {report:?}");
+            assert_eq!(small.fallback, Some("greedy"));
+        }
+        assert_eq!(report.arm("medium").unwrap().outcome, ArmOutcome::Completed);
+        assert_eq!(report.arm("large").unwrap().outcome, ArmOutcome::Completed);
+    }
+}
+
+#[test]
+fn first_lp_solve_failure_actually_fires() {
+    // Guard against the previous test passing vacuously: on a small-heavy
+    // workload the first LP solve exists, so the fault must fire.
+    let inst = generate(
+        &GenConfig {
+            num_edges: 10,
+            num_tasks: 40,
+            profile: CapacityProfile::Random { lo: 32, hi: 128 },
+            regime: DemandRegime::Small { delta_inv: 16 },
+            max_span: 5,
+            max_weight: 30,
+        },
+        7,
+    );
+    let plan = FaultPlan { fail_lp_solve: Some(1), ..Default::default() };
+    let report = check(&inst, plan);
+    assert_eq!(report.arm("small").unwrap().outcome, ArmOutcome::LpNonOptimal, "{report:?}");
+}
+
+#[test]
+fn injected_exhaustion_at_any_class_degrades_cleanly() {
+    let inst = workload(3);
+    for class in [
+        Some(CheckpointClass::LpPivot),
+        Some(CheckpointClass::DpRow),
+        Some(CheckpointClass::PackSweep),
+        Some(CheckpointClass::Driver),
+        None,
+    ] {
+        let plan = FaultPlan { exhaust_at: Some((class, 1)), ..Default::default() };
+        let report = check(&inst, plan);
+        // Whichever arms host checkpoints of that class must be exhausted,
+        // and no arm may be misreported: exhausted arms carry no weight.
+        for arm in &report.arms {
+            if arm.outcome == ArmOutcome::BudgetExhausted {
+                assert_eq!(arm.weight, 0, "{class:?}: {report:?}");
+            }
+        }
+        assert!(!report.is_clean(), "{class:?}: exhaustion must be visible in the report");
+    }
+}
+
+#[test]
+fn exhaustion_on_every_checkpoint_falls_through_to_greedy() {
+    let inst = workload(4);
+    let plan = FaultPlan { exhaust_at: Some((None, 1)), ..Default::default() };
+    let report = check(&inst, plan);
+    for arm in ["small", "medium", "large"] {
+        assert_eq!(report.arm(arm).unwrap().outcome, ArmOutcome::BudgetExhausted, "{report:?}");
+    }
+    // The Lemma 13 fallback checkpoints too, so it also trips; greedy
+    // (checkpoint-free) terminates the chain.
+    assert_eq!(report.fallbacks, vec!["lemma13", "greedy"]);
+    assert_eq!(report.winner, "greedy");
+}
+
+#[test]
+fn seeded_fault_plan_sweep_never_breaks_feasibility_or_reporting() {
+    let inst = workload(5);
+    for seed in 0..24u64 {
+        let plan = FaultPlan::from_seed(seed);
+        let report = check(&inst, plan);
+        // A planned worker panic must surface as Panicked whenever the
+        // arms actually dispatched (an exhaust-at fault can trip the
+        // driver before the workers start).
+        if let (Some(idx), None) = (plan.panic_worker, plan.exhaust_at) {
+            let arm = ["small", "medium", "large"][idx];
+            assert_eq!(
+                report.arm(arm).unwrap().outcome,
+                ArmOutcome::Panicked,
+                "seed {seed}: {report:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fault_plans_are_deterministic() {
+    let inst = workload(6);
+    for seed in [1u64, 9, 23] {
+        let plan = FaultPlan::from_seed(seed);
+        assert_eq!(plan, FaultPlan::from_seed(seed), "from_seed must be pure");
+        let a = check(&inst, plan);
+        let b = check(&inst, plan);
+        assert_eq!(a, b, "seed {seed}: same plan must reproduce the same report");
+        assert_eq!(a.to_json_string(), b.to_json_string());
+    }
+}

@@ -136,6 +136,79 @@ fn ring_validator_rejects_wrong_arc() {
     ccw.validate(&inst).unwrap();
 }
 
+/// Report integrity under injected faults: an arm that was corrupted
+/// (panicked or starved) must never be reported as `Completed`, and the
+/// report's winner/weight must always describe the returned solution.
+/// The complementary sweep lives in `tests/chaos.rs`; these cases pin the
+/// *absence of misreporting* specifically.
+#[cfg(feature = "fault-injection")]
+mod report_integrity {
+    use super::workload;
+    use storage_alloc::sap_algs::try_solve;
+    use storage_alloc::sap_core::{ArmOutcome, Budget, CheckpointClass, FaultPlan};
+    use storage_alloc::prelude::*;
+
+    #[test]
+    fn a_panicked_arm_is_never_reported_completed() {
+        let inst = workload(31);
+        for idx in 0..3usize {
+            let plan = FaultPlan { panic_worker: Some(idx), ..Default::default() };
+            let budget = Budget::unlimited().with_fault_plan(plan);
+            let (sol, report) =
+                try_solve(&inst, &inst.all_ids(), &SapParams::default(), &budget).unwrap();
+            sol.validate(&inst).unwrap();
+            let arm = report.arm(["small", "medium", "large"][idx]).unwrap();
+            assert_eq!(arm.outcome, ArmOutcome::Panicked, "worker {idx}: {report:?}");
+            assert_eq!(arm.weight, 0, "a dead arm cannot carry weight");
+            assert!(!report.is_clean());
+        }
+    }
+
+    #[test]
+    fn a_starved_arm_is_never_reported_completed() {
+        let inst = workload(32);
+        // Exhaust on the first DP row: the medium arm's sub-solvers trip.
+        let plan = FaultPlan {
+            exhaust_at: Some((Some(CheckpointClass::DpRow), 1)),
+            ..Default::default()
+        };
+        let budget = Budget::unlimited().with_fault_plan(plan);
+        let (sol, report) =
+            try_solve(&inst, &inst.all_ids(), &SapParams::default(), &budget).unwrap();
+        sol.validate(&inst).unwrap();
+        let medium = report.arm("medium").unwrap();
+        assert_eq!(medium.outcome, ArmOutcome::BudgetExhausted, "{report:?}");
+        assert_eq!(medium.weight, 0);
+        assert_ne!(report.winner, "medium");
+        assert_eq!(report.weight, sol.weight(&inst));
+    }
+
+    #[test]
+    fn an_lp_starved_arm_is_labelled_not_silently_rounded() {
+        use storage_alloc::sap_gen::{generate, CapacityProfile, DemandRegime, GenConfig};
+        let inst = generate(
+            &GenConfig {
+                num_edges: 8,
+                num_tasks: 30,
+                profile: CapacityProfile::Random { lo: 32, hi: 128 },
+                regime: DemandRegime::Small { delta_inv: 16 },
+                max_span: 4,
+                max_weight: 30,
+            },
+            33,
+        );
+        let plan = FaultPlan { fail_lp_solve: Some(1), ..Default::default() };
+        let budget = Budget::unlimited().with_fault_plan(plan);
+        let (sol, report) =
+            try_solve(&inst, &inst.all_ids(), &SapParams::default(), &budget).unwrap();
+        sol.validate(&inst).unwrap();
+        let small = report.arm("small").unwrap();
+        assert_eq!(small.outcome, ArmOutcome::LpNonOptimal, "{report:?}");
+        assert_eq!(small.fallback, Some("greedy"));
+        assert_ne!(small.outcome, ArmOutcome::Completed);
+    }
+}
+
 #[test]
 fn validators_agree_with_dto_round_trip() {
     use storage_alloc::io::{InstanceDto, JsonDto, SolutionDto};
