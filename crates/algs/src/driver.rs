@@ -21,7 +21,7 @@
 //! checkpoint sequence, so equal seeds and equal work-unit limits yield
 //! byte-identical solutions *and* reports.
 
-use sap_core::budget::{ArmOutcome, ArmReport, Budget, CheckpointClass, SolveReport};
+use sap_core::budget::{ArmOutcome, ArmReport, Budget, CheckpointClass, SolveReport, WorkProfile};
 use sap_core::error::{SapError, SapResult};
 use sap_core::{classify_by_size, ClassifiedTasks, Instance, SapSolution, TaskId};
 
@@ -52,18 +52,25 @@ pub fn try_solve(
 ) -> SapResult<(SapSolution, SolveReport)> {
     let classified = classify_restricted(instance, ids, params);
 
-    let small_b = budget.child();
-    let medium_b = budget.child();
-    let large_b = budget.child();
+    // Each arm's child budget carries a telemetry handle for its own
+    // phase, so work and counters recorded inside the arm land under
+    // `small` / `medium` / `large` in the phase tree (a no-op when no
+    // recorder is attached).
+    let tele = budget.telemetry();
+    let small_b = budget.child().with_telemetry(tele.child("small"));
+    let medium_b = budget.child().with_telemetry(tele.child("medium"));
+    let large_b = budget.child().with_telemetry(tele.child("large"));
 
     // One coarse unit for orchestration; also the anchor for injected
     // `Driver`-class exhaustion before any arm starts.
+    budget.tick(CheckpointClass::Driver, 1);
     let dispatch = budget.checkpoint(CheckpointClass::Driver, 1);
 
     let mut arms: Vec<ArmRun> = Vec::new();
     if dispatch.is_ok() {
         let (small_r, medium_r, large_r) = sap_core::join3_isolated(
             || {
+                let _phase = small_b.telemetry().enter();
                 small_b.worker_fault(0);
                 try_solve_small(
                     instance,
@@ -74,10 +81,12 @@ pub fn try_solve(
                 )
             },
             || {
+                let _phase = medium_b.telemetry().enter();
                 medium_b.worker_fault(1);
                 try_solve_medium_with_stats(instance, &classified.medium, params.medium, &medium_b)
             },
             || {
+                let _phase = large_b.telemetry().enter();
                 large_b.worker_fault(2);
                 crate::large::try_solve_large(instance, &classified.large, &large_b)
             },
@@ -148,16 +157,14 @@ pub fn try_solve(
         });
     } else {
         // The budget tripped before dispatch: every arm is exhausted by
-        // fiat and the fallback chain takes over.
-        for arm in ["small", "medium", "large"] {
+        // fiat and the fallback chain takes over. The reports still read
+        // the (untouched) child budgets, so any work an arm might have
+        // consumed is attributed rather than silently zeroed.
+        for (arm, child) in
+            [("small", &small_b), ("medium", &medium_b), ("large", &large_b)]
+        {
             arms.push(ArmRun {
-                report: ArmReport {
-                    arm,
-                    outcome: ArmOutcome::BudgetExhausted,
-                    weight: 0,
-                    work_consumed: 0,
-                    fallback: None,
-                },
+                report: arm_report(arm, ArmOutcome::BudgetExhausted, 0, child, None),
                 solution: None,
             });
         }
@@ -188,8 +195,9 @@ pub fn try_solve(
         // Stage 2: the Lemma 13 DP over the full set — exact when it
         // finishes, and still budget-aware via a fresh child.
         fallbacks.push("lemma13");
-        let fb = budget.child();
+        let fb = budget.child().with_telemetry(tele.child("lemma13"));
         let outcome = sap_core::run_isolated(|| {
+            let _phase = fb.telemetry().enter();
             solve_lemma13_dp_budgeted(instance, ids, Lemma13Config::default(), &fb)
         });
         fallback_work += fb.consumed();
@@ -211,6 +219,7 @@ pub fn try_solve(
     if best.is_none() {
         // Stage 3: greedy first-fit — no budget, cannot fail.
         fallbacks.push("greedy");
+        let _phase = tele.span("greedy");
         let sol = greedy_sap_best(instance, ids);
         let weight = sol.weight(instance);
         reports.push(ArmReport {
@@ -218,6 +227,7 @@ pub fn try_solve(
             outcome: ArmOutcome::Completed,
             weight,
             work_consumed: 0,
+            work: WorkProfile::default(),
             fallback: None,
         });
         best = Some(("greedy", sol));
@@ -237,8 +247,16 @@ pub fn try_solve(
         + medium_b.checkpoints_passed()
         + large_b.checkpoints_passed()
         + fallback_checkpoints;
-    let report =
-        SolveReport { arms: reports, fallbacks, winner, weight, work_consumed, checkpoints };
+    let report = SolveReport {
+        arms: reports,
+        fallbacks,
+        winner,
+        weight,
+        work_consumed,
+        driver_work: budget.consumed(),
+        checkpoints,
+    };
+    debug_assert!(report.work_is_attributed(), "report loses work: {report:?}");
     Ok((solution, report))
 }
 
@@ -263,6 +281,7 @@ pub fn try_solve_practical(
             outcome: ArmOutcome::Completed,
             weight: gw,
             work_consumed: 0,
+            work: WorkProfile::default(),
             fallback: None,
         });
         report.winner = "greedy";
@@ -294,7 +313,14 @@ fn arm_report(
     child: &Budget,
     fallback: Option<&'static str>,
 ) -> ArmReport {
-    ArmReport { arm, outcome, weight, work_consumed: child.consumed(), fallback }
+    ArmReport {
+        arm,
+        outcome,
+        weight,
+        work_consumed: child.consumed(),
+        work: child.work_profile(),
+        fallback,
+    }
 }
 
 /// Maps a propagated solver error to the arm outcome it represents.

@@ -125,6 +125,7 @@ fn run_lemma13(
         let mut cur: HashMap<State, (u64, State, Vec<Placement>)> = HashMap::new();
         for (state, (w, _, _)) in &prev {
             if let Some(b) = budget {
+                b.tick(CheckpointClass::DpRow, 1);
                 b.checkpoint(CheckpointClass::DpRow, 1)?;
             }
             // Tasks leaving before edge e keep nothing; survivors persist.
@@ -192,6 +193,10 @@ fn run_lemma13(
             // always feasible). Defensive.
             return Ok(Some(SapSolution::empty()));
         }
+    }
+
+    if let Some(b) = budget {
+        b.telemetry().gauge_max("dp.states", total_states as u64);
     }
 
     // Best terminal state and traceback.

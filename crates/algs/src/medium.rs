@@ -208,6 +208,10 @@ pub fn try_solve_medium_with_stats(
     // so `best` is always populated before this point.
     let (_, scaled_sol, r) = best.expect("at least one residue");
     stats.best_residue = r;
+    let tele = budget.telemetry();
+    tele.count("classes", stats.classes as u64);
+    tele.count("classes.exact", stats.exact_classes as u64);
+    tele.gauge_max("best_residue", u64::from(stats.best_residue));
 
     // Re-ground in original units, preserving the vertical order.
     let mut order: Vec<(u64, TaskId)> =
@@ -250,6 +254,9 @@ fn elevator(
     params: &MediumParams,
     budget: &Budget,
 ) -> SapResult<(SapSolution, bool)> {
+    let phase = budget.telemetry().span("class");
+    phase.observe("members", members.len() as u64);
+    budget.tick(CheckpointClass::Driver, 1);
     budget.checkpoint(CheckpointClass::Driver, 1)?;
     debug_assert!(k > q, "scaling guarantees every class index exceeds q");
     let band_lo = 1u64 << k;

@@ -85,6 +85,7 @@ pub fn try_solve_small(
     budget: &Budget,
 ) -> SapResult<SmallRun> {
     let strata = strata_by_bottleneck(instance, ids);
+    budget.telemetry().count("strata", strata.len() as u64);
     let pack = |(t, members): &(u32, Vec<TaskId>)| {
         pack_stratum(instance, *t, members, algo, lp_max_iters, budget)
     };
@@ -101,6 +102,7 @@ pub fn try_solve_small(
         sols.push(sol);
     }
     if !lp_ok {
+        budget.telemetry().count("lp.degraded", 1);
         return Ok(SmallRun { solution: greedy_sap_best(instance, ids), lp_degraded: true });
     }
     let combined = stack(&sols);
@@ -123,6 +125,9 @@ fn pack_stratum(
     lp_max_iters: usize,
     budget: &Budget,
 ) -> SapResult<(SapSolution, bool)> {
+    let phase = budget.telemetry().span("stratum");
+    phase.observe("members", members.len() as u64);
+    budget.tick(CheckpointClass::Driver, 1);
     budget.checkpoint(CheckpointClass::Driver, 1)?;
     if t == 0 {
         return Ok((SapSolution::empty(), true));

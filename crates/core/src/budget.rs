@@ -31,6 +31,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::error::{SapError, SapResult};
+use crate::telemetry::Telemetry;
 
 /// Where in an algorithm a [`Budget::checkpoint`] call sits.
 ///
@@ -53,6 +54,14 @@ pub enum CheckpointClass {
 }
 
 impl CheckpointClass {
+    /// Every class, in the stable order used by reports and telemetry.
+    pub const ALL: [CheckpointClass; 4] = [
+        CheckpointClass::LpPivot,
+        CheckpointClass::DpRow,
+        CheckpointClass::PackSweep,
+        CheckpointClass::Driver,
+    ];
+
     /// Stable lower-case name, used in reports and CLI flags.
     pub fn as_str(self) -> &'static str {
         match self {
@@ -61,6 +70,64 @@ impl CheckpointClass {
             CheckpointClass::PackSweep => "pack_sweep",
             CheckpointClass::Driver => "driver",
         }
+    }
+
+    /// Position of this class in [`CheckpointClass::ALL`] (dense array
+    /// index for per-class counters).
+    pub fn index(self) -> usize {
+        match self {
+            CheckpointClass::LpPivot => 0,
+            CheckpointClass::DpRow => 1,
+            CheckpointClass::PackSweep => 2,
+            CheckpointClass::Driver => 3,
+        }
+    }
+}
+
+/// Work-unit consumption split by [`CheckpointClass`] — the per-arm
+/// metrics block of a [`SolveReport`] (`"work"` in the JSON encoding).
+///
+/// The split is maintained inside [`Budget::checkpoint`] itself, so
+/// `total()` equals [`Budget::consumed`] by construction and the block is
+/// present (and exact) whether or not a telemetry recorder is attached.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkProfile {
+    /// Simplex pivots ([`CheckpointClass::LpPivot`]).
+    pub lp_pivot: u64,
+    /// DP rows / state expansions ([`CheckpointClass::DpRow`]).
+    pub dp_row: u64,
+    /// Rectangle-packing sweeps ([`CheckpointClass::PackSweep`]).
+    pub pack_sweep: u64,
+    /// Driver / orchestration checkpoints ([`CheckpointClass::Driver`]).
+    pub driver: u64,
+}
+
+impl WorkProfile {
+    /// Work units of one class.
+    pub fn get(&self, class: CheckpointClass) -> u64 {
+        match class {
+            CheckpointClass::LpPivot => self.lp_pivot,
+            CheckpointClass::DpRow => self.dp_row,
+            CheckpointClass::PackSweep => self.pack_sweep,
+            CheckpointClass::Driver => self.driver,
+        }
+    }
+
+    /// Total across all classes; equals the owning budget's
+    /// [`Budget::consumed`].
+    pub fn total(&self) -> u64 {
+        CheckpointClass::ALL
+            .iter()
+            .fold(0u64, |acc, &c| acc.saturating_add(self.get(c)))
+    }
+
+    /// Deterministic JSON object fragment, all four classes in stable
+    /// order.
+    fn to_json(self) -> String {
+        format!(
+            "{{\"lp_pivot\":{},\"dp_row\":{},\"pack_sweep\":{},\"driver\":{}}}",
+            self.lp_pivot, self.dp_row, self.pack_sweep, self.driver
+        )
     }
 }
 
@@ -149,7 +216,9 @@ pub struct Budget {
     work_limit: u64,
     consumed: AtomicU64,
     checkpoints: AtomicU64,
+    by_class: [AtomicU64; 4],
     cancelled: Arc<AtomicBool>,
+    tele: Telemetry,
     #[cfg(feature = "fault-injection")]
     fault: FaultPlan,
     #[cfg(feature = "fault-injection")]
@@ -171,7 +240,9 @@ impl Budget {
             work_limit: u64::MAX,
             consumed: AtomicU64::new(0),
             checkpoints: AtomicU64::new(0),
+            by_class: std::array::from_fn(|_| AtomicU64::new(0)),
             cancelled: Arc::new(AtomicBool::new(false)),
+            tele: Telemetry::off(),
             #[cfg(feature = "fault-injection")]
             fault: FaultPlan::default(),
             #[cfg(feature = "fault-injection")]
@@ -215,12 +286,41 @@ impl Budget {
             work_limit: self.work_limit,
             consumed: AtomicU64::new(0),
             checkpoints: AtomicU64::new(0),
+            by_class: std::array::from_fn(|_| AtomicU64::new(0)),
             cancelled: Arc::clone(&self.cancelled),
+            tele: self.tele.clone(),
             #[cfg(feature = "fault-injection")]
             fault: self.fault,
             #[cfg(feature = "fault-injection")]
             lp_solves: AtomicU64::new(0),
         }
+    }
+
+    /// Attaches a telemetry handle; all [`Budget::tick`] calls through this
+    /// budget (and through [children](Budget::child), which inherit the
+    /// handle) attribute work to that phase. The default handle is the
+    /// no-op [`Telemetry::off`], which keeps the hot path allocation-free.
+    pub fn with_telemetry(mut self, tele: Telemetry) -> Budget {
+        self.tele = tele;
+        self
+    }
+
+    /// The telemetry handle carried by this budget (no-op by default).
+    /// Solvers use it to open phase spans and record domain counters.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tele
+    }
+
+    /// Attributes `units` of class `class` to the current telemetry phase.
+    ///
+    /// Call this immediately **before** the matching
+    /// [`Budget::checkpoint`], so that the units of a tripping checkpoint
+    /// are still attributed (the meter itself counts them — see
+    /// `checkpoint`). The `t1` lint enforces this pairing at every
+    /// checkpoint call site in the solver crates. A no-op when no recorder
+    /// is attached.
+    pub fn tick(&self, class: CheckpointClass, units: u64) {
+        self.tele.work(class, units);
     }
 
     /// True when the budget can trip deterministically — a finite
@@ -244,6 +344,9 @@ impl Budget {
     pub fn checkpoint(&self, class: CheckpointClass, units: u64) -> SapResult<()> {
         let passed = self.checkpoints.fetch_add(1, Ordering::Relaxed).saturating_add(1);
         let used = self.consumed.fetch_add(units, Ordering::Relaxed).saturating_add(units);
+        if let Some(slot) = self.by_class.get(class.index()) {
+            slot.fetch_add(units, Ordering::Relaxed);
+        }
         if self.cancelled.load(Ordering::Relaxed) {
             return Err(SapError::BudgetExhausted);
         }
@@ -254,7 +357,7 @@ impl Budget {
             }
         }
         #[cfg(not(feature = "fault-injection"))]
-        let _ = (class, passed);
+        let _ = passed;
         if used > self.work_limit {
             return Err(SapError::BudgetExhausted);
         }
@@ -271,6 +374,26 @@ impl Budget {
     /// Work units consumed through this budget (children not included).
     pub fn consumed(&self) -> u64 {
         self.consumed.load(Ordering::Relaxed)
+    }
+
+    /// Work units consumed through this budget in one class (children not
+    /// included).
+    pub fn class_consumed(&self, class: CheckpointClass) -> u64 {
+        self.by_class
+            .get(class.index())
+            .map_or(0, |slot| slot.load(Ordering::Relaxed))
+    }
+
+    /// The per-class split of [`Budget::consumed`], for the report's
+    /// per-arm metrics block. `work_profile().total() == consumed()` holds
+    /// by construction.
+    pub fn work_profile(&self) -> WorkProfile {
+        WorkProfile {
+            lp_pivot: self.class_consumed(CheckpointClass::LpPivot),
+            dp_row: self.class_consumed(CheckpointClass::DpRow),
+            pack_sweep: self.class_consumed(CheckpointClass::PackSweep),
+            driver: self.class_consumed(CheckpointClass::Driver),
+        }
     }
 
     /// Checkpoints passed through this budget (children not included).
@@ -367,11 +490,19 @@ pub struct ArmReport {
     pub weight: u64,
     /// Work units the arm consumed from its child budget.
     pub work_consumed: u64,
+    /// Per-class split of `work_consumed` (simplex pivots, DP rows,
+    /// packing sweeps, driver checkpoints).
+    pub work: WorkProfile,
     /// Name of the within-arm fallback that produced the arm's solution,
     /// when the primary algorithm did not (e.g. `"greedy"` for the small
     /// arm after a non-optimal LP).
     pub fallback: Option<&'static str>,
 }
+
+/// Schema version of the [`SolveReport`] JSON encoding, emitted as the
+/// leading `"v"` field. Bump when a field is renamed or removed; adding
+/// fields is backward-compatible and keeps the version.
+pub const REPORT_SCHEMA_VERSION: u64 = 1;
 
 /// Machine-readable account of a driver solve: per-arm outcomes, the
 /// fallback chain that fired, and budget consumption.
@@ -392,11 +523,28 @@ pub struct SolveReport {
     pub weight: u64,
     /// Total work units consumed across all child budgets.
     pub work_consumed: u64,
+    /// Work units consumed by the driver's own (root) budget — the
+    /// orchestration share of `work_consumed` not attributed to any arm.
+    pub driver_work: u64,
     /// Total checkpoints passed across all child budgets.
     pub checkpoints: u64,
 }
 
 impl SolveReport {
+    /// Work units accounted for by the report itself: the driver's own
+    /// share plus every arm's `work_consumed`.
+    pub fn attributed_work(&self) -> u64 {
+        self.arms
+            .iter()
+            .fold(self.driver_work, |acc, a| acc.saturating_add(a.work_consumed))
+    }
+
+    /// True when the report loses no work: [`SolveReport::attributed_work`]
+    /// equals the total meter. Holds for every driver path, including arms
+    /// that panicked or starved (their child budgets are still read).
+    pub fn work_is_attributed(&self) -> bool {
+        self.attributed_work() == self.work_consumed
+    }
     /// True when every arm completed and no fallback fired.
     pub fn is_clean(&self) -> bool {
         self.fallbacks.is_empty()
@@ -412,14 +560,18 @@ impl SolveReport {
     /// is hermetic, and every field is a number or a known identifier, so
     /// no escaping is needed).
     pub fn to_json_string(&self) -> String {
-        let mut out = String::from("{\"arms\":[");
+        let mut out = format!("{{\"v\":{REPORT_SCHEMA_VERSION},\"arms\":[");
         for (i, a) in self.arms.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"arm\":\"{}\",\"outcome\":\"{}\",\"weight\":{},\"work_consumed\":{}",
-                a.arm, a.outcome, a.weight, a.work_consumed
+                "{{\"arm\":\"{}\",\"outcome\":\"{}\",\"weight\":{},\"work_consumed\":{},\"work\":{}",
+                a.arm,
+                a.outcome,
+                a.weight,
+                a.work_consumed,
+                a.work.to_json()
             ));
             match a.fallback {
                 Some(fb) => out.push_str(&format!(",\"fallback\":\"{fb}\"}}")),
@@ -434,8 +586,8 @@ impl SolveReport {
             out.push_str(&format!("\"{fb}\""));
         }
         out.push_str(&format!(
-            "],\"winner\":\"{}\",\"weight\":{},\"work_consumed\":{},\"checkpoints\":{}}}",
-            self.winner, self.weight, self.work_consumed, self.checkpoints
+            "],\"winner\":\"{}\",\"weight\":{},\"work_consumed\":{},\"driver_work\":{},\"checkpoints\":{}}}",
+            self.winner, self.weight, self.work_consumed, self.driver_work, self.checkpoints
         ));
         out
     }
@@ -523,6 +675,47 @@ mod tests {
     }
 
     #[test]
+    fn per_class_meter_splits_consumed_exactly() {
+        let b = Budget::unlimited();
+        b.checkpoint(CheckpointClass::LpPivot, 5).unwrap();
+        b.checkpoint(CheckpointClass::LpPivot, 5).unwrap();
+        b.checkpoint(CheckpointClass::DpRow, 3).unwrap();
+        b.checkpoint(CheckpointClass::Driver, 1).unwrap();
+        let profile = b.work_profile();
+        assert_eq!(profile.lp_pivot, 10);
+        assert_eq!(profile.dp_row, 3);
+        assert_eq!(profile.pack_sweep, 0);
+        assert_eq!(profile.driver, 1);
+        assert_eq!(profile.total(), b.consumed());
+    }
+
+    #[test]
+    fn tripping_checkpoint_units_are_still_counted_per_class() {
+        let b = Budget::unlimited().with_work_units(4);
+        b.checkpoint(CheckpointClass::PackSweep, 3).unwrap();
+        assert!(b.checkpoint(CheckpointClass::PackSweep, 3).is_err());
+        // the meter counts tripped units, and so does the class split
+        assert_eq!(b.consumed(), 6);
+        assert_eq!(b.class_consumed(CheckpointClass::PackSweep), 6);
+        assert_eq!(b.work_profile().total(), b.consumed());
+    }
+
+    #[test]
+    fn budget_ticks_attached_telemetry() {
+        let rec = crate::telemetry::Recorder::new();
+        let b = Budget::unlimited().with_telemetry(rec.handle().child("arm"));
+        b.tick(CheckpointClass::DpRow, 4);
+        b.checkpoint(CheckpointClass::DpRow, 4).unwrap();
+        let child = b.child();
+        child.tick(CheckpointClass::DpRow, 2);
+        child.checkpoint(CheckpointClass::DpRow, 2).unwrap();
+        let arm = rec.handle().get_child("arm").expect("arm phase recorded");
+        assert_eq!(arm.work_units(CheckpointClass::DpRow), 6);
+        // telemetry attribution matches the two budgets' own meters
+        assert_eq!(arm.work_total(), b.consumed() + child.consumed());
+    }
+
+    #[test]
     fn report_json_is_deterministic() {
         let report = SolveReport {
             arms: vec![
@@ -531,6 +724,7 @@ mod tests {
                     outcome: ArmOutcome::LpNonOptimal,
                     weight: 4,
                     work_consumed: 12,
+                    work: WorkProfile { lp_pivot: 7, dp_row: 0, pack_sweep: 0, driver: 5 },
                     fallback: Some("greedy"),
                 },
                 ArmReport {
@@ -538,6 +732,7 @@ mod tests {
                     outcome: ArmOutcome::Completed,
                     weight: 9,
                     work_consumed: 3,
+                    work: WorkProfile { lp_pivot: 0, dp_row: 0, pack_sweep: 3, driver: 0 },
                     fallback: None,
                 },
             ],
@@ -545,18 +740,22 @@ mod tests {
             winner: "large",
             weight: 9,
             work_consumed: 15,
+            driver_work: 0,
             checkpoints: 6,
         };
         let json = report.to_json_string();
         assert_eq!(
             json,
-            "{\"arms\":[{\"arm\":\"small\",\"outcome\":\"lp_non_optimal\",\"weight\":4,\
-             \"work_consumed\":12,\"fallback\":\"greedy\"},{\"arm\":\"large\",\
-             \"outcome\":\"completed\",\"weight\":9,\"work_consumed\":3,\"fallback\":null}],\
+            "{\"v\":1,\"arms\":[{\"arm\":\"small\",\"outcome\":\"lp_non_optimal\",\"weight\":4,\
+             \"work_consumed\":12,\"work\":{\"lp_pivot\":7,\"dp_row\":0,\"pack_sweep\":0,\
+             \"driver\":5},\"fallback\":\"greedy\"},{\"arm\":\"large\",\
+             \"outcome\":\"completed\",\"weight\":9,\"work_consumed\":3,\"work\":{\"lp_pivot\":0,\
+             \"dp_row\":0,\"pack_sweep\":3,\"driver\":0},\"fallback\":null}],\
              \"fallbacks\":[],\"winner\":\"large\",\"weight\":9,\"work_consumed\":15,\
-             \"checkpoints\":6}"
+             \"driver_work\":0,\"checkpoints\":6}"
         );
         assert!(!report.is_clean());
+        assert!(report.work_is_attributed());
         assert_eq!(report.arm("small").map(|a| a.outcome), Some(ArmOutcome::LpNonOptimal));
     }
 

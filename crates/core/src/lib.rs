@@ -55,11 +55,15 @@ pub mod solution;
 pub mod stack;
 pub mod stats;
 pub mod task;
+pub mod telemetry;
 pub mod units;
 
 #[cfg(feature = "fault-injection")]
 pub use budget::FaultPlan;
-pub use budget::{ArmOutcome, ArmReport, Budget, CheckpointClass, SolveReport};
+pub use budget::{
+    ArmOutcome, ArmReport, Budget, CheckpointClass, SolveReport, WorkProfile,
+    REPORT_SCHEMA_VERSION,
+};
 pub use classify::{
     classes_k_ell, classify_by_size, is_delta_large, is_delta_small, strata_by_bottleneck,
     stratum_of, ClassifiedTasks, SizeClass,
@@ -77,6 +81,7 @@ pub use solution::{Placement, SapSolution, UfppSolution};
 pub use stack::{lift, stack};
 pub use stats::{instance_stats, solution_stats, InstanceStats, SolutionStats};
 pub use task::{Span, Task};
+pub use telemetry::{Recorder, Span as TelemetrySpan, Telemetry, TELEMETRY_SCHEMA_VERSION};
 pub use units::{Capacity, Demand, EdgeId, Height, Ratio, TaskId, Vertex, Weight};
 
 /// Commonly used items, for glob import.

@@ -310,6 +310,7 @@ impl<'a> Simplex<'a> {
         let mut status = LpStatus::IterationLimit;
         for _ in 0..max_iters {
             if let Some(b) = budget {
+                b.tick(CheckpointClass::LpPivot, 1);
                 b.checkpoint(CheckpointClass::LpPivot, 1)?;
             }
             let y = self.duals();

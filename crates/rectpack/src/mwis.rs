@@ -105,6 +105,9 @@ fn run_packing(
     };
     let m = instance.num_edges();
     let value = solver.solve(0, m, &[]);
+    if let Some(b) = budget {
+        b.telemetry().gauge_max("mwis.memo_states", solver.memo.len() as u64);
+    }
     if solver.budget_tripped {
         return Err(SapError::BudgetExhausted);
     }
@@ -175,6 +178,7 @@ impl<'a> Solver<'a> {
             return 0;
         }
         if let Some(b) = self.budget {
+            b.tick(CheckpointClass::PackSweep, 1);
             if b.checkpoint(CheckpointClass::PackSweep, 1).is_err() {
                 // Unwind the whole recursion; the caller maps this to
                 // Err(BudgetExhausted), so the bogus 0 value is never used.

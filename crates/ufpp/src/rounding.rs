@@ -65,9 +65,12 @@ pub fn round_scaled_lp_budgeted(
     max_iters: usize,
     budget: &Budget,
 ) -> SapResult<RoundedStrip> {
+    let phase = budget.telemetry().span("lp.solve");
+    phase.count("solves", 1);
     let lp = build_relaxation(instance, ids);
     let mut lp_sol = lp.solve_budgeted(max_iters, budget)?;
     if budget.lp_solve_fault() {
+        phase.count("faulted", 1);
         lp_sol.status = LpStatus::IterationLimit;
     }
     Ok(round_solution(instance, ids, bound, lp_sol))

@@ -1,0 +1,32 @@
+//! Fixture: `Budget::checkpoint` call sites that violate t1 (no
+//! telemetry tick nearby), plus the justified-allow escape hatch.
+
+/// A checkpoint with no telemetry tick anywhere near it: t1 fires.
+pub fn untracked(budget: &Budget) -> SapResult<()> {
+    budget.checkpoint(CheckpointClass::DpRow, 1)
+}
+
+/// The tick sits too far above the checkpoint (outside the window).
+pub fn tick_too_far(budget: &Budget) -> SapResult<()> {
+    budget.tick(CheckpointClass::DpRow, 1);
+    let a = 1;
+    let b = 2;
+    let c = a + b;
+    let _ = c;
+    budget.checkpoint(CheckpointClass::DpRow, 1)
+}
+
+/// A justified allow silences t1 for a metering-only probe.
+pub fn probe(budget: &Budget) -> SapResult<()> {
+    // lint:allow(t1) — metering-only probe, deliberately unattributed
+    budget.checkpoint(CheckpointClass::Driver, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn checkpoints_are_fine_in_tests() {
+        let b = Budget::unlimited();
+        b.checkpoint(CheckpointClass::Driver, 1).unwrap();
+    }
+}

@@ -22,6 +22,11 @@
 //!   re-raise captured panics with `resume_unwind`: portfolio arms are
 //!   isolated (`sap_core::run_isolated`) and failures become report
 //!   entries, not process aborts.
+//! * **t1 — telemetry ticks.** Every `Budget::checkpoint` call site in
+//!   the solver crates must tick the telemetry phase meter
+//!   (`.tick(...)` on the same line or at most three lines above), so
+//!   the per-phase work attribution cannot silently drift from the
+//!   budget meter as new checkpoints are added.
 //!
 //! Any finding can be suppressed with `// lint:allow(<name>) — why`
 //! (or `# lint:allow(h1) — why` in TOML). The justification text is
@@ -53,14 +58,18 @@ pub enum Lint {
     /// No `resume_unwind` in `sap-algs` driver code (panics must be
     /// isolated and reported, not re-raised).
     R1,
+    /// Budget checkpoints in solver crates must tick telemetry
+    /// (`tick(...)` on the same line or shortly before `checkpoint(...)`),
+    /// so phase attribution cannot silently drift from the meter.
+    T1,
     /// Malformed `lint:allow` directives (missing justification,
     /// unknown lint name).
     Allow,
 }
 
 /// All lints, in reporting order.
-pub const ALL_LINTS: [Lint; 7] =
-    [Lint::H1, Lint::P1, Lint::F1, Lint::V1, Lint::D1, Lint::R1, Lint::Allow];
+pub const ALL_LINTS: [Lint; 8] =
+    [Lint::H1, Lint::P1, Lint::F1, Lint::V1, Lint::D1, Lint::R1, Lint::T1, Lint::Allow];
 
 impl Lint {
     /// The short name used in diagnostics and on the command line.
@@ -72,6 +81,7 @@ impl Lint {
             Lint::V1 => "v1",
             Lint::D1 => "d1",
             Lint::R1 => "r1",
+            Lint::T1 => "t1",
             Lint::Allow => "allow",
         }
     }
@@ -85,6 +95,7 @@ impl Lint {
             Lint::V1 => "pub fn returning a Solution without a debug-mode validator call",
             Lint::D1 => "pub fn / pub struct without a doc comment",
             Lint::R1 => "resume_unwind in sap-algs driver code (isolate and report instead)",
+            Lint::T1 => "Budget::checkpoint call site without a telemetry tick beside it",
             Lint::Allow => "malformed lint:allow directive",
         }
     }
@@ -99,6 +110,7 @@ impl Lint {
             "v1" => Some(Lint::V1),
             "d1" => Some(Lint::D1),
             "r1" => Some(Lint::R1),
+            "t1" => Some(Lint::T1),
             "allow" => Some(Lint::Allow),
             _ => None,
         }
@@ -112,7 +124,8 @@ impl Lint {
             Lint::V1 => 3,
             Lint::D1 => 4,
             Lint::R1 => 5,
-            Lint::Allow => 6,
+            Lint::T1 => 6,
+            Lint::Allow => 7,
         }
     }
 }
@@ -129,11 +142,11 @@ pub enum Level {
 /// Per-lint severity table. The default denies everything: the tree is
 /// expected to stay lint-clean.
 #[derive(Clone, Debug)]
-pub struct Levels([Level; 7]);
+pub struct Levels([Level; 8]);
 
 impl Default for Levels {
     fn default() -> Self {
-        Levels([Level::Deny; 7])
+        Levels([Level::Deny; 8])
     }
 }
 
@@ -150,7 +163,7 @@ impl Levels {
 
     /// Set every lint's severity.
     pub fn set_all(&mut self, level: Level) {
-        self.0 = [level; 7];
+        self.0 = [level; 8];
     }
 }
 

@@ -58,7 +58,7 @@ options:
 
 lints: h1 (hermetic deps)  p1 (panic freedom)  f1 (float equality)
        v1 (validator coverage)  d1 (docs)  r1 (panic isolation)
-       allow (directive hygiene)";
+       t1 (telemetry ticks)  allow (directive hygiene)";
 
 fn lint_cmd(args: &[String]) -> i32 {
     let mut levels = Levels::default();

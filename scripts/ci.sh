@@ -6,7 +6,9 @@
 #   2. the full test suite,
 #   3. the chaos suite: the same tests plus deterministic fault injection
 #      (worker panics, failed LP solves, injected budget exhaustion),
-#   4. the in-repo static-analysis pass with every lint denied.
+#   4. the in-repo static-analysis pass with every lint denied,
+#   5. the telemetry determinism gate: the same instance solved twice with
+#      `--telemetry=json` must export byte-identical phase trees.
 #
 # Run from anywhere inside the repository.
 set -euo pipefail
@@ -24,5 +26,16 @@ cargo test -q --features fault-injection
 
 echo "==> cargo run -p xtask -- lint --deny all"
 cargo run --release -p xtask -- lint --deny all
+
+echo "==> telemetry determinism gate"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+./target/release/sap generate --edges 10 --tasks 40 --seed 7 > "$tmpdir/inst.json"
+./target/release/sap solve "$tmpdir/inst.json" --algo combined --telemetry=json \
+    2>"$tmpdir/tele-a.json" >/dev/null
+./target/release/sap solve "$tmpdir/inst.json" --algo combined --telemetry=json \
+    2>"$tmpdir/tele-b.json" >/dev/null
+diff "$tmpdir/tele-a.json" "$tmpdir/tele-b.json" \
+    || { echo "telemetry export is not deterministic" >&2; exit 1; }
 
 echo "ci: all gates passed"

@@ -32,6 +32,7 @@ fn main() -> ExitCode {
                  \n\
                  sap solve <inst.json> [--algo combined|practical|greedy|exact|small|medium|large]\n\
                  \x20         [--deadline-ms N] [--work-units N] [--report]\n\
+                 \x20         [--telemetry[=json|tree]] [--timings]\n\
                  \x20         [--render] [--svg out.svg] [-o solution.json]\n\
                  sap validate <inst.json> <solution.json>\n\
                  sap generate --edges N --tasks N [--regime small|medium|large|mixed]\n\
@@ -79,12 +80,24 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         .map(|v| v.parse().map_err(|_| "--work-units must be a number"))
         .transpose()?;
     let want_report = args.iter().any(|a| a == "--report");
-    if (deadline_ms.is_some() || work_units.is_some() || want_report)
+    // `--telemetry` takes an inline value (`--telemetry=tree`), unlike the
+    // space-separated flags above, so a bare `--telemetry` composes with a
+    // following positional argument.
+    let telemetry_mode: Option<&str> = args.iter().find_map(|a| {
+        a.strip_prefix("--telemetry")
+            .map(|rest| rest.strip_prefix('=').unwrap_or(rest))
+    });
+    match telemetry_mode {
+        None | Some("") | Some("json") | Some("tree") => {}
+        Some(other) => return Err(format!("--telemetry accepts json or tree (got {other:?})")),
+    }
+    let want_timings = args.iter().any(|a| a == "--timings");
+    if (deadline_ms.is_some() || work_units.is_some() || want_report || telemetry_mode.is_some())
         && !matches!(algo, "combined" | "practical")
     {
         return Err(format!(
-            "--deadline-ms/--work-units/--report require --algo combined or practical \
-             (got {algo:?})"
+            "--deadline-ms/--work-units/--report/--telemetry require --algo combined or \
+             practical (got {algo:?})"
         ));
     }
     let mut budget = storage_alloc::sap_core::Budget::unlimited();
@@ -93,6 +106,16 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     }
     if let Some(units) = work_units {
         budget = budget.with_work_units(units);
+    }
+    let recorder = telemetry_mode.map(|_| {
+        if want_timings {
+            storage_alloc::sap_core::Recorder::with_timings()
+        } else {
+            storage_alloc::sap_core::Recorder::new()
+        }
+    });
+    if let Some(rec) = &recorder {
+        budget = budget.with_telemetry(rec.handle());
     }
     let mut report = None;
     let solution = match algo {
@@ -138,6 +161,12 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         // is always present here.
         if let Some(r) = &report {
             eprintln!("{}", r.to_json_string());
+        }
+    }
+    if let Some(rec) = &recorder {
+        match telemetry_mode {
+            Some("tree") => eprint!("{}", rec.to_tree_string()),
+            _ => eprintln!("{}", rec.to_json_string()),
         }
     }
     if args.iter().any(|a| a == "--render") {

@@ -184,6 +184,63 @@ mod report_integrity {
     }
 
     #[test]
+    fn a_panicked_arm_still_has_its_work_attributed() {
+        // Regression for the child-budget accounting audit: whatever a
+        // worker consumed before its injected panic must appear in its
+        // ArmReport (and in the phase tree), never be silently dropped.
+        use storage_alloc::sap_core::Recorder;
+        let inst = workload(34);
+        for idx in 0..3usize {
+            let plan = FaultPlan { panic_worker: Some(idx), ..Default::default() };
+            let rec = Recorder::new();
+            let budget = Budget::unlimited()
+                .with_fault_plan(plan)
+                .with_telemetry(rec.handle());
+            let (sol, report) =
+                try_solve(&inst, &inst.all_ids(), &SapParams::default(), &budget).unwrap();
+            sol.validate(&inst).unwrap();
+            assert!(report.work_is_attributed(), "worker {idx}: {report:?}");
+            let arm = ["small", "medium", "large"][idx];
+            // The phase was entered before the fault hook fired, so the
+            // tree records the attempt even though the arm died at once.
+            let phase = rec.handle().get_child(arm).expect("phase node exists");
+            assert_eq!(phase.entries(), 1, "worker {idx}");
+            assert_eq!(
+                phase.work_total(),
+                report.arm(arm).unwrap().work_consumed,
+                "worker {idx}: telemetry conserves the dead arm's work"
+            );
+        }
+    }
+
+    #[test]
+    fn a_starved_arm_still_reports_the_work_it_burned() {
+        let inst = workload(35);
+        // Let a few DP rows through before tripping, so the starved arm
+        // has non-zero consumption to account for.
+        let plan = FaultPlan {
+            exhaust_at: Some((Some(CheckpointClass::DpRow), 3)),
+            ..Default::default()
+        };
+        let budget = Budget::unlimited().with_fault_plan(plan);
+        let (sol, report) =
+            try_solve(&inst, &inst.all_ids(), &SapParams::default(), &budget).unwrap();
+        sol.validate(&inst).unwrap();
+        assert!(report.work_is_attributed(), "{report:?}");
+        let medium = report.arm("medium").unwrap();
+        assert_eq!(medium.outcome, ArmOutcome::BudgetExhausted, "{report:?}");
+        assert!(
+            medium.work_consumed > 0,
+            "the starved arm burned DP rows before tripping: {report:?}"
+        );
+        assert_eq!(
+            medium.work.total(),
+            medium.work_consumed,
+            "per-class split covers everything: {report:?}"
+        );
+    }
+
+    #[test]
     fn an_lp_starved_arm_is_labelled_not_silently_rounded() {
         use storage_alloc::sap_gen::{generate, CapacityProfile, DemandRegime, GenConfig};
         let inst = generate(
