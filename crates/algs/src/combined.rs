@@ -37,6 +37,11 @@ pub struct SapParams {
     /// A too-small cap never corrupts the answer: a non-optimal LP routes
     /// the small arm to the greedy baseline (see [`crate::small`]).
     pub lp_max_iters: usize,
+    /// Intra-arm fan-out width for the small arm's per-stratum LP solves
+    /// and the medium arm's per-class Elevator sweeps (`0` = auto,
+    /// `1` = sequential). Any width produces byte-identical solutions,
+    /// reports, and telemetry — see [`sap_core::map_reduce_isolated`].
+    pub workers: usize,
 }
 
 impl Default for SapParams {
@@ -47,6 +52,7 @@ impl Default for SapParams {
             small_algo: SmallAlgo::LpRounding,
             medium: MediumParams::default(),
             lp_max_iters: 0,
+            workers: 0,
         }
     }
 }
@@ -102,6 +108,7 @@ pub fn solve_with_stats(
                 &classified.small,
                 params.small_algo,
                 params.lp_max_iters,
+                params.workers,
                 &Budget::unlimited(),
             ) {
                 Ok(run) => run.solution,

@@ -16,10 +16,11 @@
 //! degraded answer is always *labelled* as degraded. The solution itself
 //! is feasible in every path (each producer validates in debug builds).
 //!
-//! Determinism: when the budget [is metered](Budget::is_metered) every arm
-//! runs its internal fan-out sequentially and trips based only on its own
-//! checkpoint sequence, so equal seeds and equal work-unit limits yield
-//! byte-identical solutions *and* reports.
+//! Determinism: every arm's internal fan-out runs through
+//! [`sap_core::map_reduce_isolated`], which splits the arm budget into
+//! fixed per-item shares before dispatch; each item trips based only on
+//! its own checkpoint sequence, so equal seeds and equal work-unit limits
+//! yield byte-identical solutions *and* reports at any worker count.
 
 use sap_core::budget::{ArmOutcome, ArmReport, Budget, CheckpointClass, SolveReport, WorkProfile};
 use sap_core::error::{SapError, SapResult};
@@ -77,13 +78,20 @@ pub fn try_solve(
                     &classified.small,
                     params.small_algo,
                     params.lp_max_iters,
+                    params.workers,
                     &small_b,
                 )
             },
             || {
                 let _phase = medium_b.telemetry().enter();
                 medium_b.worker_fault(1);
-                try_solve_medium_with_stats(instance, &classified.medium, params.medium, &medium_b)
+                try_solve_medium_with_stats(
+                    instance,
+                    &classified.medium,
+                    params.medium,
+                    params.workers,
+                    &medium_b,
+                )
             },
             || {
                 let _phase = large_b.telemetry().enter();

@@ -31,7 +31,7 @@
 use sap_core::budget::{Budget, CheckpointClass};
 use sap_core::error::SapResult;
 use sap_core::{
-    canonical_heights, classes_k_ell, clip_to_band, elevation_split, parallel_map, stack,
+    canonical_heights, classes_k_ell, clip_to_band, elevation_split, map_reduce_isolated, stack,
     Instance, PathNetwork, SapSolution, Task, TaskId,
 };
 
@@ -115,7 +115,7 @@ pub fn solve_medium_with_stats(
 ) -> (SapSolution, MediumStats) {
     // An unlimited budget cannot trip, so the Err arm is dead; greedy
     // keeps the wrapper total without a panic path.
-    let out = match try_solve_medium_with_stats(instance, ids, params, &Budget::unlimited()) {
+    let out = match try_solve_medium_with_stats(instance, ids, params, 0, &Budget::unlimited()) {
         Ok(x) => x,
         Err(_) => (greedy_sap_best(instance, ids), MediumStats::default()),
     };
@@ -125,14 +125,15 @@ pub fn solve_medium_with_stats(
 
 /// Budget-aware fallible AlmostUniform: the per-class exact solvers are
 /// charged against `budget` (`DpRow` units per expanded state, plus one
-/// `Driver` unit per class). When the budget
-/// [is metered](Budget::is_metered) the classes run sequentially so the
-/// trip point is deterministic; otherwise they fan out in parallel exactly
-/// as the infallible path always has.
+/// `Driver` unit per class). The classes fan out through
+/// [`sap_core::map_reduce_isolated`] on fixed per-class budget shares, so
+/// metered runs trip — and degrade — byte-identically at any `workers`
+/// width (`0` = auto, `1` = sequential).
 pub fn try_solve_medium_with_stats(
     instance: &Instance,
     ids: &[TaskId],
     params: MediumParams,
+    workers: usize,
     budget: &Budget,
 ) -> SapResult<(SapSolution, MediumStats)> {
     let q = params.q;
@@ -168,15 +169,11 @@ pub fn try_solve_medium_with_stats(
 
     // Classes over the scaled bottlenecks (all k ≥ q since b ≥ 2^q).
     let classes = classes_k_ell(&scaled, ids, ell);
-    let run_class = |(k, members): &(u32, Vec<TaskId>)| {
-        elevator(&scaled, *k, ell, q, members, &params, budget)
-            .map(|(sol, was_exact)| (*k, sol, was_exact))
-    };
-    let class_results: Vec<SapResult<(u32, SapSolution, bool)>> = if budget.is_metered() {
-        classes.iter().map(run_class).collect()
-    } else {
-        parallel_map(&classes, run_class)
-    };
+    let class_results: Vec<SapResult<(u32, SapSolution, bool)>> =
+        map_reduce_isolated(budget, &classes, workers, |(k, members), b| {
+            elevator(&scaled, *k, ell, q, members, &params, b)
+                .map(|(sol, was_exact)| (*k, sol, was_exact))
+        });
     let mut stats_exact: Vec<(u32, SapSolution, bool)> = Vec::with_capacity(class_results.len());
     for r in class_results {
         stats_exact.push(r?);

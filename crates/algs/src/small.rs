@@ -15,14 +15,17 @@
 //! (Fig. 4): strip `t` lives strictly below `2^t ≤ b(j)` for every
 //! `j ∈ J_t`, and different strips are vertically disjoint.
 //!
-//! Strata are processed in parallel (scoped threads via
-//! [`sap_core::parallel_map`]) — they are independent subproblems.
+//! Strata are independent subproblems and fan out through
+//! [`sap_core::map_reduce_isolated`]: each stratum charges a fixed
+//! per-item share of the arm budget, so metered runs degrade
+//! byte-identically at any worker count.
 
 use lp_solver::LpStatus;
 use sap_core::budget::{Budget, CheckpointClass};
 use sap_core::error::SapResult;
 use sap_core::{
-    clip_to_band, lift, parallel_map, stack, strata_by_bottleneck, Instance, SapSolution, TaskId,
+    clip_to_band, lift, map_reduce_isolated, stack, strata_by_bottleneck, Instance, SapSolution,
+    TaskId,
 };
 
 use crate::baselines::greedy_sap_best;
@@ -57,7 +60,7 @@ pub struct SmallRun {
 pub fn solve_small(instance: &Instance, ids: &[TaskId], algo: SmallAlgo) -> SapSolution {
     // An unlimited budget cannot trip, so the Err arm is dead; greedy
     // keeps the wrapper total without a panic path.
-    let sol = match try_solve_small(instance, ids, algo, 0, &Budget::unlimited()) {
+    let sol = match try_solve_small(instance, ids, algo, 0, 0, &Budget::unlimited()) {
         Ok(run) => run.solution,
         Err(_) => greedy_sap_best(instance, ids),
     };
@@ -69,9 +72,11 @@ pub fn solve_small(instance: &Instance, ids: &[TaskId], algo: SmallAlgo) -> SapS
 ///
 /// Per stratum, the LP solve is charged against `budget` (`LpPivot`
 /// units, at most `lp_max_iters` pivots, `0` = automatic) plus one
-/// `Driver` unit. When the budget [is metered](Budget::is_metered) the
-/// strata run sequentially so the trip point is deterministic; otherwise
-/// they fan out in parallel exactly as the infallible path always has.
+/// `Driver` unit. The strata fan out through
+/// [`sap_core::map_reduce_isolated`]: each stratum runs on a fixed
+/// per-item share of the budget's remaining work units, so the trip
+/// points — and therefore the solution, report, and telemetry — are
+/// byte-identical at any `workers` width (`0` = auto, `1` = sequential).
 ///
 /// If any stratum's LP is non-optimal (pivot limit or injected fault) the
 /// **entire arm** falls back to the greedy baseline over `ids` — packing
@@ -82,18 +87,15 @@ pub fn try_solve_small(
     ids: &[TaskId],
     algo: SmallAlgo,
     lp_max_iters: usize,
+    workers: usize,
     budget: &Budget,
 ) -> SapResult<SmallRun> {
     let strata = strata_by_bottleneck(instance, ids);
     budget.telemetry().count("strata", strata.len() as u64);
-    let pack = |(t, members): &(u32, Vec<TaskId>)| {
-        pack_stratum(instance, *t, members, algo, lp_max_iters, budget)
-    };
-    let parts: Vec<SapResult<(SapSolution, bool)>> = if budget.is_metered() {
-        strata.iter().map(pack).collect()
-    } else {
-        parallel_map(&strata, pack)
-    };
+    let parts: Vec<SapResult<(SapSolution, bool)>> =
+        map_reduce_isolated(budget, &strata, workers, |(t, members), b| {
+            pack_stratum(instance, *t, members, algo, lp_max_iters, b)
+        });
     let mut sols = Vec::with_capacity(parts.len());
     let mut lp_ok = true;
     for part in parts {

@@ -41,7 +41,8 @@ fn main() {
         all_tables.extend(tables);
     }
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&all_tables).expect("serialisable tables");
+        let objs: Vec<String> = all_tables.iter().map(Table::to_json).collect();
+        let json = format!("[{}]", objs.join(","));
         std::fs::write(&path, json).expect("write json");
         eprintln!("wrote {path}");
     }

@@ -5,7 +5,7 @@
 //! LP-rounding (`4+ε`). We measure both against the same LP bound to
 //! reproduce the 4-vs-5 ordering and verify the packability invariant.
 
-use rayon::prelude::*;
+use crate::par_seeds;
 use sap_core::Instance;
 use sap_gen::{generate, CapacityProfile, DemandRegime, GenConfig};
 use ufpp::{lp_upper_bound, round_scaled_lp, strip_local_ratio};
@@ -41,9 +41,7 @@ pub fn run() -> Vec<Table> {
         &["δ", "LP/w(LP-rounding)", "LP/w(local-ratio)"],
     );
     for delta_inv in [16u64, 32, 64] {
-        let pairs: Vec<(f64, f64)> = (0..SEEDS)
-            .into_par_iter()
-            .map(|seed| {
+        let pairs: Vec<(f64, f64)> = par_seeds(0..SEEDS, |seed| {
                 let (inst, b) = band_workload(seed + 300, delta_inv);
                 let ids = inst.all_ids();
                 let (_, lp) = lp_upper_bound(&inst, &ids);
@@ -60,8 +58,7 @@ pub fn run() -> Vec<Table> {
                     lp / lp_round.solution.weight(&inst).max(1) as f64,
                     lp / local.weight(&inst).max(1) as f64,
                 )
-            })
-            .collect();
+            });
         let mean_a = pairs.iter().map(|p| p.0).sum::<f64>() / pairs.len() as f64;
         let mean_b = pairs.iter().map(|p| p.1).sum::<f64>() / pairs.len() as f64;
         t.push(vec![format!("1/{delta_inv}"), format!("{mean_a:.3}"), format!("{mean_b:.3}")]);

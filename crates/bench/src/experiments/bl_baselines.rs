@@ -6,7 +6,7 @@
 //! workloads; interval MWIS only competes when tasks are so large that
 //! one task per column is optimal.
 
-use rayon::prelude::*;
+use crate::par_seeds;
 use sap_algs::baselines::greedy_sap_best;
 use sap_algs::SapParams;
 use sap_core::{Instance, PathNetwork, Task};
@@ -39,9 +39,7 @@ fn regime_grid() -> Table {
         ("mixed", DemandRegime::Mixed),
     ];
     for (name, regime) in regimes {
-        let sums: Vec<(u64, u64, u64)> = (0..SEEDS)
-            .into_par_iter()
-            .map(|seed| {
+        let sums: Vec<(u64, u64, u64)> = par_seeds(0..SEEDS, |seed| {
                 let inst = sap_gen::generate(
                     &sap_gen::GenConfig {
                         num_edges: 20,
@@ -64,8 +62,7 @@ fn regime_grid() -> Table {
                     greedy.weight(&inst),
                     inst.total_weight(&mwis),
                 )
-            })
-            .collect();
+            });
         let n = sums.len() as u64;
         let mean = |f: fn(&(u64, u64, u64)) -> u64| {
             (sums.iter().map(f).sum::<u64>() / n).to_string()

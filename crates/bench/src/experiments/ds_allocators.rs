@@ -6,7 +6,7 @@
 //! trying.
 
 use dsa::{allocate, makespan_lower_bound, DsaOrder};
-use rayon::prelude::*;
+use crate::par_seeds;
 use sap_gen::{generate, CapacityProfile, DemandRegime, GenConfig};
 
 use crate::table::Table;
@@ -28,9 +28,7 @@ pub fn run() -> Vec<Table> {
         ("mixed", DemandRegime::Mixed),
     ];
     for (name, regime) in regimes {
-        let triples: Vec<(f64, f64, f64)> = (0..SEEDS)
-            .into_par_iter()
-            .map(|seed| {
+        let triples: Vec<(f64, f64, f64)> = par_seeds(0..SEEDS, |seed| {
                 let inst = generate(
                     &GenConfig {
                         num_edges: 20,
@@ -51,8 +49,7 @@ pub fn run() -> Vec<Table> {
                     .max_makespan(&inst) as f64
                     / load;
                 (le, dd, le.min(dd))
-            })
-            .collect();
+            });
         let mean = |f: fn(&(f64, f64, f64)) -> f64| {
             triples.iter().map(f).sum::<f64>() / triples.len() as f64
         };

@@ -7,7 +7,7 @@
 //! random feasible `1/k`-large solutions and measure both quantities —
 //! and Fig. 8 shows the degeneracy bound is attained for k = 2.
 
-use rayon::prelude::*;
+use crate::par_seeds;
 use rectpack::{degeneracy_order, greedy_coloring, intersection_graph};
 use sap_core::canonical_heights;
 
@@ -26,9 +26,7 @@ pub fn run() -> Vec<Table> {
         &["k", "max tasks/edge", "bound k", "max degeneracy", "bound 2k−2", "max colours"],
     );
     for k in [2u64, 3, 4] {
-        let results: Vec<(u64, usize, usize)> = (0..SEEDS)
-            .into_par_iter()
-            .map(|seed| {
+        let results: Vec<(u64, usize, usize)> = par_seeds(0..SEEDS, |seed| {
                 let inst = large_workload(seed + 200 * k, 10, 60, k);
                 // Greedy feasible solution (insertion order by id).
                 let mut chosen = Vec::new();
@@ -52,8 +50,7 @@ pub fn run() -> Vec<Table> {
                 let colors = greedy_coloring(&adj, &order);
                 let ncolors = rectpack::coloring::num_colors(&colors);
                 (max_per_edge, degeneracy, ncolors)
-            })
-            .collect();
+            });
         let max_edge = results.iter().map(|r| r.0).max().unwrap_or(0);
         let max_deg = results.iter().map(|r| r.1).max().unwrap_or(0);
         let max_col = results.iter().map(|r| r.2).max().unwrap_or(0);

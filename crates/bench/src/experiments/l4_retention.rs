@@ -7,7 +7,7 @@
 //! window engine against that target, and the DSA makespan/LOAD ratio
 //! driving it.
 
-use rayon::prelude::*;
+use crate::par_seeds;
 use sap_core::{Instance, UfppSolution};
 
 use crate::table::Table;
@@ -40,9 +40,7 @@ fn retention_table() -> Table {
         &["δ", "paper target 1−4δ", "mean retention", "min retention"],
     );
     for delta_inv in [8u64, 16, 32, 64] {
-        let rets: Vec<f64> = (0..SEEDS)
-            .into_par_iter()
-            .map(|seed| {
+        let rets: Vec<f64> = par_seeds(0..SEEDS, |seed| {
                 let inst = small_workload(seed + 80, 250, delta_inv);
                 let bound = inst.network().min_capacity() / 2;
                 let sel = packable_subset(&inst, bound);
@@ -53,8 +51,7 @@ fn retention_table() -> Table {
                     .validate_packable(&inst, bound)
                     .expect("strip bound respected");
                 packing.solution.weight(&inst) as f64 / input.max(1) as f64
-            })
-            .collect();
+            });
         let mean = rets.iter().sum::<f64>() / rets.len() as f64;
         let min = rets.iter().cloned().fold(f64::NAN, f64::min);
         let target = 1.0 - 4.0 / delta_inv as f64;
@@ -76,16 +73,13 @@ fn makespan_table() -> Table {
         &["δ", "mean makespan/LOAD", "max makespan/LOAD"],
     );
     for delta_inv in [4u64, 8, 16, 32, 64] {
-        let ratios: Vec<f64> = (0..SEEDS)
-            .into_par_iter()
-            .map(|seed| {
+        let ratios: Vec<f64> = par_seeds(0..SEEDS, |seed| {
                 let inst = small_workload(seed + 85, 250, delta_inv);
                 let ids = inst.all_ids();
                 let load = dsa::makespan_lower_bound(&inst, &ids);
                 let alloc = dsa::allocate(&inst, &ids, dsa::DsaOrder::LeftEndpoint);
                 alloc.max_makespan(&inst) as f64 / load.max(1) as f64
-            })
-            .collect();
+            });
         let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
         let max = ratios.iter().cloned().fold(f64::NAN, f64::max);
         t.push(vec![format!("1/{delta_inv}"), format!("{mean:.3}"), format!("{max:.3}")]);

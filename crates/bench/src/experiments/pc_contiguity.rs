@@ -8,7 +8,7 @@
 //! solution (combined ∨ greedy). The Fig. 1 witnesses show the exact gap
 //! factor can exceed 1; random instances show how large it typically is.
 
-use rayon::prelude::*;
+use crate::par_seeds;
 use sap_algs::{solve_exact_sap, ExactConfig, SapParams};
 
 use crate::table::Table;
@@ -28,9 +28,7 @@ fn exact_gap() -> Table {
         "ratio ≥ 1; > 1 exactly when the Fig. 1 phenomenon bites",
         &["instances", "mean ratio", "max ratio", "instances with gap"],
     );
-    let ratios: Vec<f64> = (0..SEEDS)
-        .into_par_iter()
-        .map(|seed| {
+    let ratios: Vec<f64> = par_seeds(0..SEEDS, |seed| {
             let inst = tiny_mixed_workload(seed + 4000);
             let ids = inst.all_ids();
             let sap = solve_exact_sap(&inst, &ids, ExactConfig::default())
@@ -38,8 +36,7 @@ fn exact_gap() -> Table {
                 .weight(&inst);
             let ufpp_opt = ufpp::solve_exact(&inst, &ids).weight(&inst);
             ufpp_opt as f64 / sap.max(1) as f64
-        })
-        .collect();
+        });
     let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
     let max = ratios.iter().cloned().fold(f64::NAN, f64::max);
     let gaps = ratios.iter().filter(|&&r| r > 1.0 + 1e-9).count();
@@ -61,9 +58,7 @@ fn heuristic_gap() -> Table {
         &["n", "best UFPP", "best SAP", "UFPP/SAP"],
     );
     for n in [60usize, 120, 240] {
-        let pairs: Vec<(u64, u64)> = (0..SEEDS)
-            .into_par_iter()
-            .map(|seed| {
+        let pairs: Vec<(u64, u64)> = par_seeds(0..SEEDS, |seed| {
                 let inst = mixed_workload(seed + 4100, 20, n);
                 let ids = inst.all_ids();
                 let u = ufpp::solve_ufpp_heuristic(&inst, &ids).weight(&inst);
@@ -71,8 +66,7 @@ fn heuristic_gap() -> Table {
                 let greedy = sap_algs::baselines::greedy_sap_best(&inst, &ids);
                 let s = combined.weight(&inst).max(greedy.weight(&inst));
                 (u, s)
-            })
-            .collect();
+            });
         let mu = pairs.iter().map(|p| p.0).sum::<u64>() / pairs.len() as u64;
         let ms = pairs.iter().map(|p| p.1).sum::<u64>() / pairs.len() as u64;
         t.push(vec![

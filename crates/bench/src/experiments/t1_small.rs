@@ -4,7 +4,7 @@
 //! against the exact optimum on tiny instances, and against the LP upper
 //! bound (which dominates `OPT_SAP`) on realistic sizes, sweeping δ.
 
-use rayon::prelude::*;
+use crate::par_seeds;
 use sap_algs::{solve_exact_sap, solve_small, ExactConfig, SmallAlgo};
 use sap_gen::{generate, CapacityProfile, DemandRegime, GenConfig};
 use ufpp::lp_upper_bound;
@@ -30,17 +30,14 @@ fn ratio_vs_lp() -> Table {
         for (name, algo) in
             [("LP-rounding", SmallAlgo::LpRounding), ("local-ratio", SmallAlgo::LocalRatio)]
         {
-            let ratios: Vec<f64> = (0..SEEDS)
-                .into_par_iter()
-                .map(|seed| {
+            let ratios: Vec<f64> = par_seeds(0..SEEDS, |seed| {
                     let inst = small_workload(seed, 120, delta_inv);
                     let ids = inst.all_ids();
                     let sol = solve_small(&inst, &ids, algo);
                     sol.validate(&inst).expect("feasible");
                     let (_, lp) = lp_upper_bound(&inst, &ids);
                     lp / sol.weight(&inst).max(1) as f64
-                })
-                .collect();
+                });
             let (mean, max) = fmt_mean_max(&ratios);
             t.push(vec![format!("1/{delta_inv}"), name.into(), mean, max]);
         }
@@ -58,9 +55,7 @@ fn ratio_vs_exact() -> Table {
     for (name, algo) in
         [("LP-rounding", SmallAlgo::LpRounding), ("local-ratio", SmallAlgo::LocalRatio)]
     {
-        let ratios: Vec<f64> = (0..SEEDS)
-            .into_par_iter()
-            .map(|seed| {
+        let ratios: Vec<f64> = par_seeds(0..SEEDS, |seed| {
                 let inst = generate(
                     &GenConfig {
                         num_edges: 5,
@@ -78,8 +73,7 @@ fn ratio_vs_exact() -> Table {
                     .weight(&inst);
                 let sol = solve_small(&inst, &ids, algo);
                 opt as f64 / sol.weight(&inst).max(1) as f64
-            })
-            .collect();
+            });
         let (mean, max) = fmt_mean_max(&ratios);
         t.push(vec![name.into(), mean, max]);
     }

@@ -4,7 +4,7 @@
 //! exact optimum, sweeping ℓ (the ε knob), plus framework statistics
 //! (classes solved exactly, winning residue).
 
-use rayon::prelude::*;
+use crate::par_seeds;
 use sap_algs::medium::{solve_medium_with_stats, MediumParams};
 use sap_algs::{solve_exact_sap, ExactConfig};
 
@@ -22,9 +22,7 @@ pub fn run() -> Vec<Table> {
         &["ℓ", "bound 2(ℓ+q)/ℓ", "mean ratio", "max ratio", "exact classes"],
     );
     for ell in [2u32, 4, 8] {
-        let results: Vec<(f64, usize, usize)> = (0..SEEDS)
-            .into_par_iter()
-            .map(|seed| {
+        let results: Vec<(f64, usize, usize)> = par_seeds(0..SEEDS, |seed| {
                 let inst = medium_workload(seed, 5, 12);
                 let ids = inst.all_ids();
                 let opt = solve_exact_sap(&inst, &ids, ExactConfig::default())
@@ -38,8 +36,7 @@ pub fn run() -> Vec<Table> {
                     stats.exact_classes,
                     stats.classes,
                 )
-            })
-            .collect();
+            });
         let ratios: Vec<f64> = results.iter().map(|r| r.0).collect();
         let exact: usize = results.iter().map(|r| r.1).sum();
         let total: usize = results.iter().map(|r| r.2).sum();

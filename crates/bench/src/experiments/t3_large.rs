@@ -7,7 +7,7 @@
 
 use std::time::Instant;
 
-use rayon::prelude::*;
+use crate::par_seeds;
 use sap_algs::{solve_exact_sap, solve_large, ExactConfig};
 
 use crate::table::{fmt_mean_max, Table};
@@ -28,9 +28,7 @@ fn ratio_table() -> Table {
         &["k", "bound 2k−1", "mean ratio", "max ratio"],
     );
     for k in [1u64, 2, 3, 4] {
-        let ratios: Vec<f64> = (0..SEEDS)
-            .into_par_iter()
-            .map(|seed| {
+        let ratios: Vec<f64> = par_seeds(0..SEEDS, |seed| {
                 let inst = large_workload(seed, 6, 12, k);
                 let ids = inst.all_ids();
                 let opt = solve_exact_sap(&inst, &ids, ExactConfig::default())
@@ -39,8 +37,7 @@ fn ratio_table() -> Table {
                 let sol = solve_large(&inst, &ids).expect("budget");
                 sol.validate(&inst).expect("feasible");
                 opt as f64 / sol.weight(&inst).max(1) as f64
-            })
-            .collect();
+            });
         let (mean, max) = fmt_mean_max(&ratios);
         t.push(vec![k.to_string(), (2 * k - 1).to_string(), mean, max]);
     }

@@ -5,7 +5,7 @@
 //! (realistic sizes); per-regime winner distribution — each regime's
 //! algorithm should win on workloads dominated by its regime.
 
-use rayon::prelude::*;
+use crate::par_seeds;
 use sap_algs::combined::solve_with_stats;
 use sap_algs::{solve_exact_sap, ExactConfig, SapParams};
 use sap_gen::DemandRegime;
@@ -34,9 +34,7 @@ fn delta_ablation() -> Table {
         &["δ_small", "mean weight", "mean ratio vs LP"],
     );
     for delta_inv in [4u64, 8, 16, 32, 64] {
-        let results: Vec<(u64, f64)> = (0..SEEDS)
-            .into_par_iter()
-            .map(|seed| {
+        let results: Vec<(u64, f64)> = par_seeds(0..SEEDS, |seed| {
                 let inst = mixed_workload(seed + 40, 20, 100);
                 let ids = inst.all_ids();
                 let params = SapParams {
@@ -48,8 +46,7 @@ fn delta_ablation() -> Table {
                 let (_, lp) = lp_upper_bound(&inst, &ids);
                 let w = sol.weight(&inst);
                 (w, lp / w.max(1) as f64)
-            })
-            .collect();
+            });
         let mean_w = results.iter().map(|r| r.0).sum::<u64>() / results.len() as u64;
         let mean_r = results.iter().map(|r| r.1).sum::<f64>() / results.len() as f64;
         t.push(vec![format!("1/{delta_inv}"), mean_w.to_string(), format!("{mean_r:.3}")]);
@@ -64,9 +61,7 @@ fn ratio_vs_exact() -> Table {
         "max ratio ≤ 9+ε; typically ≤ 2 in practice",
         &["instances", "mean ratio", "max ratio"],
     );
-    let ratios: Vec<f64> = (0..SEEDS)
-        .into_par_iter()
-        .map(|seed| {
+    let ratios: Vec<f64> = par_seeds(0..SEEDS, |seed| {
             let inst = tiny_mixed_workload(seed);
             let ids = inst.all_ids();
             let opt = solve_exact_sap(&inst, &ids, ExactConfig::default())
@@ -75,8 +70,7 @@ fn ratio_vs_exact() -> Table {
             let (sol, _) = solve_with_stats(&inst, &ids, &SapParams::default());
             sol.validate(&inst).expect("feasible");
             opt as f64 / sol.weight(&inst).max(1) as f64
-        })
-        .collect();
+        });
     let (mean, max) = fmt_mean_max(&ratios);
     t.push(vec![SEEDS.to_string(), mean, max]);
     t
@@ -90,17 +84,14 @@ fn ratio_vs_lp() -> Table {
         &["n", "edges", "mean ratio", "max ratio"],
     );
     for (n, m) in [(50usize, 10usize), (100, 20), (200, 30)] {
-        let ratios: Vec<f64> = (0..SEEDS)
-            .into_par_iter()
-            .map(|seed| {
+        let ratios: Vec<f64> = par_seeds(0..SEEDS, |seed| {
                 let inst = mixed_workload(seed + 40, m, n);
                 let ids = inst.all_ids();
                 let (sol, _) = solve_with_stats(&inst, &ids, &SapParams::default());
                 sol.validate(&inst).expect("feasible");
                 let (_, lp) = lp_upper_bound(&inst, &ids);
                 lp / sol.weight(&inst).max(1) as f64
-            })
-            .collect();
+            });
         let (mean, max) = fmt_mean_max(&ratios);
         t.push(vec![n.to_string(), m.to_string(), mean, max]);
     }
@@ -121,9 +112,7 @@ fn winner_table() -> Table {
         ("mixed", DemandRegime::Mixed),
     ];
     for (name, regime) in regimes {
-        let winners: Vec<&'static str> = (0..SEEDS)
-            .into_par_iter()
-            .map(|seed| {
+        let winners: Vec<&'static str> = par_seeds(0..SEEDS, |seed| {
                 let inst = sap_gen::generate(
                     &sap_gen::GenConfig {
                         num_edges: 16,
@@ -138,8 +127,7 @@ fn winner_table() -> Table {
                 let (_, stats) =
                     solve_with_stats(&inst, &inst.all_ids(), &SapParams::default());
                 stats.winner
-            })
-            .collect();
+            });
         let count = |w: &str| winners.iter().filter(|&&x| x == w).count().to_string();
         t.push(vec![name.into(), count("small"), count("medium"), count("large")]);
     }

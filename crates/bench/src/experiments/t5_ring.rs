@@ -4,7 +4,7 @@
 //! cut-path / through-knapsack winner split on realistic rings — the
 //! paper's Lemma 18 predicts both branches matter.
 
-use rayon::prelude::*;
+use crate::par_seeds;
 use sap_algs::ring::{solve_ring, solve_ring_exact, RingParams, RingWinner};
 use sap_gen::{generate_ring, CapacityProfile, RingGenConfig};
 
@@ -24,9 +24,7 @@ fn ratio_table() -> Table {
         "max ratio ≤ 10+ε (= 1 + ratio of the path solver + ε)",
         &["instances", "mean ratio", "max ratio"],
     );
-    let ratios: Vec<f64> = (0..SEEDS)
-        .into_par_iter()
-        .map(|seed| {
+    let ratios: Vec<f64> = par_seeds(0..SEEDS, |seed| {
             let inst = generate_ring(
                 &RingGenConfig {
                     num_edges: 6,
@@ -41,8 +39,7 @@ fn ratio_table() -> Table {
             sol.validate(&inst).expect("feasible");
             let opt = solve_ring_exact(&inst).weight(&inst);
             opt as f64 / sol.weight(&inst).max(1) as f64
-        })
-        .collect();
+        });
     let (mean, max) = fmt_mean_max(&ratios);
     t.push(vec![SEEDS.to_string(), mean, max]);
     t
@@ -61,9 +58,7 @@ fn winner_split() -> Table {
         ("near-uniform 200..256", CapacityProfile::Random { lo: 200, hi: 256 }),
     ];
     for (name, profile) in profiles {
-        let winners: Vec<RingWinner> = (0..SEEDS)
-            .into_par_iter()
-            .map(|seed| {
+        let winners: Vec<RingWinner> = par_seeds(0..SEEDS, |seed| {
                 let inst = generate_ring(
                     &RingGenConfig {
                         num_edges: 16,
@@ -77,8 +72,7 @@ fn winner_split() -> Table {
                 let (sol, stats) = solve_ring(&inst, &RingParams::default());
                 sol.validate(&inst).expect("feasible");
                 stats.winner
-            })
-            .collect();
+            });
         let path = winners.iter().filter(|w| **w == RingWinner::CutPath).count();
         let ks = winners.len() - path;
         t.push(vec![name.into(), path.to_string(), ks.to_string()]);

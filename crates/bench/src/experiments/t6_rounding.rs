@@ -6,7 +6,7 @@
 //! retains: `rounded weight / (LP/4)` — the quantity Lemma 5 consumes —
 //! as δ shrinks (retention should approach and exceed 1).
 
-use rayon::prelude::*;
+use crate::par_seeds;
 use ufpp::{lp_upper_bound, round_scaled_lp};
 
 use crate::table::Table;
@@ -23,9 +23,7 @@ pub fn run() -> Vec<Table> {
         &["δ", "mean retention", "min retention"],
     );
     for delta_inv in [8u64, 16, 32, 64] {
-        let retentions: Vec<f64> = (0..SEEDS)
-            .into_par_iter()
-            .map(|seed| {
+        let retentions: Vec<f64> = par_seeds(0..SEEDS, |seed| {
                 let inst = small_workload(seed + 60, 150, delta_inv);
                 let ids = inst.all_ids();
                 let (_, lp) = lp_upper_bound(&inst, &ids);
@@ -36,8 +34,7 @@ pub fn run() -> Vec<Table> {
                     .validate_packable(&inst, bound)
                     .expect("bound respected");
                 rounded.solution.weight(&inst) as f64 / (lp / 4.0)
-            })
-            .collect();
+            });
         let mean = retentions.iter().sum::<f64>() / retentions.len() as f64;
         let min = retentions.iter().cloned().fold(f64::NAN, f64::min);
         t.push(vec![format!("1/{delta_inv}"), format!("{mean:.3}"), format!("{min:.3}")]);

@@ -2,7 +2,7 @@
 //! framework the paper adapts, run on UFPP itself. Measured against the
 //! exact UFPP optimum, with the per-regime winner split.
 
-use rayon::prelude::*;
+use crate::par_seeds;
 use ufpp::{solve_exact, solve_ufpp_combined, UfppParams};
 
 use crate::table::{fmt_mean_max, Table};
@@ -23,17 +23,14 @@ fn ratio_table() -> Table {
          (Bonsma et al. prove 7+ε for the real thing)",
         &["instances", "mean ratio", "max ratio"],
     );
-    let ratios: Vec<f64> = (0..SEEDS)
-        .into_par_iter()
-        .map(|seed| {
+    let ratios: Vec<f64> = par_seeds(0..SEEDS, |seed| {
             let inst = tiny_mixed_workload(seed + 5000);
             let ids = inst.all_ids();
             let opt = solve_exact(&inst, &ids).weight(&inst);
             let (sol, _) = solve_ufpp_combined(&inst, &ids, &UfppParams::default());
             sol.validate(&inst).expect("feasible");
             opt as f64 / sol.weight(&inst).max(1) as f64
-        })
-        .collect();
+        });
     let (mean, max) = fmt_mean_max(&ratios);
     t.push(vec![SEEDS.to_string(), mean, max]);
     t
@@ -47,15 +44,12 @@ fn winner_table() -> Table {
         &["n", "small wins", "medium wins", "large wins"],
     );
     for n in [60usize, 120] {
-        let winners: Vec<&'static str> = (0..SEEDS)
-            .into_par_iter()
-            .map(|seed| {
+        let winners: Vec<&'static str> = par_seeds(0..SEEDS, |seed| {
                 let inst = mixed_workload(seed + 5100, 16, n);
                 let ids = inst.all_ids();
                 let (_, stats) = solve_ufpp_combined(&inst, &ids, &UfppParams::default());
                 stats.winner
-            })
-            .collect();
+            });
         let count = |w: &str| winners.iter().filter(|&&x| x == w).count().to_string();
         t.push(vec![n.to_string(), count("small"), count("medium"), count("large")]);
     }

@@ -1,20 +1,44 @@
 //! # sap-bench
 //!
-//! The experiment harness behind EXPERIMENTS.md. The `report` binary runs
-//! every experiment in DESIGN.md's index (T1–T6, L4, L16/17, A1, BL) and
-//! prints the markdown tables; the Criterion benches (`runtime`,
-//! `substrates`) cover the `RT` runtime-scaling claims.
+//! The hermetic experiment + benchmark harness. Two binaries:
+//!
+//! * **`sap-bench`** (default) — the bench suite behind `BENCH_*.json`:
+//!   deterministic work-units from the [`sap_core::budget::Budget`]
+//!   meter, wall-clock per workload family, worker-count sweeps with
+//!   byte-identity checks, and the MWIS allocation gauges. See
+//!   [`suite`].
+//! * **`report`** — regenerates every experiment table in
+//!   EXPERIMENTS.md (T1–T6, L4, L16/17, A1, BL, PC, UF, DS).
 //!
 //! ```text
+//! cargo run -p sap-bench --release -- --suite core --out BENCH_pr4.json
 //! cargo run -p sap-bench --release --bin report            # all tables
 //! cargo run -p sap-bench --release --bin report -- T1 T4   # a subset
-//! cargo bench -p sap-bench                                 # RT benches
 //! ```
+//!
+//! The crate is a plain workspace member: path dependencies only, no
+//! registry access, no external bench framework — fan-out runs on
+//! [`sap_core::parallel_map`] and serialisation is the hand-rolled
+//! [`json`] module (which doubles as the parser the CI smoke gate uses
+//! to check report schema validity).
 
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod json;
+pub mod suite;
 pub mod table;
 pub mod workloads;
 
 pub use table::Table;
+
+/// Maps `f` over a seed range on the workspace's own scoped-thread pool
+/// (the hermetic replacement for the harness's former rayon fan-out).
+/// Results come back in seed order regardless of scheduling.
+pub fn par_seeds<R: Send>(
+    seeds: std::ops::Range<u64>,
+    f: impl Fn(u64) -> R + Sync,
+) -> Vec<R> {
+    let items: Vec<u64> = seeds.collect();
+    sap_core::parallel_map(&items, |&s| f(s))
+}

@@ -1,10 +1,11 @@
 //! Minimal markdown table builder used by every experiment.
 
-use serde::Serialize;
+use crate::json::escape_json;
 
 /// An experiment result table: a title, a caption tying it to the paper,
-/// a header row and data rows. Serialisable so runs can be archived.
-#[derive(Debug, Clone, Serialize)]
+/// a header row and data rows. Serialisable (see [`Table::to_json`]) so
+/// runs can be archived.
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment id (e.g. `"T1"`).
     pub id: String,
@@ -49,6 +50,25 @@ impl Table {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }
         out
+    }
+
+    /// Renders as a JSON object (hand-rolled; the harness is hermetic and
+    /// carries no serialisation dependency).
+    pub fn to_json(&self) -> String {
+        let strings = |items: &[String]| {
+            let quoted: Vec<String> =
+                items.iter().map(|s| format!("\"{}\"", escape_json(s))).collect();
+            format!("[{}]", quoted.join(","))
+        };
+        let rows: Vec<String> = self.rows.iter().map(|r| strings(r)).collect();
+        format!(
+            "{{\"id\":\"{}\",\"title\":\"{}\",\"expectation\":\"{}\",\"header\":{},\"rows\":[{}]}}",
+            escape_json(&self.id),
+            escape_json(&self.title),
+            escape_json(&self.expectation),
+            strings(&self.header),
+            rows.join(",")
+        )
     }
 }
 

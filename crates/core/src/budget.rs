@@ -296,6 +296,71 @@ impl Budget {
         }
     }
 
+    /// Splits the budget's *remaining* work units into `n` fixed per-item
+    /// child meters, in index order (item `i` of a fan-out gets share `i`).
+    ///
+    /// The shares are computed **before** any fan-out runs, from the
+    /// work remaining at the call (`work_limit − consumed`), divided as
+    /// evenly as integer division allows: the first `remaining % n` items
+    /// receive one extra unit, so every remaining unit is allocated and
+    /// the split depends only on `(remaining, n)` — never on thread
+    /// scheduling. An unmetered budget yields unmetered children.
+    ///
+    /// Each child has fresh counters and a fresh LP-solve fault counter
+    /// (fault addressing becomes per-item, still deterministic), shares
+    /// the cancellation flag, and carries the same telemetry handle, so
+    /// ticks from any child land on the same phase node. Pair with
+    /// [`Budget::absorb`] to fold the children's meters back into this
+    /// budget — [`sap_core::map_reduce_isolated`](crate::map_reduce_isolated)
+    /// does both.
+    pub fn split_shares(&self, n: usize) -> Vec<Budget> {
+        let remaining = if self.work_limit == u64::MAX {
+            u64::MAX
+        } else {
+            self.work_limit.saturating_sub(self.consumed())
+        };
+        (0..n)
+            .map(|i| {
+                let share = if remaining == u64::MAX {
+                    u64::MAX
+                } else {
+                    let extra = u64::from((i as u64) < remaining % n as u64);
+                    remaining / n as u64 + extra
+                };
+                Budget {
+                    deadline: self.deadline,
+                    work_limit: share,
+                    consumed: AtomicU64::new(0),
+                    checkpoints: AtomicU64::new(0),
+                    by_class: std::array::from_fn(|_| AtomicU64::new(0)),
+                    cancelled: Arc::clone(&self.cancelled),
+                    tele: self.tele.clone(),
+                    #[cfg(feature = "fault-injection")]
+                    fault: self.fault,
+                    #[cfg(feature = "fault-injection")]
+                    lp_solves: AtomicU64::new(0),
+                }
+            })
+            .collect()
+    }
+
+    /// Folds a child meter back into this budget: consumed units,
+    /// checkpoints, and the per-class split are added to this budget's
+    /// counters (the merge is commutative addition, so any absorption
+    /// order yields the same totals).
+    ///
+    /// After absorbing every share of a [`Budget::split_shares`] fan-out,
+    /// this budget's meter reads exactly what it would have read had the
+    /// items charged it directly — conservation audits
+    /// ([`SolveReport::work_is_attributed`]) see no difference.
+    pub fn absorb(&self, child: &Budget) {
+        self.consumed.fetch_add(child.consumed(), Ordering::Relaxed);
+        self.checkpoints.fetch_add(child.checkpoints_passed(), Ordering::Relaxed);
+        for (slot, class) in self.by_class.iter().zip(CheckpointClass::ALL) {
+            slot.fetch_add(child.class_consumed(class), Ordering::Relaxed);
+        }
+    }
+
     /// Attaches a telemetry handle; all [`Budget::tick`] calls through this
     /// budget (and through [children](Budget::child), which inherit the
     /// handle) attribute work to that phase. The default handle is the
@@ -660,6 +725,66 @@ mod tests {
         child.checkpoint(CheckpointClass::Driver, 10).unwrap();
         assert_eq!(
             child.checkpoint(CheckpointClass::Driver, 1),
+            Err(SapError::BudgetExhausted)
+        );
+    }
+
+    #[test]
+    fn split_shares_allocates_every_remaining_unit() {
+        let b = Budget::unlimited().with_work_units(10);
+        b.checkpoint(CheckpointClass::Driver, 3).unwrap();
+        // 7 remaining over 3 items: shares 3, 2, 2 — index order, exact.
+        let shares = b.split_shares(3);
+        let limits: Vec<u64> = shares
+            .iter()
+            .map(|c| {
+                let mut used = 0;
+                while c.checkpoint(CheckpointClass::DpRow, 1).is_ok() {
+                    used += 1;
+                }
+                used
+            })
+            .collect();
+        assert_eq!(limits, vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn split_shares_of_unmetered_budget_are_unmetered() {
+        let b = Budget::unlimited();
+        let shares = b.split_shares(2);
+        for c in &shares {
+            assert!(!c.is_metered());
+            for _ in 0..1000 {
+                c.checkpoint(CheckpointClass::PackSweep, 100).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn absorb_reconstructs_the_direct_charging_meter() {
+        let direct = Budget::unlimited();
+        direct.checkpoint(CheckpointClass::LpPivot, 5).unwrap();
+        direct.checkpoint(CheckpointClass::DpRow, 2).unwrap();
+
+        let parent = Budget::unlimited();
+        let shares = parent.split_shares(2);
+        shares[0].checkpoint(CheckpointClass::LpPivot, 5).unwrap();
+        shares[1].checkpoint(CheckpointClass::DpRow, 2).unwrap();
+        for c in &shares {
+            parent.absorb(c);
+        }
+        assert_eq!(parent.consumed(), direct.consumed());
+        assert_eq!(parent.checkpoints_passed(), direct.checkpoints_passed());
+        assert_eq!(parent.work_profile(), direct.work_profile());
+    }
+
+    #[test]
+    fn split_shares_share_the_cancel_flag() {
+        let parent = Budget::unlimited();
+        let shares = parent.split_shares(2);
+        parent.cancel();
+        assert_eq!(
+            shares[1].checkpoint(CheckpointClass::Driver, 1),
             Err(SapError::BudgetExhausted)
         );
     }

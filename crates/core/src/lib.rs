@@ -74,7 +74,7 @@ pub use error::{SapError, SapResult};
 pub use gravity::{apply_gravity, canonical_heights, is_grounded};
 pub use instance::Instance;
 pub use network::PathNetwork;
-pub use parallel::{join, join3, join3_isolated, parallel_map, run_isolated};
+pub use parallel::{join, join3, join3_isolated, map_reduce_isolated, parallel_map, run_isolated};
 pub use render::{render_solution, render_solution_svg};
 pub use rmq::RangeMin;
 pub use solution::{Placement, SapSolution, UfppSolution};

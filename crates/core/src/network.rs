@@ -94,14 +94,12 @@ impl PathNetwork {
         self.capacities.iter().copied().fold(0, Capacity::max)
     }
 
-    /// Leftmost edge within `span` achieving the bottleneck capacity.
+    /// Leftmost edge within `span` achieving the bottleneck capacity, in
+    /// O(1) via the argmin sparse table (this query sits on the MWIS
+    /// recursion's hot path, once per recursion node).
+    #[inline]
     pub fn bottleneck_edge(&self, span: Span) -> EdgeId {
-        let b = self.bottleneck(span);
-        (span.lo..span.hi)
-            .find(|&e| self.capacities[e] == b)
-            // lint:allow(p1) — `b` is the minimum over `span`, and spans are
-            // validated non-empty, so some edge in the range attains it.
-            .expect("bottleneck edge exists in a non-empty span")
+        self.rmq.argmin(span.lo, span.hi)
     }
 
     /// True when all edges share one capacity (a SAP-U instance).
@@ -162,6 +160,15 @@ mod tests {
         assert_eq!(net.bottleneck_edge(Span::new(3, 5).unwrap()), 4);
         assert_eq!(net.min_capacity(), 2);
         assert_eq!(net.max_capacity(), 9);
+    }
+
+    #[test]
+    fn bottleneck_edge_is_leftmost_on_ties() {
+        let net = PathNetwork::new(vec![5, 2, 2, 9, 2]).unwrap();
+        assert_eq!(net.bottleneck_edge(Span::new(0, 5).unwrap()), 1);
+        assert_eq!(net.bottleneck_edge(Span::new(2, 5).unwrap()), 2);
+        assert_eq!(net.bottleneck_edge(Span::new(3, 5).unwrap()), 4);
+        assert_eq!(net.bottleneck_edge(Span::new(3, 4).unwrap()), 3);
     }
 
     #[test]

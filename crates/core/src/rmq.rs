@@ -6,11 +6,14 @@
 //! queries in O(1) after O(m log m) preprocessing, with no per-query
 //! allocation.
 
-/// Sparse table for idempotent range queries (minimum) over `u64`.
+/// Sparse table for idempotent range queries (minimum and leftmost
+/// argmin) over `u64`.
 #[derive(Debug, Clone)]
 pub struct RangeMin {
     /// `table[k][i]` = min of `values[i .. i + 2^k]`.
     table: Vec<Vec<u64>>,
+    /// `arg[k][i]` = leftmost index attaining `table[k][i]`.
+    arg: Vec<Vec<u32>>,
     len: usize,
 }
 
@@ -21,17 +24,26 @@ impl RangeMin {
         let levels = if n <= 1 { 1 } else { n.ilog2() as usize + 1 };
         let mut table = Vec::with_capacity(levels);
         table.push(values.to_vec());
+        let mut arg: Vec<Vec<u32>> = Vec::with_capacity(levels);
+        arg.push((0..n as u32).collect());
         for k in 1..levels {
             let half = 1usize << (k - 1);
             let prev = &table[k - 1];
+            let prev_arg = &arg[k - 1];
             let width = n.saturating_sub((1usize << k) - 1);
             let mut row = Vec::with_capacity(width);
+            let mut row_arg = Vec::with_capacity(width);
             for i in 0..width {
-                row.push(prev[i].min(prev[i + half]));
+                let (l, r) = (prev[i], prev[i + half]);
+                row.push(l.min(r));
+                // `<=` keeps the leftmost index on ties.
+                let pick = if l <= r { prev_arg[i] } else { prev_arg[i + half] };
+                row_arg.push(pick);
             }
             table.push(row);
+            arg.push(row_arg);
         }
-        RangeMin { table, len: n }
+        RangeMin { table, arg, len: n }
     }
 
     /// Number of underlying values.
@@ -56,6 +68,27 @@ impl RangeMin {
         let row = &self.table[k];
         row[lo].min(row[hi - (1usize << k)])
     }
+
+    /// Leftmost index in the half-open range `lo .. hi` attaining
+    /// [`RangeMin::min`], in O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty or out of bounds.
+    #[inline]
+    pub fn argmin(&self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi && hi <= self.len, "invalid RMQ range {lo}..{hi}");
+        let k = (hi - lo).ilog2() as usize;
+        let row = &self.table[k];
+        let args = &self.arg[k];
+        let j = hi - (1usize << k);
+        let (left, right) = (row[lo], row[j]);
+        // `<=` keeps the leftmost winner: the two power-of-two windows
+        // overlap, and any index the right window contributes is ≥ every
+        // index the left window could contribute.
+        let pick = if left <= right { args[lo] } else { args[j] };
+        pick as usize
+    }
 }
 
 #[cfg(test)]
@@ -64,6 +97,11 @@ mod tests {
 
     fn naive_min(values: &[u64], lo: usize, hi: usize) -> u64 {
         values[lo..hi].iter().copied().min().unwrap()
+    }
+
+    fn naive_argmin(values: &[u64], lo: usize, hi: usize) -> usize {
+        let b = naive_min(values, lo, hi);
+        (lo..hi).find(|&i| values[i] == b).unwrap()
     }
 
     #[test]
@@ -96,6 +134,42 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn argmin_matches_naive_and_prefers_leftmost() {
+        // Plenty of duplicated minima to exercise the tie-breaking.
+        let values: Vec<u64> = vec![5, 2, 8, 2, 1, 9, 1, 2, 7, 1, 6, 0, 0];
+        let rm = RangeMin::new(&values);
+        for lo in 0..values.len() {
+            for hi in lo + 1..=values.len() {
+                assert_eq!(
+                    rm.argmin(lo, hi),
+                    naive_argmin(&values, lo, hi),
+                    "range {lo}..{hi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn argmin_on_power_of_two_lengths() {
+        for n in [1usize, 2, 4, 8, 16, 32] {
+            let values: Vec<u64> = (0..n as u64).map(|i| (i * 37 + 11) % 7).collect();
+            let rm = RangeMin::new(&values);
+            for lo in 0..n {
+                for hi in lo + 1..=n {
+                    assert_eq!(rm.argmin(lo, hi), naive_argmin(&values, lo, hi));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid RMQ range")]
+    fn argmin_empty_range_panics() {
+        let rm = RangeMin::new(&[1, 2, 3]);
+        rm.argmin(2, 2);
     }
 
     #[test]

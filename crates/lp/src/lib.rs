@@ -24,6 +24,14 @@
 //! [`LpSolution::duality_gap`] exposes an optimality certificate used by
 //! the tests: the returned duals are always dual-feasible, so a zero gap
 //! proves optimality.
+//!
+//! Repeated solves can share a [`Scratch`] workspace
+//! ([`LpProblem::solve_with_scratch`] /
+//! [`LpProblem::solve_budgeted_with_scratch`]): the basis, pricing and
+//! column buffers are reused instead of reallocated, and the cached
+//! pricing is guaranteed to pick the exact same pivots as a cold solve
+//! (every buffer cell is rewritten from the problem data before the
+//! first iteration).
 
 //! ## Example
 //!
@@ -44,4 +52,4 @@
 
 pub mod simplex;
 
-pub use simplex::{LpProblem, LpSolution, LpStatus};
+pub use simplex::{LpProblem, LpSolution, LpStatus, PivotRecord, Scratch};

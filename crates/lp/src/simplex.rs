@@ -74,6 +74,94 @@ impl LpSolution {
     }
 }
 
+/// One simplex step, recorded when tracing is enabled on the
+/// [`Scratch`]: which variable entered (or bound-flipped), which basic
+/// variable left (`None` for a bound flip), and the objective after the
+/// step was applied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PivotRecord {
+    /// Entering variable (structural `0..n`, slack `n..n+m`).
+    pub entering: usize,
+    /// Leaving basic variable; `None` when the step was a bound flip.
+    pub leaving: Option<usize>,
+    /// Objective value after the step.
+    pub objective: f64,
+}
+
+/// Reusable solver workspace: the basis inverse, basis/state
+/// bookkeeping, current basic values, and the pricing/column buffers
+/// (`y = c_B B⁻¹`, `w = B⁻¹ A_j`).
+///
+/// Carrying one `Scratch` across repeated solves removes every
+/// per-pivot allocation (the allocating path pays one dual vector per
+/// pricing round plus one column per pivot) and the four per-solve
+/// basis allocations. Reuse is pivot-identical by construction:
+/// [`LpProblem::solve_with_scratch`] rewrites every cell of every
+/// buffer from the problem data alone before the first iteration, and
+/// the cached-pricing rule evaluates the same floating-point
+/// expressions in the same index order into the reused buffers as a
+/// cold start would — so pricing, ratio tests and basis updates see
+/// bitwise-equal numbers whether the scratch is warm or cold (the
+/// warm-vs-cold regression test pins the full pivot/objective
+/// sequence).
+#[derive(Debug, Default)]
+pub struct Scratch {
+    binv: Vec<f64>,
+    basis: Vec<usize>,
+    state: Vec<VarState>,
+    xb: Vec<f64>,
+    w: Vec<f64>,
+    y: Vec<f64>,
+    trace: Option<Vec<PivotRecord>>,
+    solves: u64,
+    buffer_allocs: u64,
+}
+
+impl Scratch {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Record a [`PivotRecord`] per iteration of subsequent solves. The
+    /// trace resets at the start of each solve, so after a solve it
+    /// holds exactly that solve's pivot sequence.
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// The pivot trace of the most recent solve (empty unless
+    /// [`Scratch::enable_trace`] was called first).
+    pub fn trace(&self) -> &[PivotRecord] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// How many solves have used this workspace.
+    pub fn solves(&self) -> u64 {
+        self.solves
+    }
+
+    /// How many buffer (re)allocations the workspace has performed — a
+    /// deterministic allocations gauge (no global-allocator hooks). A
+    /// warm scratch stops incrementing once its buffers cover the
+    /// largest problem seen.
+    pub fn buffer_allocs(&self) -> u64 {
+        self.buffer_allocs
+    }
+}
+
+/// Clear-and-refill a buffer, counting one (re)allocation when the
+/// existing capacity is insufficient.
+fn reset_buf<T: Copy>(buf: &mut Vec<T>, len: usize, fill: T, allocs: &mut u64) {
+    if buf.capacity() < len {
+        *allocs += 1;
+    }
+    buf.clear();
+    buf.resize(len, fill);
+}
+
 impl LpProblem {
     /// Creates an empty problem with `num_rows` packing rows of capacity
     /// `rhs`.
@@ -151,10 +239,16 @@ impl LpProblem {
     /// Solves the LP. `max_iters = 0` selects an automatic limit of
     /// `64·(n + m) + 4096` pivots.
     pub fn solve(&self, max_iters: usize) -> LpSolution {
+        self.solve_with_scratch(max_iters, &mut Scratch::new())
+    }
+
+    /// [`LpProblem::solve`] reusing a caller-provided [`Scratch`] —
+    /// identical pivots and solution, but repeated solves stop paying
+    /// per-solve and per-pivot allocations.
+    pub fn solve_with_scratch(&self, max_iters: usize, scratch: &mut Scratch) -> LpSolution {
         // No budget ⇒ no checkpoint can trip, so the Err arm is dead; the
         // trivial point keeps this total without a panic path.
-        Simplex::new(self)
-            .run(self.pivot_limit(max_iters), None)
+        self.solve_inner(max_iters, None, scratch)
             .unwrap_or_else(|_| self.trivial_solution())
     }
 
@@ -167,7 +261,34 @@ impl LpProblem {
     /// routes to its greedy fallback instead). A pivot-limit stop is still
     /// reported in-band as [`LpStatus::IterationLimit`].
     pub fn solve_budgeted(&self, max_iters: usize, budget: &Budget) -> SapResult<LpSolution> {
-        Simplex::new(self).run(self.pivot_limit(max_iters), Some(budget))
+        self.solve_budgeted_with_scratch(max_iters, budget, &mut Scratch::new())
+    }
+
+    /// [`LpProblem::solve_budgeted`] reusing a caller-provided
+    /// [`Scratch`]; budget trips, pivots and the returned point are
+    /// identical to a cold solve.
+    pub fn solve_budgeted_with_scratch(
+        &self,
+        max_iters: usize,
+        budget: &Budget,
+        scratch: &mut Scratch,
+    ) -> SapResult<LpSolution> {
+        self.solve_inner(max_iters, Some(budget), scratch)
+    }
+
+    /// Shared tail of every entry point: borrow the scratch buffers,
+    /// run, and hand the buffers back even on a budget trip.
+    fn solve_inner(
+        &self,
+        max_iters: usize,
+        budget: Option<&Budget>,
+        scratch: &mut Scratch,
+    ) -> SapResult<LpSolution> {
+        let mut s = Simplex::init(self, scratch);
+        let out = s.run_loop(self.pivot_limit(max_iters), budget);
+        let sol = out.map(|status| s.extract(status));
+        s.release(scratch);
+        sol
     }
 
     fn pivot_limit(&self, max_iters: usize) -> usize {
@@ -205,6 +326,12 @@ struct Simplex<'a> {
     state: Vec<VarState>,
     /// Current values of the basic variables.
     xb: Vec<f64>,
+    /// Reused column buffer for `ftran` (length `m`).
+    w: Vec<f64>,
+    /// Reused pricing buffer for `duals` (length `m`).
+    y: Vec<f64>,
+    /// Per-iteration trace, when the scratch enabled it.
+    trace: Option<Vec<PivotRecord>>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -215,22 +342,58 @@ enum VarState {
 }
 
 impl<'a> Simplex<'a> {
-    fn new(p: &'a LpProblem) -> Self {
+    /// Builds the initial slack basis inside `scratch`'s buffers: all
+    /// structural variables at lower bound 0, so `x_B = b ≥ 0` is
+    /// feasible. Every cell of every buffer is rewritten from `p` alone
+    /// — no state of a previous solve can leak through, which is what
+    /// makes warm reuse pivot-identical.
+    fn init(p: &'a LpProblem, scratch: &mut Scratch) -> Self {
         let n = p.num_vars();
         let m = p.num_rows;
-        // Initial basis: the slacks; all structural variables at lower
-        // bound 0, so x_B = b ≥ 0 is feasible.
-        let mut binv = vec![0.0; m * m];
+        scratch.solves += 1;
+        let allocs = &mut scratch.buffer_allocs;
+        let mut binv = std::mem::take(&mut scratch.binv);
+        reset_buf(&mut binv, m * m, 0.0, allocs);
         for i in 0..m {
             binv[i * m + i] = 1.0;
         }
-        let basis: Vec<usize> = (n..n + m).collect();
-        let mut state = vec![VarState::AtLower; n + m];
+        let mut basis = std::mem::take(&mut scratch.basis);
+        if basis.capacity() < m {
+            *allocs += 1;
+        }
+        basis.clear();
+        basis.extend(n..n + m);
+        let mut state = std::mem::take(&mut scratch.state);
+        reset_buf(&mut state, n + m, VarState::AtLower, allocs);
         for (row, &v) in basis.iter().enumerate() {
             state[v] = VarState::Basic(row);
         }
-        let xb = p.rhs.clone();
-        Simplex { p, n, m, binv, basis, state, xb }
+        let mut xb = std::mem::take(&mut scratch.xb);
+        if xb.capacity() < m {
+            *allocs += 1;
+        }
+        xb.clear();
+        xb.extend_from_slice(&p.rhs);
+        let mut w = std::mem::take(&mut scratch.w);
+        reset_buf(&mut w, m, 0.0, allocs);
+        let mut y = std::mem::take(&mut scratch.y);
+        reset_buf(&mut y, m, 0.0, allocs);
+        let mut trace = scratch.trace.take();
+        if let Some(tr) = trace.as_mut() {
+            tr.clear();
+        }
+        Simplex { p, n, m, binv, basis, state, xb, w, y, trace }
+    }
+
+    /// Returns the buffers to `scratch` for the next solve.
+    fn release(self, scratch: &mut Scratch) {
+        scratch.binv = self.binv;
+        scratch.basis = self.basis;
+        scratch.state = self.state;
+        scratch.xb = self.xb;
+        scratch.w = self.w;
+        scratch.y = self.y;
+        scratch.trace = self.trace;
     }
 
     #[inline]
@@ -251,10 +414,11 @@ impl<'a> Simplex<'a> {
         }
     }
 
-    /// `B⁻¹ · A_var` for a variable's constraint column.
-    fn ftran(&self, var: usize) -> Vec<f64> {
+    /// `B⁻¹ · A_var` for a variable's constraint column, written into
+    /// the reused column buffer (no allocation).
+    fn ftran_into(&self, var: usize, w: &mut [f64]) {
         let m = self.m;
-        let mut w = vec![0.0; m];
+        w.fill(0.0);
         if var < self.n {
             for &(r, a) in &self.p.cols[var] {
                 // lint:allow(f1) — exact-zero sparsity skip of a stored
@@ -271,13 +435,13 @@ impl<'a> Simplex<'a> {
                 w[i] = self.binv[i * m + r];
             }
         }
-        w
     }
 
-    /// Row duals `y = c_B B⁻¹`.
-    fn duals(&self) -> Vec<f64> {
+    /// Row duals `y = c_B B⁻¹`, written into the reused pricing buffer
+    /// (no allocation).
+    fn duals_into(&self, y: &mut [f64]) {
         let m = self.m;
-        let mut y = vec![0.0; m];
+        y.fill(0.0);
         for (i, &bv) in self.basis.iter().enumerate() {
             let cb = self.obj_of(bv);
             // lint:allow(f1) — exact-zero sparsity skip: objective entries
@@ -288,7 +452,6 @@ impl<'a> Simplex<'a> {
                 }
             }
         }
-        y
     }
 
     /// Reduced cost `c_j − y·A_j`.
@@ -304,16 +467,19 @@ impl<'a> Simplex<'a> {
         d
     }
 
-    fn run(mut self, max_iters: usize, budget: Option<&Budget>) -> SapResult<LpSolution> {
+    fn run_loop(&mut self, max_iters: usize, budget: Option<&Budget>) -> SapResult<LpStatus> {
         let mut stall = 0usize;
         let mut last_obj = f64::NEG_INFINITY;
-        let mut status = LpStatus::IterationLimit;
         for _ in 0..max_iters {
             if let Some(b) = budget {
                 b.tick(CheckpointClass::LpPivot, 1);
                 b.checkpoint(CheckpointClass::LpPivot, 1)?;
             }
-            let y = self.duals();
+            // Cached pricing: the dual vector is computed into the
+            // reused buffer (taken out of `self` for the loop so the
+            // basis can be read while it is borrowed).
+            let mut y = std::mem::take(&mut self.y);
+            self.duals_into(&mut y);
             // Pricing: Dantzig (most attractive reduced cost), Bland when
             // stalling.
             let bland = stall >= STALL_LIMIT;
@@ -339,15 +505,16 @@ impl<'a> Simplex<'a> {
                     }
                 }
             }
+            self.y = y;
             let Some((evar, _, from_lower)) = entering else {
-                status = LpStatus::Optimal;
-                break;
+                return Ok(LpStatus::Optimal);
             };
 
             // Direction of basic variables as the entering variable moves
             // by +t (from lower) or −t (from upper): x_B changes by −t·w
             // resp. +t·w.
-            let w = self.ftran(evar);
+            let mut w = std::mem::take(&mut self.w);
+            self.ftran_into(evar, &mut w);
             let dir = if from_lower { 1.0 } else { -1.0 };
 
             // Ratio test: keep l_B ≤ x_B ≤ u_B, and t ≤ u_e (bound flip).
@@ -380,6 +547,7 @@ impl<'a> Simplex<'a> {
             for i in 0..self.m {
                 self.xb[i] += -dir * w[i] * t;
             }
+            let mut left: Option<usize> = None;
             match leaving {
                 None => {
                     // Bound flip: the entering variable runs to its other
@@ -394,6 +562,7 @@ impl<'a> Simplex<'a> {
                         // Numerically unusable pivot — treat as a stall and
                         // try Bland next time.
                         stall = STALL_LIMIT;
+                        self.w = w;
                         continue;
                     }
                     let m = self.m;
@@ -418,10 +587,15 @@ impl<'a> Simplex<'a> {
                     self.basis[row] = evar;
                     // New basic value of the entering variable.
                     self.xb[row] = if from_lower { t } else { self.upper_of(evar) - t };
+                    left = Some(lvar);
                 }
             }
+            self.w = w;
 
             let obj = self.current_objective();
+            if let Some(tr) = self.trace.as_mut() {
+                tr.push(PivotRecord { entering: evar, leaving: left, objective: obj });
+            }
             if obj > last_obj + TOL {
                 stall = 0;
                 last_obj = obj;
@@ -429,7 +603,7 @@ impl<'a> Simplex<'a> {
                 stall += 1;
             }
         }
-        Ok(self.extract(status))
+        Ok(LpStatus::IterationLimit)
     }
 
     fn current_objective(&self) -> f64 {
@@ -445,7 +619,7 @@ impl<'a> Simplex<'a> {
         obj
     }
 
-    fn extract(self, status: LpStatus) -> LpSolution {
+    fn extract(&mut self, status: LpStatus) -> LpSolution {
         let mut x = vec![0.0; self.n];
         for var in 0..self.n {
             match self.state[var] {
@@ -456,10 +630,12 @@ impl<'a> Simplex<'a> {
                 VarState::AtLower => {}
             }
         }
-        let y_raw = self.duals();
+        let mut y_raw = std::mem::take(&mut self.y);
+        self.duals_into(&mut y_raw);
         // Clip tiny negative duals arising from round-off; packing duals
         // are non-negative at optimality.
         let row_duals: Vec<f64> = y_raw.iter().map(|&v| v.max(0.0)).collect();
+        self.y = y_raw;
         let bound_duals: Vec<f64> = (0..self.n)
             .map(|j| {
                 let mut d = self.p.obj[j];
@@ -638,6 +814,89 @@ mod tests {
             p.solve_budgeted(0, &tight),
             Err(sap_core::SapError::BudgetExhausted)
         ));
+    }
+
+    /// Pseudo-random packing LP used by the scratch-reuse tests.
+    fn random_lp(seed: u64) -> LpProblem {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let m = 2 + (next() % 6) as usize;
+        let n = 2 + (next() % 12) as usize;
+        let rhs: Vec<f64> = (0..m).map(|_| (next() % 25) as f64).collect();
+        let mut p = LpProblem::new(rhs);
+        for _ in 0..n {
+            let k = 1 + (next() % m as u64) as usize;
+            let start = (next() % m as u64) as usize;
+            let entries: Vec<(usize, f64)> =
+                (0..k).map(|i| ((start + i) % m, 1.0 + (next() % 5) as f64)).collect();
+            p.add_var((next() % 50) as f64 / 7.0, 1.0, &entries);
+        }
+        p
+    }
+
+    #[test]
+    fn warm_scratch_replays_identical_pivots() {
+        // Satellite regression: pin the pivot/objective sequence of a
+        // cold solve, then re-solve a shuffle of other problems through
+        // the same scratch and assert the pinned problem replays the
+        // exact same trace (and bitwise-equal solution) warm.
+        let mut warm = Scratch::new();
+        warm.enable_trace();
+        for seed in 0..12 {
+            let p = random_lp(seed);
+            let mut cold = Scratch::new();
+            cold.enable_trace();
+            let cold_sol = p.solve_with_scratch(0, &mut cold);
+            let cold_trace: Vec<PivotRecord> = cold.trace().to_vec();
+            assert!(!cold_trace.is_empty(), "seed {seed}: LP solved without pivots");
+            let warm_sol = p.solve_with_scratch(0, &mut warm);
+            assert_eq!(warm.trace(), &cold_trace[..], "seed {seed}: pivot sequence diverged");
+            assert_eq!(warm_sol.x, cold_sol.x, "seed {seed}");
+            assert_eq!(warm_sol.objective.to_bits(), cold_sol.objective.to_bits());
+            assert_eq!(warm_sol.row_duals, cold_sol.row_duals);
+            assert_eq!(warm_sol.status, cold_sol.status);
+        }
+        assert_eq!(warm.solves(), 12);
+    }
+
+    #[test]
+    fn warm_scratch_stops_allocating() {
+        // Once the buffers cover the largest problem seen, further
+        // solves perform zero workspace allocations; the allocating path
+        // pays the full price on every solve.
+        let p = random_lp(7);
+        let mut scratch = Scratch::new();
+        p.solve_with_scratch(0, &mut scratch);
+        let after_first = scratch.buffer_allocs();
+        assert!(after_first >= 4, "cold solve must grow the buffers");
+        for _ in 0..5 {
+            p.solve_with_scratch(0, &mut scratch);
+        }
+        assert_eq!(scratch.buffer_allocs(), after_first, "warm solves must not reallocate");
+        assert_eq!(scratch.solves(), 6);
+    }
+
+    #[test]
+    fn budgeted_scratch_trips_identically() {
+        let p = random_lp(3);
+        let plain = p.solve(0);
+        let mut scratch = Scratch::new();
+        let warm = p
+            .solve_budgeted_with_scratch(0, &Budget::unlimited(), &mut scratch)
+            .unwrap();
+        assert_eq!(warm.x, plain.x);
+        // A tripping budget hands the buffers back for the next solve.
+        let tight = Budget::unlimited().with_work_units(1);
+        assert!(p.solve_budgeted_with_scratch(0, &tight, &mut scratch).is_err());
+        let again = p
+            .solve_budgeted_with_scratch(0, &Budget::unlimited(), &mut scratch)
+            .unwrap();
+        assert_eq!(again.x, plain.x);
     }
 
     #[test]

@@ -26,17 +26,29 @@ pub fn greedy_by_density(instance: &Instance, ids: &[TaskId]) -> UfppSolution {
 }
 
 fn greedy_in_order(instance: &Instance, order: &[TaskId]) -> UfppSolution {
+    let net = instance.network();
     let mut loads = vec![0u64; instance.num_edges()];
+    // Global high-water mark of the load profile. Together with the O(1)
+    // sparse-table bottleneck it short-circuits the per-edge feasibility
+    // scan in both directions: a task whose demand exceeds its span's
+    // bottleneck can never fit (reject without scanning), and while
+    // `max_load + demand` clears the bottleneck every edge trivially fits
+    // (accept without scanning). Neither shortcut changes which tasks are
+    // kept, so the output is byte-identical to the plain scan.
+    let mut max_load = 0u64;
     let mut chosen = Vec::new();
     for &j in order {
         let t = instance.task(j);
-        if t
-            .span
-            .edges()
-            .all(|e| loads[e] + t.demand <= instance.network().capacity(e))
-        {
+        let bottleneck = net.bottleneck(t.span);
+        if t.demand > bottleneck {
+            continue;
+        }
+        let fits = max_load + t.demand <= bottleneck
+            || t.span.edges().all(|e| loads[e] + t.demand <= net.capacity(e));
+        if fits {
             for e in t.span.edges() {
                 loads[e] += t.demand;
+                max_load = max_load.max(loads[e]);
             }
             chosen.push(j);
         }

@@ -16,12 +16,33 @@
 //! of the bound, which is what makes the measured retention high (the
 //! `T6` experiment quantifies it).
 
-use lp_solver::{LpSolution, LpStatus};
+use std::cell::RefCell;
+
+use lp_solver::{LpProblem, LpSolution, LpStatus, Scratch};
 use sap_core::budget::Budget;
 use sap_core::error::SapResult;
 use sap_core::{Instance, TaskId, UfppSolution};
 
 use crate::relax::build_relaxation;
+
+thread_local! {
+    /// Per-thread LP workspace: the strata a worker thread packs reuse
+    /// one [`Scratch`] across their repeated solves, so steady-state LP
+    /// solves perform zero workspace allocations. Determinism is
+    /// unaffected — a warm scratch is pivot-identical to a cold one
+    /// (see [`lp_solver::Scratch`]).
+    static LP_SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+}
+
+/// Solve through the thread's shared workspace; a re-entrant borrow
+/// (impossible today — the LP solver never calls back into this module)
+/// degrades to a one-shot workspace instead of panicking.
+fn solve_pooled(lp: &LpProblem, max_iters: usize, budget: &Budget) -> SapResult<LpSolution> {
+    LP_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => lp.solve_budgeted_with_scratch(max_iters, budget, &mut scratch),
+        Err(_) => lp.solve_budgeted(max_iters, budget),
+    })
+}
 
 /// Result of [`round_scaled_lp`].
 #[derive(Debug, Clone)]
@@ -47,7 +68,11 @@ pub struct RoundedStrip {
 /// edge. Returns a `bound`-packable UFPP solution over `ids`.
 pub fn round_scaled_lp(instance: &Instance, ids: &[TaskId], bound: u64) -> RoundedStrip {
     let lp = build_relaxation(instance, ids);
-    round_solution(instance, ids, bound, lp.solve(0))
+    let sol = LP_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => lp.solve_with_scratch(0, &mut scratch),
+        Err(_) => lp.solve(0),
+    });
+    round_solution(instance, ids, bound, sol)
 }
 
 /// Budget-aware variant of [`round_scaled_lp`]: the LP solve is charged
@@ -68,7 +93,7 @@ pub fn round_scaled_lp_budgeted(
     let phase = budget.telemetry().span("lp.solve");
     phase.count("solves", 1);
     let lp = build_relaxation(instance, ids);
-    let mut lp_sol = lp.solve_budgeted(max_iters, budget)?;
+    let mut lp_sol = solve_pooled(&lp, max_iters, budget)?;
     if budget.lp_solve_fault() {
         phase.count("faulted", 1);
         lp_sol.status = LpStatus::IterationLimit;
@@ -110,6 +135,10 @@ fn round_solution(
     });
 
     let mut loads = vec![0u64; instance.num_edges()];
+    // High-water mark of the load profile: while `max_load + demand` stays
+    // under the uniform bound every edge trivially fits, so the per-edge
+    // scan is skipped. The kept set is identical to the plain scan's.
+    let mut max_load = 0u64;
     let mut chosen: Vec<TaskId> = Vec::new();
     for (i, _) in order {
         let j = ids[i];
@@ -117,9 +146,12 @@ fn round_solution(
         if t.demand > bound {
             continue;
         }
-        if t.span.edges().all(|e| loads[e] + t.demand <= bound) {
+        let fits = max_load + t.demand <= bound
+            || t.span.edges().all(|e| loads[e] + t.demand <= bound);
+        if fits {
             for e in t.span.edges() {
                 loads[e] += t.demand;
+                max_load = max_load.max(loads[e]);
             }
             chosen.push(j);
         }

@@ -1,0 +1,26 @@
+//! a1 fixture: memo-key clones in rectangle-solver library code.
+
+/// Rebuilds a constraint set the pre-interning way: every visit copies
+/// the parent set and the floor constraint. All three copies must fire.
+pub fn canonical(parent_cons: &[u64], memo_key: (usize, usize)) -> Vec<u64> {
+    let mut cons = parent_cons.to_vec();
+    cons.push(memo_key.0 as u64);
+    let floor_cons = cons.clone();
+    let snapshot = floor_cons.clone();
+    // A clone of a non-key value stays out of a1's scope.
+    let widths = vec![1u64, 2];
+    let copied_widths = widths.clone();
+    // lint:allow(a1) — fixture: a justified clone must be suppressed
+    let allowed = cons.clone();
+    let _ = (copied_widths, allowed);
+    snapshot
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn clones_in_tests_are_exempt() {
+        let memo_key = vec![1u64];
+        let _ = memo_key.clone();
+    }
+}

@@ -27,6 +27,12 @@
 //!   (`.tick(...)` on the same line or at most three lines above), so
 //!   the per-phase work attribution cannot silently drift from the
 //!   budget meter as new checkpoints are added.
+//! * **a1 — memo-key cloning.** Library code in `rectpack` must not
+//!   `.clone()` / `.to_vec()` constraint sets, memo keys or floor
+//!   constraints: those values are hash-consed through the
+//!   `ConstraintPool` arena, and a clone on the MWIS recursion's hot
+//!   path silently reintroduces the per-visit allocations the interner
+//!   removed.
 //!
 //! Any finding can be suppressed with `// lint:allow(<name>) — why`
 //! (or `# lint:allow(h1) — why` in TOML). The justification text is
@@ -62,14 +68,27 @@ pub enum Lint {
     /// (`tick(...)` on the same line or shortly before `checkpoint(...)`),
     /// so phase attribution cannot silently drift from the meter.
     T1,
+    /// No `.clone()` / `.to_vec()` on memo-key values (constraint sets,
+    /// memo keys, floor constraints) in `rectpack` library code — they
+    /// are interned through the `ConstraintPool` arena.
+    A1,
     /// Malformed `lint:allow` directives (missing justification,
     /// unknown lint name).
     Allow,
 }
 
 /// All lints, in reporting order.
-pub const ALL_LINTS: [Lint; 8] =
-    [Lint::H1, Lint::P1, Lint::F1, Lint::V1, Lint::D1, Lint::R1, Lint::T1, Lint::Allow];
+pub const ALL_LINTS: [Lint; 9] = [
+    Lint::H1,
+    Lint::P1,
+    Lint::F1,
+    Lint::V1,
+    Lint::D1,
+    Lint::R1,
+    Lint::T1,
+    Lint::A1,
+    Lint::Allow,
+];
 
 impl Lint {
     /// The short name used in diagnostics and on the command line.
@@ -82,6 +101,7 @@ impl Lint {
             Lint::D1 => "d1",
             Lint::R1 => "r1",
             Lint::T1 => "t1",
+            Lint::A1 => "a1",
             Lint::Allow => "allow",
         }
     }
@@ -96,6 +116,7 @@ impl Lint {
             Lint::D1 => "pub fn / pub struct without a doc comment",
             Lint::R1 => "resume_unwind in sap-algs driver code (isolate and report instead)",
             Lint::T1 => "Budget::checkpoint call site without a telemetry tick beside it",
+            Lint::A1 => "clone()/to_vec() of a memo-key value in rectpack hot-path code",
             Lint::Allow => "malformed lint:allow directive",
         }
     }
@@ -111,6 +132,7 @@ impl Lint {
             "d1" => Some(Lint::D1),
             "r1" => Some(Lint::R1),
             "t1" => Some(Lint::T1),
+            "a1" => Some(Lint::A1),
             "allow" => Some(Lint::Allow),
             _ => None,
         }
@@ -125,7 +147,8 @@ impl Lint {
             Lint::D1 => 4,
             Lint::R1 => 5,
             Lint::T1 => 6,
-            Lint::Allow => 7,
+            Lint::A1 => 7,
+            Lint::Allow => 8,
         }
     }
 }
@@ -142,11 +165,11 @@ pub enum Level {
 /// Per-lint severity table. The default denies everything: the tree is
 /// expected to stay lint-clean.
 #[derive(Clone, Debug)]
-pub struct Levels([Level; 8]);
+pub struct Levels([Level; 9]);
 
 impl Default for Levels {
     fn default() -> Self {
-        Levels([Level::Deny; 8])
+        Levels([Level::Deny; 9])
     }
 }
 
@@ -163,7 +186,7 @@ impl Levels {
 
     /// Set every lint's severity.
     pub fn set_all(&mut self, level: Level) {
-        self.0 = [level; 8];
+        self.0 = [level; 9];
     }
 }
 

@@ -1,6 +1,6 @@
 //! The source-level lints: p1 panic-freedom, f1 float-equality,
 //! v1 validator coverage, d1 docs, r1 panic isolation, t1 telemetry
-//! ticks at budget checkpoints.
+//! ticks at budget checkpoints, a1 memo-key cloning in rectpack.
 //!
 //! All of them work on the blanked "code view" produced by
 //! [`crate::source::SourceFile`], so comments and string contents never
@@ -32,6 +32,13 @@ const T1_CRATES: [&str; 6] = ["algs", "lp", "dsa", "knapsack", "rectpack", "ufpp
 /// separates them by a line or two).
 const T1_WINDOW: usize = 3;
 
+/// Identifier fragments that mark a memo-key value in the rectangle
+/// solver (a1): constraint sets, memo keys and floor constraints are
+/// hash-consed through the `ConstraintPool` arena, so cloning one in
+/// library code reintroduces the per-visit allocations the interner
+/// removed.
+const A1_MARKERS: [&str; 4] = ["cons", "key", "memo", "floor"];
+
 /// Run every applicable source lint over one file.
 pub fn lint_source(src: &SourceFile) -> Vec<Finding> {
     let mut findings = src.directive_findings();
@@ -47,6 +54,9 @@ pub fn lint_source(src: &SourceFile) -> Vec<Finding> {
     }
     if in_crates_src(&src.rel_path, &T1_CRATES) {
         findings.extend(lint_t1(src));
+    }
+    if src.rel_path.starts_with("crates/rectpack/src/") {
+        findings.extend(lint_a1(src));
     }
     if src.rel_path.starts_with("crates/core/src/") || src.rel_path.starts_with("crates/algs/src/")
     {
@@ -568,6 +578,50 @@ fn body_close(src: &SourceFile, open_line: usize) -> usize {
 }
 
 /// Push `finding` through the allow filter.
+// ---------------------------------------------------------------- a1
+
+fn lint_a1(src: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (idx, line) in src.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for needle in [".to_vec()", ".clone()"] {
+            let mut start = 0;
+            while let Some(p) = line.code[start..].find(needle) {
+                let at = start + p;
+                start = at + needle.len();
+                let recv = receiver_before(&line.code, at);
+                let lower = recv.to_ascii_lowercase();
+                if A1_MARKERS.iter().any(|m| lower.contains(m)) {
+                    push(src, &mut out, Lint::A1, idx, format!(
+                        "`{recv}{needle}` copies a memo-key value on the rectangle \
+                         solver's hot path; intern it through the ConstraintPool arena \
+                         or reuse the scratch buffers, or justify with lint:allow(a1)"
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The dotted identifier chain ending just before byte `at`
+/// (e.g. `self.parent_cons` for `self.parent_cons.to_vec()`).
+fn receiver_before(code: &str, at: usize) -> String {
+    let bytes = code.as_bytes();
+    let mut i = at;
+    while i > 0 {
+        let c = bytes[i - 1];
+        if c.is_ascii_alphanumeric() || c == b'_' || c == b'.' {
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    code.get(i..at).unwrap_or("").to_string()
+}
+
 fn push(src: &SourceFile, out: &mut Vec<Finding>, lint: Lint, idx: usize, message: String) {
     let finding = Finding { lint, file: src.rel_path.clone(), line: idx + 1, message };
     if let Some(f) = src.apply_allow(finding) {

@@ -83,6 +83,29 @@ fn bad_budgeted_fires_t1() {
 }
 
 #[test]
+fn bad_rectpack_fires_a1() {
+    let src = SourceFile::parse(
+        "crates/rectpack/src/hotpath.rs",
+        &fixture("bad-workspace/crates/rectpack/src/hotpath.rs"),
+    );
+    let findings = rust_lints::lint_source(&src);
+    let a1: Vec<_> = findings.iter().filter(|f| f.lint == Lint::A1).collect();
+    assert_eq!(a1.len(), 3, "{findings:?}");
+    assert!(a1.iter().any(|f| f.message.contains("parent_cons.to_vec()")));
+    assert!(a1.iter().any(|f| f.message.contains("floor_cons.clone()")));
+    assert!(
+        findings.iter().all(|f| f.lint != Lint::Allow),
+        "the justified allow must not be reported: {findings:?}"
+    );
+    // The same text outside crates/rectpack/src/ is out of a1's scope.
+    let other = SourceFile::parse(
+        "crates/gen/src/hotpath.rs",
+        &fixture("bad-workspace/crates/rectpack/src/hotpath.rs"),
+    );
+    assert!(rust_lints::lint_source(&other).iter().all(|f| f.lint != Lint::A1));
+}
+
+#[test]
 fn bad_manifest_fires_h1() {
     let findings = manifest::lint_manifest(
         "crates/core/Cargo.toml",

@@ -34,10 +34,11 @@ fn bad_fixture_workspace_fails_with_every_lint() {
     let out = xtask_cmd().args(["lint", "--root"]).arg(bad_root()).output().unwrap();
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for tag in ["[h1]", "[p1]", "[f1]", "[v1]", "[d1]", "[allow]"] {
+    for tag in ["[h1]", "[p1]", "[f1]", "[v1]", "[d1]", "[t1]", "[a1]", "[allow]"] {
         assert!(stdout.contains(tag), "missing {tag} in:\n{stdout}");
     }
     assert!(stdout.contains("crates/core/src/lib.rs:"), "{stdout}");
+    assert!(stdout.contains("crates/rectpack/src/hotpath.rs:"), "{stdout}");
 }
 
 #[test]

@@ -9,6 +9,11 @@
 #   4. the in-repo static-analysis pass with every lint denied,
 #   5. the telemetry determinism gate: the same instance solved twice with
 #      `--telemetry=json` must export byte-identical phase trees.
+#   6. the bench smoke gate: the hermetic bench suite in --smoke mode must
+#      emit a schema-valid report whose machine-independent invariants hold
+#      (work-unit conservation across worker counts, byte-identical
+#      parallel runs, the MWIS allocation-reduction bar). No wall-clock
+#      thresholds: timings vary by machine, the invariants must not.
 #
 # Run from anywhere inside the repository.
 set -euo pipefail
@@ -37,5 +42,9 @@ trap 'rm -rf "$tmpdir"' EXIT
     2>"$tmpdir/tele-b.json" >/dev/null
 diff "$tmpdir/tele-a.json" "$tmpdir/tele-b.json" \
     || { echo "telemetry export is not deterministic" >&2; exit 1; }
+
+echo "==> bench smoke gate"
+cargo run --release -p sap-bench -- --suite core --smoke --workers 1,2 \
+    --out "$tmpdir/bench-smoke.json"
 
 echo "ci: all gates passed"

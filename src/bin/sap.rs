@@ -31,7 +31,7 @@ fn main() -> ExitCode {
                 "usage: sap <solve|validate|generate|ring-solve> …\n\
                  \n\
                  sap solve <inst.json> [--algo combined|practical|greedy|exact|small|medium|large]\n\
-                 \x20         [--deadline-ms N] [--work-units N] [--report]\n\
+                 \x20         [--deadline-ms N] [--work-units N] [--workers N] [--report]\n\
                  \x20         [--telemetry[=json|tree]] [--timings]\n\
                  \x20         [--render] [--svg out.svg] [-o solution.json]\n\
                  sap validate <inst.json> <solution.json>\n\
@@ -79,6 +79,9 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     let work_units: Option<u64> = flag_value(args, "--work-units")
         .map(|v| v.parse().map_err(|_| "--work-units must be a number"))
         .transpose()?;
+    let workers: Option<usize> = flag_value(args, "--workers")
+        .map(|v| v.parse().map_err(|_| "--workers must be a number (0 = auto)"))
+        .transpose()?;
     let want_report = args.iter().any(|a| a == "--report");
     // `--telemetry` takes an inline value (`--telemetry=tree`), unlike the
     // space-separated flags above, so a bare `--telemetry` composes with a
@@ -92,12 +95,16 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         Some(other) => return Err(format!("--telemetry accepts json or tree (got {other:?})")),
     }
     let want_timings = args.iter().any(|a| a == "--timings");
-    if (deadline_ms.is_some() || work_units.is_some() || want_report || telemetry_mode.is_some())
+    if (deadline_ms.is_some()
+        || work_units.is_some()
+        || workers.is_some()
+        || want_report
+        || telemetry_mode.is_some())
         && !matches!(algo, "combined" | "practical")
     {
         return Err(format!(
-            "--deadline-ms/--work-units/--report/--telemetry require --algo combined or \
-             practical (got {algo:?})"
+            "--deadline-ms/--work-units/--workers/--report/--telemetry require --algo combined \
+             or practical (got {algo:?})"
         ));
     }
     let mut budget = storage_alloc::sap_core::Budget::unlimited();
@@ -117,16 +124,20 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     if let Some(rec) = &recorder {
         budget = budget.with_telemetry(rec.handle());
     }
+    let params = sap_algs::SapParams {
+        workers: workers.unwrap_or(0),
+        ..Default::default()
+    };
     let mut report = None;
     let solution = match algo {
         "combined" => {
-            let (sol, r) = storage_alloc::try_solve_sap(&instance, &budget)
+            let (sol, r) = sap_algs::try_solve(&instance, &ids, &params, &budget)
                 .map_err(|e| e.to_string())?;
             report = Some(r);
             sol
         }
         "practical" => {
-            let (sol, r) = storage_alloc::try_solve_sap_practical(&instance, &budget)
+            let (sol, r) = sap_algs::try_solve_practical(&instance, &ids, &params, &budget)
                 .map_err(|e| e.to_string())?;
             report = Some(r);
             sol

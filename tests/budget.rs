@@ -62,6 +62,36 @@ fn work_unit_budgets_degrade_deterministically() {
 }
 
 #[test]
+fn degradation_is_identical_across_worker_counts() {
+    // Fan-out width must not perturb deterministic degradation: the
+    // parallel map splits a metered budget into fixed per-item shares,
+    // so the same work-unit limit yields byte-identical solutions and
+    // reports at 1, 2, and 8 workers — including runs that trip mid-arm.
+    let inst = workload(12, DemandRegime::Mixed);
+    let ids = inst.all_ids();
+    for limit in [50u64, 5_000, u64::MAX] {
+        let runs: Vec<_> = [1usize, 2, 8]
+            .into_iter()
+            .map(|workers| {
+                let params = storage_alloc::sap_algs::SapParams {
+                    workers,
+                    ..Default::default()
+                };
+                let budget = Budget::unlimited().with_work_units(limit);
+                let (sol, report) =
+                    storage_alloc::sap_algs::try_solve(&inst, &ids, &params, &budget).unwrap();
+                sol.validate(&inst).unwrap();
+                (sol, report.to_json_string())
+            })
+            .collect();
+        for (workers, run) in [2usize, 8].iter().zip(&runs[1..]) {
+            assert_eq!(run.0, runs[0].0, "limit {limit}, workers {workers}: solution differs");
+            assert_eq!(run.1, runs[0].1, "limit {limit}, workers {workers}: report differs");
+        }
+    }
+}
+
+#[test]
 fn exhausted_budget_still_yields_feasible_solution_and_says_so() {
     let inst = workload(3, DemandRegime::Mixed);
     let (sol, report) = try_solve_sap(&inst, &Budget::unlimited().with_work_units(0)).unwrap();

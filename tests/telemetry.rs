@@ -79,6 +79,43 @@ fn telemetry_agrees_between_metered_and_parallel_paths() {
 }
 
 #[test]
+fn worker_fanout_exports_byte_identical_telemetry() {
+    // The intra-arm fan-out (`SapParams::workers`) splits each metered
+    // budget into fixed per-item child meters and merges results in
+    // index order, so the solution, the SolveReport JSON, and the
+    // telemetry JSON must be byte-identical at 1, 2, and 8 workers.
+    for seed in 0..3 {
+        let inst = workload(seed + 30, DemandRegime::Mixed);
+        let ids = inst.all_ids();
+        let mut base: Option<(SapSolution, String, String)> = None;
+        for workers in [1usize, 2, 8] {
+            let rec = Recorder::new();
+            let budget = Budget::unlimited().with_telemetry(rec.handle());
+            let params = storage_alloc::sap_algs::SapParams { workers, ..Default::default() };
+            let (sol, report) =
+                storage_alloc::sap_algs::try_solve(&inst, &ids, &params, &budget).unwrap();
+            sol.validate(&inst).unwrap();
+            let rep_json = report.to_json_string();
+            let tele_json = rec.to_json_string();
+            match &base {
+                None => base = Some((sol, rep_json, tele_json)),
+                Some((sol_1, rep_1, tele_1)) => {
+                    assert_eq!(&sol, sol_1, "seed {seed}, workers {workers}: solution differs");
+                    assert_eq!(
+                        &rep_json, rep_1,
+                        "seed {seed}, workers {workers}: report JSON differs"
+                    );
+                    assert_eq!(
+                        &tele_json, tele_1,
+                        "seed {seed}, workers {workers}: telemetry JSON differs"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn per_phase_work_reconciles_with_the_budget_meter() {
     for (seed, regime) in [
         (1, DemandRegime::Mixed),
