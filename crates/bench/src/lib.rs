@@ -18,17 +18,20 @@
 //!
 //! The crate is a plain workspace member: path dependencies only, no
 //! registry access, no external bench framework — fan-out runs on
-//! [`sap_core::parallel_map`] and serialisation is the hand-rolled
-//! [`json`] module (which doubles as the parser the CI smoke gate uses
-//! to check report schema validity).
+//! [`sap_core::parallel_map`] and serialisation uses the workspace's
+//! single JSON module, [`sap_core::json`] (re-exported here as
+//! [`json`]), which doubles as the parser the CI smoke gate uses to
+//! check report schema validity.
 
 #![forbid(unsafe_code)]
 
 pub mod experiments;
-pub mod json;
+pub mod serve_bench;
 pub mod suite;
 pub mod table;
 pub mod workloads;
+
+pub use sap_core::json;
 
 pub use table::Table;
 

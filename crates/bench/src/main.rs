@@ -4,6 +4,7 @@
 //! cargo run -p sap-bench --release -- --suite core --out BENCH_pr4.json
 //! cargo run -p sap-bench --release -- --suite core --smoke
 //! cargo run -p sap-bench --release -- --suite core --workers 1,2,8
+//! cargo run -p sap-bench --release -- --suite serve --smoke
 //! ```
 //!
 //! `--smoke` shrinks the workloads to CI scale; `--out` writes the JSON
@@ -42,15 +43,23 @@ fn main() {
         }
     }
 
-    if suite != "core" {
-        usage(&format!("unknown suite {suite:?} (available: core)"));
-    }
     eprintln!(
         "running suite {suite} (smoke: {}, workers: {:?})…",
         config.smoke, config.workers
     );
-    let doc = run_core(&config);
-    let errors = sap_bench::suite::validate_report(&doc);
+    let (doc, errors) = match suite.as_str() {
+        "core" => {
+            let doc = run_core(&config);
+            let errors = sap_bench::suite::validate_report(&doc);
+            (doc, errors)
+        }
+        "serve" => {
+            let doc = sap_bench::serve_bench::run_serve(&config);
+            let errors = sap_bench::serve_bench::validate_serve_report(&doc);
+            (doc, errors)
+        }
+        other => usage(&format!("unknown suite {other:?} (available: core, serve)")),
+    };
     if !errors.is_empty() {
         for e in &errors {
             eprintln!("invariant violated: {e}");
@@ -69,7 +78,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("sap-bench: {msg}");
     eprintln!(
-        "usage: sap-bench [--suite core] [--smoke] [--workers 1,8] [--out report.json]"
+        "usage: sap-bench [--suite core|serve] [--smoke] [--workers 1,8] [--out report.json]"
     );
     std::process::exit(2);
 }

@@ -1,0 +1,219 @@
+//! The `serve` bench suite: cache-hit amortization in the batch solve
+//! service.
+//!
+//! ```text
+//! cargo run -p sap-bench --release -- --suite serve --out BENCH_serve.json
+//! cargo run -p sap-bench --release -- --suite serve --smoke
+//! ```
+//!
+//! The workload is an NDJSON batch of `uniques × repeats` request lines
+//! (each unique instance repeated round-robin), replayed three ways:
+//!
+//! * **cold** — a fresh [`storage_alloc::serve::ServeEngine`]: every
+//!   unique instance solves once, duplicates ride along as in-batch
+//!   followers;
+//! * **warm** — the *same* engine fed the identical batch again: every
+//!   line is a cache hit, no solves at all;
+//! * **width sweep** — fresh engines at each configured `--workers`
+//!   count, to check the fan-out width does not leak into the output.
+//!
+//! The report records wall-clock for cold vs warm (the amortization
+//! headline — machine-dependent, recorded for honesty, never
+//! thresholded) plus the machine-independent invariants the validator
+//! enforces: exact hit/miss/eviction counts for both phases and
+//! byte-identity of the response stream across every run.
+
+use std::time::Instant;
+
+use sap_gen::{generate, CapacityProfile, DemandRegime, GenConfig};
+use storage_alloc::io::{InstanceDto, JsonDto};
+use storage_alloc::serve::{ServeEngine, ServeOptions};
+
+use crate::suite::SuiteConfig;
+
+fn fmt_ms(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Builds the request lines: `uniques` distinct instances, each line
+/// repeated `repeats` times round-robin (`i0 i1 … i0 i1 …`).
+fn request_lines(uniques: usize, repeats: usize, smoke: bool) -> Vec<String> {
+    let mut lines = Vec::with_capacity(uniques * repeats);
+    let instances: Vec<String> = (0..uniques)
+        .map(|i| {
+            let inst = generate(
+                &GenConfig {
+                    num_edges: if smoke { 8 } else { 12 },
+                    num_tasks: if smoke { 24 } else { 120 },
+                    profile: CapacityProfile::RandomWalk { lo: 32, hi: 512 },
+                    regime: DemandRegime::Mixed,
+                    max_span: 4,
+                    max_weight: 40,
+                },
+                7000 + i as u64,
+            );
+            InstanceDto::from_instance(&inst).to_json_string()
+        })
+        .collect();
+    for _ in 0..repeats {
+        for line in &instances {
+            lines.push(line.clone());
+        }
+    }
+    lines
+}
+
+struct Phase {
+    wall_ms: f64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    output: Vec<String>,
+}
+
+fn run_phase(engine: &mut ServeEngine, lines: &[String]) -> Phase {
+    let before_hits = engine.stats.cache_hits;
+    let before_misses = engine.stats.cache_misses;
+    let before_evictions = engine.stats.cache_evictions;
+    let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+    let start = Instant::now();
+    let output = engine.process_batch(&refs);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    Phase {
+        wall_ms,
+        hits: engine.stats.cache_hits - before_hits,
+        misses: engine.stats.cache_misses - before_misses,
+        evictions: engine.stats.cache_evictions - before_evictions,
+        output,
+    }
+}
+
+/// Runs the `serve` suite and renders the report as a JSON document.
+pub fn run_serve(config: &SuiteConfig) -> String {
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let uniques = if config.smoke { 3 } else { 8 };
+    let repeats = if config.smoke { 3 } else { 6 };
+    let lines = request_lines(uniques, repeats, config.smoke);
+
+    // Cold and warm replay on one engine.
+    let mut engine = ServeEngine::new(ServeOptions::default());
+    let cold = run_phase(&mut engine, &lines);
+    let warm = run_phase(&mut engine, &lines);
+
+    // Width sweep on fresh engines: every width must emit the cold
+    // output byte-for-byte.
+    let mut width_deterministic = true;
+    for &w in &config.workers {
+        let mut e = ServeEngine::new(ServeOptions { workers: w, ..ServeOptions::default() });
+        if run_phase(&mut e, &lines).output != cold.output {
+            width_deterministic = false;
+        }
+    }
+    let deterministic = width_deterministic && warm.output == cold.output;
+
+    let amortization = if warm.wall_ms > 0.0 { cold.wall_ms / warm.wall_ms } else { 0.0 };
+    let workers: Vec<String> = config.workers.iter().map(|w| w.to_string()).collect();
+    format!(
+        "{{\"schema\":\"sap-bench/1\",\"suite\":\"serve\",\"smoke\":{},\
+         \"hardware_threads\":{},\"workers\":[{}],\"uniques\":{},\"repeats\":{},\
+         \"requests\":{},\"deterministic\":{},\
+         \"cold\":{{\"wall_ms\":{},\"hits\":{},\"misses\":{},\"evictions\":{}}},\
+         \"warm\":{{\"wall_ms\":{},\"hits\":{},\"misses\":{},\"evictions\":{}}},\
+         \"amortization\":{}}}",
+        config.smoke,
+        hw,
+        workers.join(","),
+        uniques,
+        repeats,
+        lines.len(),
+        deterministic,
+        fmt_ms(cold.wall_ms),
+        cold.hits,
+        cold.misses,
+        cold.evictions,
+        fmt_ms(warm.wall_ms),
+        warm.hits,
+        warm.misses,
+        warm.evictions,
+        fmt_ms(amortization)
+    )
+}
+
+/// Validates a `serve` suite report. Returns the violations (empty =
+/// valid). All checked invariants are machine-independent:
+///
+/// * schema/suite tags present;
+/// * `deterministic` is `true` (cold vs warm and every worker width
+///   produced byte-identical response streams);
+/// * exact cache arithmetic — cold misses = `uniques`, cold hits =
+///   `requests − uniques`, warm hits = `requests`, warm misses = 0, and
+///   no evictions (the default cache comfortably holds the workload).
+///
+/// Wall-clock and the amortization ratio are recorded but not
+/// thresholded (machine-dependent).
+pub fn validate_serve_report(doc: &str) -> Vec<String> {
+    let mut errors = Vec::new();
+    let v = match crate::json::parse(doc) {
+        Ok(v) => v,
+        Err(e) => return vec![format!("not valid JSON: {e}")],
+    };
+    if v.get("schema").and_then(|s| s.as_str()) != Some("sap-bench/1") {
+        errors.push("schema tag missing or wrong".to_string());
+    }
+    if v.get("suite").and_then(|s| s.as_str()) != Some("serve") {
+        errors.push("suite tag missing or wrong".to_string());
+    }
+    if v.get("deterministic").and_then(|d| d.as_bool()) != Some(true) {
+        errors.push("responses were not byte-identical across runs".to_string());
+    }
+    let num = |path: &[&str]| -> Option<u64> {
+        let mut cur = &v;
+        for key in path {
+            cur = cur.get(key)?;
+        }
+        cur.as_u64()
+    };
+    let (Some(uniques), Some(requests)) = (num(&["uniques"]), num(&["requests"])) else {
+        errors.push("uniques/requests missing".to_string());
+        return errors;
+    };
+    let expect = |path: &[&str], want: u64, errors: &mut Vec<String>| match num(path) {
+        Some(got) if got == want => {}
+        got => errors.push(format!("{}: expected {want}, got {got:?}", path.join("."))),
+    };
+    expect(&["cold", "misses"], uniques, &mut errors);
+    expect(&["cold", "hits"], requests - uniques, &mut errors);
+    expect(&["cold", "evictions"], 0, &mut errors);
+    expect(&["warm", "hits"], requests, &mut errors);
+    expect(&["warm", "misses"], 0, &mut errors);
+    expect(&["warm", "evictions"], 0, &mut errors);
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_serve_suite_is_valid() {
+        let config = SuiteConfig { smoke: true, workers: vec![1, 2] };
+        let doc = run_serve(&config);
+        let errors = validate_serve_report(&doc);
+        assert!(errors.is_empty(), "violations: {errors:?}\n{doc}");
+    }
+
+    #[test]
+    fn serve_validator_rejects_broken_documents() {
+        assert!(!validate_serve_report("{").is_empty());
+        assert!(!validate_serve_report("{\"schema\":\"sap-bench/1\"}").is_empty());
+        let tampered = "{\"schema\":\"sap-bench/1\",\"suite\":\"serve\",\
+            \"deterministic\":false,\"uniques\":2,\"requests\":6,\
+            \"cold\":{\"wall_ms\":1.0,\"hits\":3,\"misses\":2,\"evictions\":0},\
+            \"warm\":{\"wall_ms\":1.0,\"hits\":6,\"misses\":1,\"evictions\":0},\
+            \"amortization\":1.0}";
+        let errors = validate_serve_report(tampered);
+        assert!(errors.iter().any(|e| e.contains("byte-identical")), "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("cold.hits")), "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("warm.misses")), "{errors:?}");
+    }
+}

@@ -259,7 +259,7 @@ pub fn validate_report(doc: &str) -> Vec<String> {
             }
             for w in workloads {
                 let id = w.get("id").and_then(|s| s.as_str()).unwrap_or("?");
-                if w.get("deterministic") != Some(&crate::json::Value::Bool(true)) {
+                if w.get("deterministic").and_then(|d| d.as_bool()) != Some(true) {
                     errors.push(format!("{id}: runs were not byte-identical"));
                 }
                 let total = w.get("work_units").and_then(|u| u.as_u64());

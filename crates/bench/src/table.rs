@@ -1,6 +1,6 @@
 //! Minimal markdown table builder used by every experiment.
 
-use crate::json::escape_json;
+use sap_core::json::escape_str as escape_json;
 
 /// An experiment result table: a title, a caption tying it to the paper,
 /// a header row and data rows. Serialisable (see [`Table::to_json`]) so

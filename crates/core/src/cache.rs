@@ -1,0 +1,215 @@
+//! Canonical-instance caching primitives for the serve layer.
+//!
+//! `sap serve` answers repeated instances from a bounded cache instead
+//! of re-running the solver portfolio. Two pieces live here because
+//! they are pure data structures with no I/O: a streaming FNV-1a
+//! fingerprint (the same idiom the rectpack MWIS memo uses for
+//! hash-consing) and a small LRU map. Both are deterministic: the
+//! fingerprint depends only on the fed bytes, and the LRU evicts by a
+//! logical tick counter, never by wall clock, so a replayed request
+//! stream produces the identical hit/miss/eviction sequence.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Streaming 64-bit FNV-1a hasher.
+///
+/// Not cryptographic — collision resistance is "good enough for a
+/// cache key" only. Callers that cannot tolerate collisions must store
+/// the full key alongside the fingerprint (the serve cache keys on the
+/// fingerprint plus solve parameters and accepts the residual risk, as
+/// the PR4 memoization layer already does).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a(u64);
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv1a {
+    /// A fresh hasher at the offset basis.
+    pub fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds one `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, x: u64) {
+        self.write_bytes(&x.to_le_bytes());
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A bounded map with least-recently-used eviction.
+///
+/// Recency is a monotone logical tick bumped on every access, so the
+/// eviction order is a pure function of the operation sequence. A
+/// capacity of zero disables the cache entirely (every `insert` is a
+/// no-op and every `get` misses), which gives callers a uniform "cache
+/// off" switch.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    tick: u64,
+    slots: HashMap<K, Slot<V>>,
+}
+
+#[derive(Debug)]
+struct Slot<V> {
+    value: V,
+    last_used: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// An empty cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        LruCache { capacity, tick: 0, slots: HashMap::new() }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Looks up `key`, marking it most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.slots.get_mut(key) {
+            Some(slot) => {
+                slot.last_used = tick;
+                Some(&slot.value)
+            }
+            None => None,
+        }
+    }
+
+    /// Inserts (or replaces) `key`, evicting the least-recently-used
+    /// entry if the cache is full. Returns `true` iff an eviction
+    /// happened.
+    pub fn insert(&mut self, key: K, value: V) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(slot) = self.slots.get_mut(&key) {
+            slot.value = value;
+            slot.last_used = tick;
+            return false;
+        }
+        let mut evicted = false;
+        if self.slots.len() >= self.capacity {
+            let victim = self
+                .slots
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| k.clone());
+            if let Some(victim) = victim {
+                self.slots.remove(&victim);
+                evicted = true;
+            }
+        }
+        self.slots.insert(key, Slot { value, last_used: tick });
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        let mut h = Fnv1a::new();
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h2 = Fnv1a::new();
+        h2.write_bytes(b"foobar");
+        assert_eq!(h2.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fnv_u64_feed_is_order_sensitive() {
+        let mut a = Fnv1a::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fnv1a::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut cache: LruCache<u32, &str> = LruCache::new(2);
+        assert!(!cache.insert(1, "one"));
+        assert!(!cache.insert(2, "two"));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert_eq!(cache.get(&1), Some(&"one"));
+        assert!(cache.insert(3, "three"));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&2), None);
+        assert_eq!(cache.get(&1), Some(&"one"));
+        assert_eq!(cache.get(&3), Some(&"three"));
+    }
+
+    #[test]
+    fn lru_replace_does_not_evict() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(1);
+        assert!(!cache.insert(1, 10));
+        assert!(!cache.insert(1, 20));
+        assert_eq!(cache.get(&1), Some(&20));
+        assert!(cache.insert(2, 30));
+        assert_eq!(cache.get(&1), None);
+    }
+
+    #[test]
+    fn zero_capacity_disables_cache() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(0);
+        assert!(!cache.insert(1, 10));
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&1), None);
+    }
+
+    #[test]
+    fn eviction_sequence_is_deterministic() {
+        // Same operation sequence twice → same eviction pattern, even
+        // though the backing store is a HashMap (the unique-min tick
+        // picks the victim, not iteration order).
+        let run = || {
+            let mut cache: LruCache<u64, u64> = LruCache::new(3);
+            let mut evictions = Vec::new();
+            for i in 0..20u64 {
+                let _ = cache.get(&(i % 5));
+                evictions.push(cache.insert(i % 7, i));
+            }
+            evictions
+        };
+        assert_eq!(run(), run());
+    }
+}

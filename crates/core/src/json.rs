@@ -1,17 +1,31 @@
-//! Minimal JSON reader/writer (pure `std`).
+//! The workspace's single JSON reader/writer (pure `std`).
 //!
 //! The hermetic-build policy (`cargo xtask lint`, lint H1) keeps
-//! `serde`/`serde_json` out of the default build, and the CLI's
-//! interchange format (see [`crate::io`]) only needs flat objects of
-//! unsigned integers, strings and arrays — a full serialization
-//! framework is not pulling its weight here. This module implements the
-//! subset of JSON the format uses, plus enough of the rest of the
-//! grammar (floats, escapes, null) to reject malformed input with a
-//! position-annotated error instead of panicking.
+//! `serde`/`serde_json` out of the default build, and the interchange
+//! surfaces that need JSON — the CLI's instance/solution files, the
+//! `sap serve` request loop, telemetry and report exports, and the bench
+//! harness's `sap-bench/1` documents — only need flat objects of
+//! integers, strings and arrays. This module implements exactly that
+//! subset plus enough of the rest of the grammar (floats, escapes,
+//! null) to reject malformed input with a position-annotated error
+//! instead of panicking. It is the **only** JSON parser in the
+//! workspace; `storage_alloc::json` and the bench harness re-use it.
 //!
-//! Numbers are kept as `u64` when they are non-negative integers (all
-//! quantities in the SAP model are), and as `f64` otherwise, so
-//! capacities near `u64::MAX` round-trip losslessly.
+//! Because the values this format carries are trusted inputs to solvers
+//! and validators, the parser is deliberately strict:
+//!
+//! * numbers follow the RFC 8259 grammar exactly — no leading zeros
+//!   (`01`), no bare decimal points (`1.`, `.5`), no empty exponents
+//!   (`1e`, `1.e5`);
+//! * duplicate keys inside one object are a parse error. Standard JSON
+//!   semantics are last-wins while [`Json::get`] returns the first
+//!   match, so accepting duplicates would make `{"weight":1,"weight":2}`
+//!   decode ambiguously — this is a deterministic interchange format,
+//!   not a lenient reader;
+//! * non-negative integers are kept as `u64` and negative integers as
+//!   `i64`, so capacities near `u64::MAX` and signed values down to
+//!   `i64::MIN` round-trip losslessly. Only non-integral numbers (and
+//!   integers beyond those ranges) degrade to `f64`.
 
 use std::fmt;
 
@@ -24,13 +38,17 @@ pub enum Json {
     Bool(bool),
     /// A non-negative integer that fits in `u64` (lossless).
     UInt(u64),
-    /// Any other number.
+    /// A negative integer that fits in `i64` (lossless).
+    Int(i64),
+    /// Any other number (non-integral, or an integer outside the
+    /// `u64`/`i64` lossless ranges).
     Float(f64),
     /// A string.
     Str(String),
     /// An array.
     Array(Vec<Json>),
-    /// An object; insertion order is preserved.
+    /// An object; insertion order is preserved and keys are unique (the
+    /// parser rejects duplicates).
     Object(Vec<(String, Json)>),
 }
 
@@ -52,7 +70,8 @@ impl fmt::Display for JsonError {
 impl std::error::Error for JsonError {}
 
 impl Json {
-    /// Looks up a key in an object.
+    /// Looks up a key in an object. Keys are unique by construction for
+    /// parsed documents, so "first match" is unambiguous.
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
@@ -64,6 +83,28 @@ impl Json {
     pub fn as_u64(&self) -> Option<u64> {
         match *self {
             Json::UInt(x) => Some(x),
+            Json::Int(x) => u64::try_from(x).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Json::Int(x) => Some(x),
+            Json::UInt(x) => i64::try_from(x).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is any number. Integers above 2^53
+    /// lose precision in the conversion — use [`Json::as_u64`] /
+    /// [`Json::as_i64`] when exactness matters.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::Float(x) => Some(x),
+            Json::UInt(x) => Some(x as f64),
+            Json::Int(x) => Some(x as f64),
             _ => None,
         }
     }
@@ -71,6 +112,14 @@ impl Json {
     /// The value as a `usize`, if it is a non-negative integer in range.
     pub fn as_usize(&self) -> Option<usize> {
         self.as_u64().and_then(|x| usize::try_from(x).ok())
+    }
+
+    /// The value as a `bool`, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
     }
 
     /// The value as a string slice.
@@ -108,6 +157,7 @@ impl Json {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::UInt(x) => out.push_str(&x.to_string()),
+            Json::Int(x) => out.push_str(&x.to_string()),
             Json::Float(x) => {
                 if x.is_finite() {
                     out.push_str(&format!("{x}"));
@@ -167,8 +217,11 @@ fn write_seq(
     out.push(close);
 }
 
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
+/// Escapes a string for embedding in a JSON document (the body only —
+/// the caller supplies the surrounding quotes). Used by the hand-rolled
+/// writers in the bench harness.
+pub fn escape_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -180,6 +233,12 @@ fn write_escaped(out: &mut String, s: &str) {
             c => out.push(c),
         }
     }
+    out
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    out.push_str(&escape_str(s));
     out.push('"');
 }
 
@@ -195,8 +254,9 @@ pub fn parse(input: &str) -> Result<Json, JsonError> {
     Ok(value)
 }
 
-/// Nesting depth cap: the interchange format is 3 levels deep, so this
-/// mainly guards against stack exhaustion on hostile input.
+/// Nesting depth cap: the interchange formats are a handful of levels
+/// deep, so this mainly guards against stack exhaustion on hostile
+/// input.
 const MAX_DEPTH: usize = 64;
 
 struct Parser<'a> {
@@ -219,7 +279,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn consume(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -255,7 +315,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
-        self.expect(b'[')?;
+        self.consume(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -278,8 +338,8 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
-        self.expect(b'{')?;
-        let mut pairs = Vec::new();
+        self.consume(b'{')?;
+        let mut pairs: Vec<(String, Json)> = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
@@ -287,9 +347,16 @@ impl<'a> Parser<'a> {
         }
         loop {
             self.skip_ws();
+            let key_offset = self.pos;
             let key = self.string()?;
+            if pairs.iter().any(|(k, _)| *k == key) {
+                return Err(JsonError {
+                    offset: key_offset,
+                    message: format!("duplicate key {key:?} in object"),
+                });
+            }
             self.skip_ws();
-            self.expect(b':')?;
+            self.consume(b':')?;
             self.skip_ws();
             let value = self.value(depth + 1)?;
             pairs.push((key, value));
@@ -306,7 +373,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.consume(b'"')?;
         let mut out = String::new();
         loop {
             let Some(b) = self.peek() else {
@@ -333,8 +400,8 @@ impl<'a> Parser<'a> {
                             let hi = self.hex4()?;
                             let code = if (0xD800..0xDC00).contains(&hi) {
                                 // Surrogate pair.
-                                self.expect(b'\\')?;
-                                self.expect(b'u')?;
+                                self.consume(b'\\')?;
+                                self.consume(b'u')?;
                                 let lo = self.hex4()?;
                                 if !(0xDC00..0xE000).contains(&lo) {
                                     return Err(self.err("invalid low surrogate"));
@@ -381,18 +448,45 @@ impl<'a> Parser<'a> {
         Ok(code)
     }
 
+    /// RFC 8259 number grammar, applied exactly:
+    ///
+    /// ```text
+    /// number = [ "-" ] int [ frac ] [ exp ]
+    /// int    = "0" / digit1-9 *DIGIT
+    /// frac   = "." 1*DIGIT
+    /// exp    = ("e"/"E") [ "-"/"+" ] 1*DIGIT
+    /// ```
+    ///
+    /// Rust's `f64::from_str` is more lenient than this (it accepts
+    /// `1.`, `1.e5`, `01`, …), so digit presence and the leading-zero
+    /// rule are validated here before the text ever reaches `parse`.
     fn number(&mut self) -> Result<Json, JsonError> {
         let start = self.pos;
-        if self.peek() == Some(b'-') {
+        let negative = self.peek() == Some(b'-');
+        if negative {
             self.pos += 1;
         }
-        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-            self.pos += 1;
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+                if matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    return Err(self.err("leading zeros are not allowed"));
+                }
+            }
+            Some(c) if c.is_ascii_digit() => {
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("expected a digit")),
         }
         let mut integral = true;
         if self.peek() == Some(b'.') {
             integral = false;
             self.pos += 1;
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.err("expected a digit after the decimal point"));
+            }
             while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
                 self.pos += 1;
             }
@@ -403,6 +497,9 @@ impl<'a> Parser<'a> {
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
             }
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.err("expected a digit in the exponent"));
+            }
             while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
                 self.pos += 1;
             }
@@ -410,7 +507,13 @@ impl<'a> Parser<'a> {
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("invalid number"))?;
         if integral {
-            if let Ok(x) = text.parse::<u64>() {
+            if negative {
+                if let Ok(x) = text.parse::<i64>() {
+                    // "-0" normalises to the unsigned zero so that equal
+                    // values compare equal after a round trip.
+                    return Ok(if x == 0 { Json::UInt(0) } else { Json::Int(x) });
+                }
+            } else if let Ok(x) = text.parse::<u64>() {
                 return Ok(Json::UInt(x));
             }
         }
@@ -461,10 +564,62 @@ mod tests {
     }
 
     #[test]
+    fn signed_integers_are_lossless() {
+        for x in [i64::MIN, i64::MIN + 1, -1, i64::MAX] {
+            let parsed = parse(&x.to_string()).unwrap();
+            if x < 0 {
+                assert_eq!(parsed, Json::Int(x));
+            }
+            assert_eq!(parsed.as_i64(), Some(x), "{x}");
+            let round = parse(&parsed.to_string_compact()).unwrap();
+            assert_eq!(round.as_i64(), Some(x), "{x}");
+        }
+        // beyond the i64 range a negative integer degrades to f64
+        assert!(matches!(parse("-9223372036854775809").unwrap(), Json::Float(_)));
+        // u64::MAX stays unsigned and exact
+        assert_eq!(parse("18446744073709551615").unwrap(), Json::UInt(u64::MAX));
+        assert!(matches!(parse("18446744073709551616").unwrap(), Json::Float(_)));
+    }
+
+    #[test]
+    fn minus_zero_normalises_to_zero() {
+        assert_eq!(parse("-0").unwrap(), Json::UInt(0));
+        assert_eq!(parse("-0.0").unwrap(), Json::Float(-0.0));
+    }
+
+    #[test]
     fn parses_floats_negatives_and_exponents() {
         assert_eq!(parse("-1.5e2").unwrap(), Json::Float(-150.0));
         assert_eq!(parse("2.5").unwrap(), Json::Float(2.5));
-        assert_eq!(parse("-7").unwrap(), Json::Float(-7.0));
+        assert_eq!(parse("-7").unwrap(), Json::Int(-7));
+        assert_eq!(parse("0.5").unwrap(), Json::Float(0.5));
+        assert_eq!(parse("0e0").unwrap(), Json::Float(0.0));
+        assert_eq!(parse("1E+2").unwrap(), Json::Float(100.0));
+    }
+
+    #[test]
+    fn rejects_non_rfc8259_numbers() {
+        for bad in [
+            "01", "-01", "00", "1.", "-1.", ".5", "-.5", "1.e5", "1e", "1e+", "1e-", "-",
+            "+1", "0x1", "1..2", "1ee2", "--1", "9e", "01.5",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_keys() {
+        for bad in [
+            r#"{"weight":1,"weight":2}"#,
+            r#"{"a":1,"b":2,"a":3}"#,
+            r#"{"outer":{"k":1,"k":1}}"#,
+            r#"[{"x":0,"x":0}]"#,
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.message.contains("duplicate key"), "{bad:?}: {err}");
+        }
+        // same key in *different* objects is fine
+        assert!(parse(r#"[{"x":0},{"x":0}]"#).is_ok());
     }
 
     #[test]
@@ -482,7 +637,7 @@ mod tests {
     fn rejects_malformed_input() {
         for bad in [
             "", "{", "[1,", "{\"a\" 1}", "tru", "\"unterminated", "01x", "[1]]", "{\"a\":}",
-            "\"\\u12\"", "\"\\q\"",
+            "\"\\u12\"", "\"\\q\"", "[1,]", "12x", "{}g", "[1 2]",
         ] {
             assert!(parse(bad).is_err(), "{bad:?} should fail");
         }
@@ -501,5 +656,32 @@ mod tests {
         assert_eq!(parse(" { } ").unwrap(), Json::Object(vec![]));
         assert_eq!(parse("\n[\t]\r").unwrap(), Json::Array(vec![]));
         assert_eq!(parse(" [ 1 , 2 ] ").unwrap(), Json::Array(vec![Json::UInt(1), Json::UInt(2)]));
+    }
+
+    #[test]
+    fn accessor_coercions() {
+        assert_eq!(Json::UInt(7).as_i64(), Some(7));
+        assert_eq!(Json::UInt(u64::MAX).as_i64(), None);
+        assert_eq!(Json::Int(-7).as_u64(), None);
+        assert_eq!(Json::Int(-7).as_f64(), Some(-7.0));
+        assert_eq!(Json::UInt(3).as_f64(), Some(3.0));
+        assert_eq!(Json::Bool(true).as_bool(), Some(true));
+        assert_eq!(Json::UInt(1).as_bool(), None);
+    }
+
+    #[test]
+    fn parses_workspace_emitted_formats() {
+        // The parser must accept the JSON the rest of the workspace emits.
+        let rec = crate::telemetry::Recorder::new();
+        rec.handle().count("x", 3);
+        assert!(parse(&rec.to_json_string()).is_ok());
+    }
+
+    #[test]
+    fn escape_str_round_trips() {
+        let s = "a\"b\\c\nd\te\u{1}";
+        let doc = format!("{{\"k\":\"{}\"}}", escape_str(s));
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("k").unwrap().as_str(), Some(s));
     }
 }

@@ -40,12 +40,14 @@
 #![warn(missing_docs)]
 
 pub mod budget;
+pub mod cache;
 pub mod classify;
 pub mod clip;
 pub mod elevate;
 pub mod error;
 pub mod gravity;
 pub mod instance;
+pub mod json;
 pub mod network;
 pub mod parallel;
 pub mod render;
@@ -64,6 +66,7 @@ pub use budget::{
     ArmOutcome, ArmReport, Budget, CheckpointClass, SolveReport, WorkProfile,
     REPORT_SCHEMA_VERSION,
 };
+pub use cache::{Fnv1a, LruCache};
 pub use classify::{
     classes_k_ell, classify_by_size, is_delta_large, is_delta_small, strata_by_bottleneck,
     stratum_of, ClassifiedTasks, SizeClass,

@@ -9,11 +9,15 @@
 #   4. the in-repo static-analysis pass with every lint denied,
 #   5. the telemetry determinism gate: the same instance solved twice with
 #      `--telemetry=json` must export byte-identical phase trees.
-#   6. the bench smoke gate: the hermetic bench suite in --smoke mode must
-#      emit a schema-valid report whose machine-independent invariants hold
+#   6. the bench smoke gate: the hermetic bench suites in --smoke mode must
+#      emit schema-valid reports whose machine-independent invariants hold
 #      (work-unit conservation across worker counts, byte-identical
-#      parallel runs, the MWIS allocation-reduction bar). No wall-clock
-#      thresholds: timings vary by machine, the invariants must not.
+#      parallel runs, the MWIS allocation-reduction bar, and the serve
+#      suite's exact cache arithmetic). No wall-clock thresholds: timings
+#      vary by machine, the invariants must not.
+#   7. the serve determinism gate: the same NDJSON request stream (valid,
+#      malformed, and duplicate lines mixed) fed through `sap serve` at
+#      --workers 1 and --workers 8 must produce byte-identical stdout.
 #
 # Run from anywhere inside the repository.
 set -euo pipefail
@@ -46,5 +50,23 @@ diff "$tmpdir/tele-a.json" "$tmpdir/tele-b.json" \
 echo "==> bench smoke gate"
 cargo run --release -p sap-bench -- --suite core --smoke --workers 1,2 \
     --out "$tmpdir/bench-smoke.json"
+cargo run --release -p sap-bench -- --suite serve --smoke --workers 1,2 \
+    --out "$tmpdir/bench-serve-smoke.json"
+
+echo "==> serve determinism gate"
+# Each pretty-printed instance is flattened to one NDJSON line (instance
+# documents contain no string values, so stripping whitespace is safe).
+{
+    ./target/release/sap generate --edges 8 --tasks 24 --seed 11 | tr -d ' \n'; echo
+    echo '{not even json'
+    ./target/release/sap generate --edges 6 --tasks 18 --seed 12 | tr -d ' \n'; echo
+    ./target/release/sap generate --edges 8 --tasks 24 --seed 11 | tr -d ' \n'; echo
+} > "$tmpdir/serve-req.ndjson"
+./target/release/sap serve --workers 1 < "$tmpdir/serve-req.ndjson" \
+    2>/dev/null > "$tmpdir/serve-w1.ndjson"
+./target/release/sap serve --workers 8 < "$tmpdir/serve-req.ndjson" \
+    2>/dev/null > "$tmpdir/serve-w8.ndjson"
+diff "$tmpdir/serve-w1.ndjson" "$tmpdir/serve-w8.ndjson" \
+    || { echo "serve output depends on the worker width" >&2; exit 1; }
 
 echo "ci: all gates passed"

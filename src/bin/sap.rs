@@ -6,9 +6,13 @@
 //! sap solve inst.json --algo exact -o solution.json
 //! sap validate inst.json solution.json
 //! sap ring-solve ring.json
+//! sap generate --edges 8 --tasks 6 --seed 1 | tr -d '\n' | sap serve
 //! ```
 
+use std::io::{BufRead, Write};
 use std::process::ExitCode;
+
+use storage_alloc::serve::{ServeAlgo, ServeEngine, ServeOptions};
 
 use storage_alloc::io::{
     InstanceDto, JsonDto, RingInstanceDto, RingSolutionDto, SolutionDto,
@@ -26,9 +30,10 @@ fn main() -> ExitCode {
         Some("generate") => cmd_generate(&args[1..]),
         Some("ring-solve") => cmd_ring_solve(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => {
             eprintln!(
-                "usage: sap <solve|validate|generate|ring-solve> …\n\
+                "usage: sap <solve|validate|generate|ring-solve|serve> …\n\
                  \n\
                  sap solve <inst.json> [--algo combined|practical|greedy|exact|small|medium|large]\n\
                  \x20         [--deadline-ms N] [--work-units N] [--workers N] [--report]\n\
@@ -38,7 +43,10 @@ fn main() -> ExitCode {
                  sap generate --edges N --tasks N [--regime small|medium|large|mixed]\n\
                  \x20         [--seed S] [--uniform-capacity C]\n\
                  sap ring-solve <ring.json> [-o solution.json]\n\
-                 sap info <inst.json>"
+                 sap info <inst.json>\n\
+                 sap serve [--algo combined|practical] [--workers N] [--solve-workers N]\n\
+                 \x20         [--work-units N] [--cache-size N] [--batch N]\n\
+                 \x20         [--telemetry[=json|tree]]   (NDJSON on stdin/stdout)"
             );
             return ExitCode::from(2);
         }
@@ -203,7 +211,9 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
     let inst: InstanceDto = read_json(inst_path)?;
     let instance = inst.to_instance().map_err(|e| e.to_string())?;
     let sol: SolutionDto = read_json(sol_path)?;
-    let solution = sol.to_solution();
+    // Verified load: a stored weight that disagrees with the recomputed
+    // one is an error, not a silently trusted number.
+    let solution = sol.to_solution_verified(&instance)?;
     solution
         .validate(&instance)
         .map_err(|e| format!("INFEASIBLE: {e}"))?;
@@ -267,6 +277,88 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     println!("regimes:        {small} small / {medium} medium / {large} large (delta=1/16, 1/2)");
     println!("strata:         {}", s.strata);
     println!("NBA:            {}", if s.nba { "holds" } else { "violated" });
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut opts = ServeOptions::default();
+    if let Some(name) = flag_value(args, "--algo") {
+        opts.algo = ServeAlgo::from_name(name)
+            .ok_or_else(|| format!("--algo accepts combined or practical (got {name:?})"))?;
+    }
+    if let Some(v) = flag_value(args, "--workers") {
+        opts.workers = v.parse().map_err(|_| "--workers must be a number (0 = auto)")?;
+    }
+    if let Some(v) = flag_value(args, "--solve-workers") {
+        opts.solve_workers =
+            v.parse().map_err(|_| "--solve-workers must be a number (0 = auto)")?;
+    }
+    if let Some(v) = flag_value(args, "--work-units") {
+        opts.work_units = Some(v.parse().map_err(|_| "--work-units must be a number")?);
+    }
+    if let Some(v) = flag_value(args, "--cache-size") {
+        opts.cache_size = v.parse().map_err(|_| "--cache-size must be a number (0 = off)")?;
+    }
+    let batch_size: usize = match flag_value(args, "--batch") {
+        Some(v) => {
+            let n = v.parse().map_err(|_| "--batch must be a positive number")?;
+            if n == 0 {
+                return Err("--batch must be a positive number".to_string());
+            }
+            n
+        }
+        None => 64,
+    };
+    let telemetry_mode: Option<&str> = args.iter().find_map(|a| {
+        a.strip_prefix("--telemetry")
+            .map(|rest| rest.strip_prefix('=').unwrap_or(rest))
+    });
+    match telemetry_mode {
+        None | Some("") | Some("json") | Some("tree") => {}
+        Some(other) => return Err(format!("--telemetry accepts json or tree (got {other:?})")),
+    }
+
+    let mut engine = ServeEngine::new(opts);
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout().lock();
+    let mut pending: Vec<String> = Vec::new();
+    let flush_batch = |engine: &mut ServeEngine,
+                           pending: &mut Vec<String>,
+                           stdout: &mut dyn Write|
+     -> Result<(), String> {
+        if pending.is_empty() {
+            return Ok(());
+        }
+        let lines: Vec<&str> = pending.iter().map(String::as_str).collect();
+        for response in engine.process_batch(&lines) {
+            writeln!(stdout, "{response}").map_err(|e| format!("stdout: {e}"))?;
+        }
+        stdout.flush().map_err(|e| format!("stdout: {e}"))?;
+        pending.clear();
+        Ok(())
+    };
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        // Blank lines separate batches without producing a response.
+        if line.trim().is_empty() {
+            flush_batch(&mut engine, &mut pending, &mut stdout)?;
+            continue;
+        }
+        pending.push(line);
+        if pending.len() >= batch_size {
+            flush_batch(&mut engine, &mut pending, &mut stdout)?;
+        }
+    }
+    flush_batch(&mut engine, &mut pending, &mut stdout)?;
+    eprintln!("{}", engine.summary_line());
+    if telemetry_mode.is_some() {
+        let recorder = storage_alloc::sap_core::Recorder::new();
+        engine.record_telemetry(&recorder.handle());
+        match telemetry_mode {
+            Some("tree") => eprint!("{}", recorder.to_tree_string()),
+            _ => eprintln!("{}", recorder.to_json_string()),
+        }
+    }
     Ok(())
 }
 

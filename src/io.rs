@@ -15,11 +15,19 @@
 //! with `{from, to, demand, weight}` vertices. Solutions serialise as
 //! `{ "placements": [{ "task": 0, "height": 0 }, …] }`.
 //!
-//! Encoding/decoding is implemented on the in-repo [`crate::json`]
-//! module (the hermetic-build policy keeps serde out of the default
-//! build); every DTO implements [`JsonDto`].
+//! Encoding/decoding is implemented on the workspace's single JSON
+//! module, [`sap_core::json`] (the hermetic-build policy keeps serde
+//! out of the default build); every DTO implements [`JsonDto`].
+//!
+//! Solution documents may carry a `weight` field. It is informational —
+//! the placements alone define the solution — but it is **verified**:
+//! [`SolutionDto::to_solution_verified`] and
+//! [`RingSolutionDto::to_solution_verified`] recompute the weight
+//! against the instance and reject a document whose stored weight
+//! disagrees, so a stale or tampered weight can no longer ride along
+//! silently. An absent weight is tolerated.
 
-use crate::json::{parse, Json};
+use sap_core::json::{parse, Json};
 use sap_core::ring::{ArcChoice, RingInstance, RingNetwork, RingPlacement, RingSolution, RingTask};
 use sap_core::{Instance, PathNetwork, Placement, SapError, SapResult, SapSolution, Task};
 
@@ -152,28 +160,31 @@ impl JsonDto for InstanceDto {
 pub struct SolutionDto {
     /// Selected tasks with heights.
     pub placements: Vec<PlacementDto>,
-    /// Total weight (informational; re-checked on load, defaults to 0).
-    pub weight: u64,
+    /// Total weight (informational; verified against the instance by
+    /// [`SolutionDto::to_solution_verified`]; `None` when absent).
+    pub weight: Option<u64>,
 }
 
 impl JsonDto for SolutionDto {
     fn to_json(&self) -> Json {
-        Json::Object(vec![
-            (
-                "placements".into(),
-                Json::Array(self.placements.iter().map(JsonDto::to_json).collect()),
-            ),
-            ("weight".into(), Json::UInt(self.weight)),
-        ])
+        let mut pairs = vec![(
+            "placements".to_string(),
+            Json::Array(self.placements.iter().map(JsonDto::to_json).collect()),
+        )];
+        if let Some(w) = self.weight {
+            pairs.push(("weight".into(), Json::UInt(w)));
+        }
+        Json::Object(pairs)
     }
 
     fn from_json(value: &Json) -> Result<Self, String> {
         Ok(SolutionDto {
             placements: decode_array(value, "placements", PlacementDto::from_json)?,
-            // Optional, informational: absent means 0.
             weight: match value.get("weight") {
-                Some(w) => w.as_u64().ok_or("field \"weight\" must be an integer")?,
-                None => 0,
+                Some(w) => {
+                    Some(w.as_u64().ok_or("field \"weight\" must be a non-negative integer")?)
+                }
+                None => None,
             },
         })
     }
@@ -270,27 +281,31 @@ impl JsonDto for RingInstanceDto {
 pub struct RingSolutionDto {
     /// Selected tasks with routing and heights.
     pub placements: Vec<RingPlacementDto>,
-    /// Total weight (informational, defaults to 0).
-    pub weight: u64,
+    /// Total weight (informational; verified against the instance by
+    /// [`RingSolutionDto::to_solution_verified`]; `None` when absent).
+    pub weight: Option<u64>,
 }
 
 impl JsonDto for RingSolutionDto {
     fn to_json(&self) -> Json {
-        Json::Object(vec![
-            (
-                "placements".into(),
-                Json::Array(self.placements.iter().map(JsonDto::to_json).collect()),
-            ),
-            ("weight".into(), Json::UInt(self.weight)),
-        ])
+        let mut pairs = vec![(
+            "placements".to_string(),
+            Json::Array(self.placements.iter().map(JsonDto::to_json).collect()),
+        )];
+        if let Some(w) = self.weight {
+            pairs.push(("weight".into(), Json::UInt(w)));
+        }
+        Json::Object(pairs)
     }
 
     fn from_json(value: &Json) -> Result<Self, String> {
         Ok(RingSolutionDto {
             placements: decode_array(value, "placements", RingPlacementDto::from_json)?,
             weight: match value.get("weight") {
-                Some(w) => w.as_u64().ok_or("field \"weight\" must be an integer")?,
-                None => 0,
+                Some(w) => {
+                    Some(w.as_u64().ok_or("field \"weight\" must be a non-negative integer")?)
+                }
+                None => None,
             },
         })
     }
@@ -374,11 +389,15 @@ impl SolutionDto {
                 .iter()
                 .map(|p| PlacementDto { task: p.task, height: p.height })
                 .collect(),
-            weight: solution.weight(instance),
+            weight: Some(solution.weight(instance)),
         }
     }
 
     /// Converts to a [`SapSolution`] (validate separately).
+    ///
+    /// The stored `weight` is ignored here; use
+    /// [`SolutionDto::to_solution_verified`] when the instance is at
+    /// hand so a stale weight cannot pass unnoticed.
     pub fn to_solution(&self) -> SapSolution {
         SapSolution::new(
             self.placements
@@ -386,6 +405,22 @@ impl SolutionDto {
                 .map(|p| Placement { task: p.task, height: p.height })
                 .collect(),
         )
+    }
+
+    /// Converts to a [`SapSolution`] and cross-checks the stored weight
+    /// against `solution.weight(instance)`. A present-but-wrong weight
+    /// is an error; an absent weight is tolerated.
+    pub fn to_solution_verified(&self, instance: &Instance) -> Result<SapSolution, String> {
+        let solution = self.to_solution();
+        if let Some(stored) = self.weight {
+            let actual = solution.weight(instance);
+            if stored != actual {
+                return Err(format!(
+                    "stored weight {stored} does not match recomputed weight {actual}"
+                ));
+            }
+        }
+        Ok(solution)
     }
 }
 
@@ -430,8 +465,24 @@ impl RingSolutionDto {
                     height: p.height,
                 })
                 .collect(),
-            weight: solution.weight(instance),
+            weight: Some(solution.weight(instance)),
         }
+    }
+
+    /// Converts to a [`RingSolution`] and cross-checks the stored
+    /// weight against `solution.weight(instance)`. A present-but-wrong
+    /// weight is an error; an absent weight is tolerated.
+    pub fn to_solution_verified(&self, instance: &RingInstance) -> Result<RingSolution, String> {
+        let solution = self.to_solution().map_err(|e| e.to_string())?;
+        if let Some(stored) = self.weight {
+            let actual = solution.weight(instance);
+            if stored != actual {
+                return Err(format!(
+                    "stored weight {stored} does not match recomputed weight {actual}"
+                ));
+            }
+        }
+        Ok(solution)
     }
 
     /// Converts to a [`RingSolution`]; rejects unknown arc labels.
@@ -480,17 +531,49 @@ mod tests {
         let dto = SolutionDto::from_solution(&inst, &sol);
         let json = dto.to_json_string();
         let back = SolutionDto::from_json_str(&json).unwrap();
-        let sol2 = back.to_solution();
+        let sol2 = back.to_solution_verified(&inst).unwrap();
         sol2.validate(&inst).unwrap();
         assert_eq!(sol.weight(&inst), sol2.weight(&inst));
-        assert_eq!(dto.weight, sol.weight(&inst));
+        assert_eq!(dto.weight, Some(sol.weight(&inst)));
     }
 
     #[test]
-    fn missing_weight_defaults_to_zero() {
+    fn missing_weight_is_tolerated() {
         let dto = SolutionDto::from_json_str(r#"{"placements": []}"#).unwrap();
-        assert_eq!(dto.weight, 0);
+        assert_eq!(dto.weight, None);
         assert!(dto.placements.is_empty());
+        // No stored weight → nothing to cross-check; loading succeeds.
+        let inst = sample();
+        assert!(dto.to_solution_verified(&inst).is_ok());
+        // And an absent weight stays absent on re-encode.
+        assert!(!dto.to_json_string().contains("weight"));
+    }
+
+    #[test]
+    fn tampered_weight_is_rejected_on_verified_load() {
+        let inst = sample();
+        let sol = crate::solve_sap(&inst);
+        let mut dto = SolutionDto::from_solution(&inst, &sol);
+        let honest = dto.weight.unwrap();
+        dto.weight = Some(honest + 1);
+        let err = dto.to_solution_verified(&inst).unwrap_err();
+        assert!(err.contains("does not match"), "{err}");
+        dto.weight = Some(honest);
+        assert!(dto.to_solution_verified(&inst).is_ok());
+    }
+
+    #[test]
+    fn tampered_ring_weight_is_rejected_on_verified_load() {
+        use sap_core::ring::{RingInstance, RingNetwork, RingTask};
+        let net = RingNetwork::new(vec![4, 4, 4, 4]).unwrap();
+        let inst =
+            RingInstance::new(net, vec![RingTask::of(0, 2, 2, 7), RingTask::of(2, 0, 2, 7)])
+                .unwrap();
+        let sol = crate::solve_sap_ring(&inst);
+        let mut dto = RingSolutionDto::from_solution(&inst, &sol);
+        dto.weight = Some(dto.weight.unwrap() + 5);
+        let err = dto.to_solution_verified(&inst).unwrap_err();
+        assert!(err.contains("does not match"), "{err}");
     }
 
     #[test]
@@ -547,7 +630,7 @@ mod tests {
     fn bad_arc_label_rejected() {
         let dto = RingSolutionDto {
             placements: vec![RingPlacementDto { task: 0, arc: "up".into(), height: 0 }],
-            weight: 0,
+            weight: None,
         };
         assert!(dto.to_solution().is_err());
     }

@@ -56,7 +56,9 @@
 #![warn(missing_docs)]
 
 pub mod io;
-pub mod json;
+pub mod serve;
+
+pub use sap_core::json;
 
 pub use dsa;
 pub use knapsack;

@@ -1,0 +1,556 @@
+//! `sap serve` — a deterministic NDJSON batch solve service.
+//!
+//! The engine behind the `sap serve` subcommand: it reads one JSON
+//! request per line, solves each instance through the budgeted driver
+//! ([`sap_algs::try_solve`] / [`sap_algs::try_solve_practical`]), and
+//! emits one schema-versioned JSON response per line, in input order.
+//! Everything is hermetic — stdin/stdout, no network.
+//!
+//! ## Request format
+//!
+//! A request line is either a bare instance document (the same
+//! [`InstanceDto`] format `sap solve` reads from disk) or an envelope
+//! with per-request overrides:
+//!
+//! ```json
+//! {"instance": {"capacities": [4], "tasks": [...]},
+//!  "algo": "combined", "work_units": 50000, "workers": 2}
+//! ```
+//!
+//! Envelope keys other than `instance` / `algo` / `work_units` /
+//! `workers` are rejected (this is a strict interchange format, like
+//! the rest of [`crate::io`]).
+//!
+//! ## Response format
+//!
+//! One single-line JSON document per request, `{"v": 1, ...}`:
+//!
+//! * success — `{"v":1,"status":"ok","weight":W,"solution":{...},
+//!   "report":{...},"telemetry":{...}}` embedding the solution DTO, the
+//!   driver's [`sap_core::SolveReport`], and the per-request telemetry
+//!   export;
+//! * failure — `{"v":1,"status":"error","error":"..."}`. A malformed
+//!   line, an invalid instance, or a panicking solver arm produces an
+//!   error response for *that line only*; the batch keeps going
+//!   (requests run panic-isolated via [`sap_core::run_isolated`]).
+//!
+//! ## Determinism and caching
+//!
+//! Responses are a pure function of the request line and its solve
+//! parameters. Each request gets its **own independent budget and
+//! telemetry recorder** — batch composition, worker width, and cache
+//! warmth never shift a budget trip point. Batches fan out across
+//! [`sap_core::map_reduce_isolated`] workers with an index-order merge,
+//! so stdout is byte-identical at any `--workers` width.
+//!
+//! Identical requests are answered from a bounded LRU cache
+//! ([`sap_core::LruCache`]) keyed by (instance fingerprint, algo,
+//! work-unit budget); the fingerprint is FNV-1a over the canonical
+//! field order ([`sap_core::Fnv1a`]), so two lines that spell the same
+//! instance with different key order or whitespace share one cache
+//! entry. Cached payloads are the exact response bytes, which makes
+//! warm-cache output byte-identical to cold-cache output. Duplicates
+//! *within* a batch are solved once: the first occurrence leads, later
+//! occurrences copy its response at merge time. Hit/miss/eviction
+//! counts are exposed as telemetry counters (`serve.cache.*`).
+
+use std::collections::HashMap;
+
+use crate::io::{InstanceDto, JsonDto, SolutionDto};
+use sap_algs::SapParams;
+use sap_core::json::{self, Json};
+use sap_core::{map_reduce_isolated, run_isolated, Budget, Fnv1a, LruCache, Recorder, Telemetry};
+
+/// Response schema version, bumped on breaking changes to the line
+/// format.
+pub const SERVE_SCHEMA_VERSION: u64 = 1;
+
+/// Which driver front-end serves the requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServeAlgo {
+    /// The paper's combined `(9+ε)` portfolio ([`sap_algs::try_solve`]).
+    Combined,
+    /// Combined ∨ greedy, best-of ([`sap_algs::try_solve_practical`]).
+    Practical,
+}
+
+impl ServeAlgo {
+    /// Parses the wire/CLI name.
+    pub fn from_name(name: &str) -> Option<ServeAlgo> {
+        match name {
+            "combined" => Some(ServeAlgo::Combined),
+            "practical" => Some(ServeAlgo::Practical),
+            _ => None,
+        }
+    }
+}
+
+/// Engine configuration (CLI flags map 1:1 onto these).
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Default algorithm for requests that don't override it.
+    pub algo: ServeAlgo,
+    /// Batch fan-out width (`0` = auto). Output-invariant.
+    pub workers: usize,
+    /// Intra-solve worker width passed to [`SapParams`] (`0` = auto).
+    /// Output-invariant.
+    pub solve_workers: usize,
+    /// Default per-request work-unit budget (`None` = unlimited).
+    pub work_units: Option<u64>,
+    /// Solution cache capacity in entries (`0` disables caching).
+    pub cache_size: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            algo: ServeAlgo::Practical,
+            workers: 0,
+            solve_workers: 0,
+            work_units: None,
+            cache_size: 256,
+        }
+    }
+}
+
+/// Cumulative engine counters, exported as `serve.*` telemetry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Request lines seen (including malformed ones).
+    pub requests: u64,
+    /// Responses with `"status":"ok"`.
+    pub ok: u64,
+    /// Responses with `"status":"error"`.
+    pub errors: u64,
+    /// Batches processed.
+    pub batches: u64,
+    /// Requests answered without launching a solve (cache hits plus
+    /// within-batch duplicates of a leader).
+    pub cache_hits: u64,
+    /// Requests that had to solve.
+    pub cache_misses: u64,
+    /// Cache evictions.
+    pub cache_evictions: u64,
+    /// Winning-arm counts across executed solves, as
+    /// (`serve.winner.*` counter name, count).
+    pub winners: Vec<(&'static str, u64)>,
+    /// Arm-outcome counts across executed solves, as
+    /// (`serve.outcome.*` counter name, count).
+    pub outcomes: Vec<(&'static str, u64)>,
+}
+
+fn bump(map: &mut Vec<(&'static str, u64)>, name: &'static str) {
+    match map.iter_mut().find(|(n, _)| *n == name) {
+        Some(entry) => entry.1 += 1,
+        None => map.push((name, 1)),
+    }
+}
+
+/// Telemetry counter names are `&'static str`, so dynamic arm names map
+/// onto a fixed set here (unknown names — future arms — fold into
+/// `other` rather than being dropped).
+fn winner_counter(winner: &str) -> &'static str {
+    match winner {
+        "small" => "serve.winner.small",
+        "medium" => "serve.winner.medium",
+        "large" => "serve.winner.large",
+        "lemma13" => "serve.winner.lemma13",
+        "greedy" => "serve.winner.greedy",
+        _ => "serve.winner.other",
+    }
+}
+
+fn outcome_counter(outcome: &str) -> &'static str {
+    match outcome {
+        "completed" => "serve.outcome.completed",
+        "budget_exhausted" => "serve.outcome.budget_exhausted",
+        "lp_non_optimal" => "serve.outcome.lp_non_optimal",
+        "panicked" => "serve.outcome.panicked",
+        _ => "serve.outcome.other",
+    }
+}
+
+/// One decoded request: the instance plus its effective solve
+/// parameters (engine defaults merged with envelope overrides).
+#[derive(Debug, Clone)]
+struct Request {
+    dto: InstanceDto,
+    algo: ServeAlgo,
+    work_units: Option<u64>,
+    solve_workers: usize,
+}
+
+/// Cache key: canonical instance fingerprint plus every parameter that
+/// can change the response bytes. `solve_workers` is deliberately
+/// excluded — worker width is output-invariant by the
+/// [`sap_core::map_reduce_isolated`] contract, so requests differing
+/// only in width share an entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    fp: u64,
+    algo: ServeAlgo,
+    work_units: Option<u64>,
+}
+
+/// FNV-1a fingerprint of an instance DTO over its canonical field
+/// order, so key order and whitespace in the source line don't matter.
+fn fingerprint(dto: &InstanceDto) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(dto.capacities.len() as u64);
+    for &c in &dto.capacities {
+        h.write_u64(c);
+    }
+    h.write_u64(dto.tasks.len() as u64);
+    for t in &dto.tasks {
+        h.write_u64(t.lo as u64);
+        h.write_u64(t.hi as u64);
+        h.write_u64(t.demand);
+        h.write_u64(t.weight);
+    }
+    h.finish()
+}
+
+/// Builds an error response line.
+fn error_response(message: &str) -> String {
+    Json::Object(vec![
+        ("v".into(), Json::UInt(SERVE_SCHEMA_VERSION)),
+        ("status".into(), Json::Str("error".into())),
+        ("error".into(), Json::Str(message.into())),
+    ])
+    .to_string_compact()
+}
+
+/// What a successful solve hands back to the merge pass.
+struct SolveOk {
+    payload: String,
+    winner: &'static str,
+    outcomes: Vec<&'static str>,
+}
+
+/// Runs one request to completion: build the instance, solve it under
+/// its own budget and telemetry recorder, assemble the response line.
+fn solve_request(req: &Request) -> Result<SolveOk, String> {
+    let instance = req.dto.to_instance().map_err(|e| format!("invalid instance: {e}"))?;
+    let ids = instance.all_ids();
+    let params = SapParams { workers: req.solve_workers, ..Default::default() };
+    let recorder = Recorder::new();
+    let mut budget = Budget::unlimited();
+    if let Some(units) = req.work_units {
+        budget = budget.with_work_units(units);
+    }
+    let budget = budget.with_telemetry(recorder.handle());
+    let (solution, report) = match req.algo {
+        ServeAlgo::Combined => sap_algs::try_solve(&instance, &ids, &params, &budget),
+        ServeAlgo::Practical => sap_algs::try_solve_practical(&instance, &ids, &params, &budget),
+    }
+    .map_err(|e| format!("solve failed: {e}"))?;
+    let report_json = json::parse(&report.to_json_string())
+        .map_err(|e| format!("internal error: report serialization: {e}"))?;
+    let telemetry_json = json::parse(&recorder.to_json_string())
+        .map_err(|e| format!("internal error: telemetry serialization: {e}"))?;
+    let payload = Json::Object(vec![
+        ("v".into(), Json::UInt(SERVE_SCHEMA_VERSION)),
+        ("status".into(), Json::Str("ok".into())),
+        ("weight".into(), Json::UInt(report.weight)),
+        ("solution".into(), SolutionDto::from_solution(&instance, &solution).to_json()),
+        ("report".into(), report_json),
+        ("telemetry".into(), telemetry_json),
+    ])
+    .to_string_compact();
+    let outcomes = report.arms.iter().map(|a| a.outcome.as_str()).collect();
+    Ok(SolveOk { payload, winner: report.winner, outcomes })
+}
+
+/// How one input line will be answered, decided by the sequential
+/// classification pass before the parallel fan-out.
+enum Slot {
+    /// Response already known (parse error or cache hit); `bool` is
+    /// whether it counts as ok.
+    Ready(String, bool),
+    /// First occurrence of a novel request — index into the job list.
+    Leader(usize),
+    /// Within-batch duplicate — index of its leader's *line*.
+    Follower(usize),
+}
+
+/// The serve engine: decode → classify → fan out → merge, one batch at
+/// a time, with the solution cache and counters living across batches.
+pub struct ServeEngine {
+    opts: ServeOptions,
+    cache: LruCache<CacheKey, String>,
+    /// Cumulative counters (exported via
+    /// [`ServeEngine::record_telemetry`]).
+    pub stats: ServeStats,
+}
+
+impl ServeEngine {
+    /// A fresh engine with an empty cache.
+    pub fn new(opts: ServeOptions) -> Self {
+        let cache = LruCache::new(opts.cache_size);
+        ServeEngine { opts, cache, stats: ServeStats::default() }
+    }
+
+    /// Decodes one parsed request line (bare instance or envelope).
+    fn decode_request(&self, value: &Json) -> Result<Request, String> {
+        if value.get("instance").is_none() {
+            // Bare instance document.
+            let dto = InstanceDto::from_json(value)?;
+            return Ok(Request {
+                dto,
+                algo: self.opts.algo,
+                work_units: self.opts.work_units,
+                solve_workers: self.opts.solve_workers,
+            });
+        }
+        let Json::Object(pairs) = value else {
+            return Err("request must be a JSON object".to_string());
+        };
+        let mut req = Request {
+            dto: InstanceDto { capacities: Vec::new(), tasks: Vec::new() },
+            algo: self.opts.algo,
+            work_units: self.opts.work_units,
+            solve_workers: self.opts.solve_workers,
+        };
+        for (key, val) in pairs {
+            match key.as_str() {
+                "instance" => req.dto = InstanceDto::from_json(val)?,
+                "algo" => {
+                    let name = val.as_str().ok_or("field \"algo\" must be a string")?;
+                    req.algo = ServeAlgo::from_name(name)
+                        .ok_or_else(|| format!("unknown algo {name:?} (combined|practical)"))?;
+                }
+                "work_units" => {
+                    let units = val
+                        .as_u64()
+                        .ok_or("field \"work_units\" must be a non-negative integer")?;
+                    req.work_units = Some(units);
+                }
+                "workers" => {
+                    req.solve_workers = val
+                        .as_usize()
+                        .ok_or("field \"workers\" must be a non-negative integer")?;
+                }
+                other => return Err(format!("unknown request field {other:?}")),
+            }
+        }
+        Ok(req)
+    }
+
+    /// Processes one batch of request lines, returning one response
+    /// line per input line, in order. Output is byte-identical for any
+    /// `workers` width and for cold vs warm cache.
+    pub fn process_batch(&mut self, lines: &[&str]) -> Vec<String> {
+        self.stats.batches += 1;
+        // Sequential classification: parse, decode, fingerprint, and
+        // consult the cache in input order, so the hit/miss/leader
+        // pattern is independent of worker scheduling.
+        let mut slots: Vec<Slot> = Vec::with_capacity(lines.len());
+        let mut jobs: Vec<(Request, CacheKey)> = Vec::new();
+        let mut pending: HashMap<CacheKey, usize> = HashMap::new();
+        for (idx, line) in lines.iter().enumerate() {
+            self.stats.requests += 1;
+            let decoded = json::parse(line)
+                .map_err(|e| format!("bad request: {e}"))
+                .and_then(|v| self.decode_request(&v).map_err(|e| format!("bad request: {e}")));
+            let slot = match decoded {
+                Err(msg) => Slot::Ready(error_response(&msg), false),
+                Ok(req) => {
+                    let key = CacheKey {
+                        fp: fingerprint(&req.dto),
+                        algo: req.algo,
+                        work_units: req.work_units,
+                    };
+                    if let Some(payload) = self.cache.get(&key) {
+                        // Only ok payloads are ever cached.
+                        self.stats.cache_hits += 1;
+                        Slot::Ready(payload.clone(), true)
+                    } else if let Some(&leader) = pending.get(&key) {
+                        self.stats.cache_hits += 1;
+                        Slot::Follower(leader)
+                    } else {
+                        self.stats.cache_misses += 1;
+                        pending.insert(key.clone(), idx);
+                        jobs.push((req, key));
+                        Slot::Leader(jobs.len() - 1)
+                    }
+                }
+            };
+            slots.push(slot);
+        }
+        // Parallel fan-out over the novel requests. Each request solves
+        // under its own budget; the unlimited parent budget here only
+        // provides the deterministic dispatch/merge structure. Panics
+        // are absorbed per request, not propagated.
+        let results = map_reduce_isolated(
+            &Budget::unlimited(),
+            &jobs,
+            self.opts.workers,
+            |(req, _key), _b| {
+                Ok(match run_isolated(|| solve_request(req)) {
+                    Ok(inner) => inner,
+                    Err(panic_msg) => Err(format!("solver panicked: {panic_msg}")),
+                })
+            },
+        );
+        // Sequential index-order merge: responses, counter updates, and
+        // cache insertions all happen in input order.
+        let mut out: Vec<(String, bool)> = Vec::with_capacity(slots.len());
+        for slot in &slots {
+            let entry = match slot {
+                Slot::Ready(line, ok) => (line.clone(), *ok),
+                Slot::Follower(leader_line) => {
+                    // The leader always precedes its followers.
+                    match out.get(*leader_line) {
+                        Some(leader) => leader.clone(),
+                        None => (error_response("internal error: missing leader"), false),
+                    }
+                }
+                Slot::Leader(job_idx) => {
+                    let outcome = results
+                        .get(*job_idx)
+                        .map(|r| match r {
+                            Ok(solved) => match solved {
+                                Ok(ok) => Ok(ok),
+                                Err(msg) => Err(msg.clone()),
+                            },
+                            Err(e) => Err(format!("solve failed: {e}")),
+                        })
+                        .unwrap_or_else(|| Err("internal error: missing result".to_string()));
+                    match outcome {
+                        Ok(solved) => {
+                            bump(&mut self.stats.winners, winner_counter(solved.winner));
+                            for o in &solved.outcomes {
+                                bump(&mut self.stats.outcomes, outcome_counter(o));
+                            }
+                            if let Some((_, key)) = jobs.get(*job_idx) {
+                                if self.cache.insert(key.clone(), solved.payload.clone()) {
+                                    self.stats.cache_evictions += 1;
+                                }
+                            }
+                            (solved.payload.clone(), true)
+                        }
+                        Err(msg) => (error_response(&msg), false),
+                    }
+                }
+            };
+            if entry.1 {
+                self.stats.ok += 1;
+            } else {
+                self.stats.errors += 1;
+            }
+            out.push(entry);
+        }
+        out.into_iter().map(|(line, _)| line).collect()
+    }
+
+    /// Emits the cumulative counters onto a telemetry handle
+    /// (`serve.requests`, `serve.cache.hits`, `serve.winner.*`, …).
+    pub fn record_telemetry(&self, tele: &Telemetry) {
+        tele.count("serve.requests", self.stats.requests);
+        tele.count("serve.ok", self.stats.ok);
+        tele.count("serve.err", self.stats.errors);
+        tele.count("serve.batches", self.stats.batches);
+        tele.count("serve.cache.hits", self.stats.cache_hits);
+        tele.count("serve.cache.misses", self.stats.cache_misses);
+        tele.count("serve.cache.evictions", self.stats.cache_evictions);
+        tele.count("serve.cache.entries", self.cache.len() as u64);
+        for &(name, n) in &self.stats.winners {
+            tele.count(name, n);
+        }
+        for &(name, n) in &self.stats.outcomes {
+            tele.count(name, n);
+        }
+    }
+
+    /// One-line human summary for stderr (deterministic).
+    pub fn summary_line(&self) -> String {
+        format!(
+            "serve: {} requests ({} ok, {} err) in {} batches; cache {} hits / {} misses / {} evictions",
+            self.stats.requests,
+            self.stats.ok,
+            self.stats.errors,
+            self.stats.batches,
+            self.stats.cache_hits,
+            self.stats.cache_misses,
+            self.stats.cache_evictions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst_line() -> String {
+        r#"{"capacities":[4,6,4],"tasks":[{"lo":0,"hi":2,"demand":2,"weight":10},{"lo":1,"hi":3,"demand":3,"weight":8}]}"#
+            .to_string()
+    }
+
+    #[test]
+    fn fingerprint_ignores_spelling_not_content() {
+        let a = InstanceDto::from_json_str(&inst_line()).unwrap();
+        // Same instance, different key order in the task objects.
+        let b = InstanceDto::from_json_str(
+            r#"{"tasks":[{"weight":10,"demand":2,"hi":2,"lo":0},{"hi":3,"lo":1,"weight":8,"demand":3}],"capacities":[4,6,4]}"#,
+        )
+        .unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        let mut c = a.clone();
+        c.tasks[0].weight += 1;
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn envelope_rejects_unknown_fields() {
+        let engine = ServeEngine::new(ServeOptions::default());
+        let v = json::parse(&format!(r#"{{"instance":{},"cheat":1}}"#, inst_line())).unwrap();
+        let err = engine.decode_request(&v).unwrap_err();
+        assert!(err.contains("cheat"), "{err}");
+    }
+
+    #[test]
+    fn envelope_overrides_defaults() {
+        let engine = ServeEngine::new(ServeOptions::default());
+        let v = json::parse(&format!(
+            r#"{{"instance":{},"algo":"combined","work_units":9,"workers":2}}"#,
+            inst_line()
+        ))
+        .unwrap();
+        let req = engine.decode_request(&v).unwrap();
+        assert_eq!(req.algo, ServeAlgo::Combined);
+        assert_eq!(req.work_units, Some(9));
+        assert_eq!(req.solve_workers, 2);
+    }
+
+    #[test]
+    fn malformed_lines_do_not_kill_the_batch() {
+        let mut engine = ServeEngine::new(ServeOptions::default());
+        let good = inst_line();
+        let lines = vec!["{oops", good.as_str(), r#"{"capacities":[],"tasks":[]}"#];
+        let out = engine.process_batch(&lines);
+        assert_eq!(out.len(), 3);
+        assert!(out[0].starts_with(r#"{"v":1,"status":"error""#), "{}", out[0]);
+        assert!(out[1].starts_with(r#"{"v":1,"status":"ok""#), "{}", out[1]);
+        // Empty capacities is an invalid instance → structured error.
+        assert!(out[2].starts_with(r#"{"v":1,"status":"error""#), "{}", out[2]);
+        assert_eq!(engine.stats.ok, 1);
+        assert_eq!(engine.stats.errors, 2);
+    }
+
+    #[test]
+    fn duplicates_share_one_solve_and_identical_bytes() {
+        let mut engine = ServeEngine::new(ServeOptions::default());
+        let good = inst_line();
+        let lines = vec![good.as_str(), good.as_str(), good.as_str()];
+        let out = engine.process_batch(&lines);
+        assert_eq!(out[0], out[1]);
+        assert_eq!(out[1], out[2]);
+        assert_eq!(engine.stats.cache_misses, 1);
+        assert_eq!(engine.stats.cache_hits, 2);
+        // Next batch hits the cache proper.
+        let out2 = engine.process_batch(&[good.as_str()]);
+        assert_eq!(out2[0], out[0]);
+        assert_eq!(engine.stats.cache_misses, 1);
+        assert_eq!(engine.stats.cache_hits, 3);
+    }
+}

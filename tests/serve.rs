@@ -1,0 +1,229 @@
+//! End-to-end and determinism tests for the `sap serve` batch solve
+//! service — both the library engine (`storage_alloc::serve`) and the
+//! actual binary driven over pipes.
+//!
+//! The ISSUE-5 acceptance bar enforced here: batch output is
+//! byte-identical across `--workers 1/2/8` and across cold-cache vs
+//! warm-cache runs, malformed lines degrade to structured error
+//! responses without killing the batch, and the cache counters are
+//! visible in `--telemetry=json`.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+use storage_alloc::serve::{ServeAlgo, ServeEngine, ServeOptions};
+
+fn inst_a() -> String {
+    r#"{"capacities":[4,6,4],"tasks":[{"lo":0,"hi":2,"demand":2,"weight":10},{"lo":1,"hi":3,"demand":3,"weight":8}]}"#.to_string()
+}
+
+fn inst_b() -> String {
+    r#"{"capacities":[8,8],"tasks":[{"lo":0,"hi":1,"demand":3,"weight":5},{"lo":1,"hi":2,"demand":8,"weight":9},{"lo":0,"hi":2,"demand":4,"weight":7}]}"#.to_string()
+}
+
+/// `inst_a` spelled with different key order and whitespace — the same
+/// canonical instance, so it must share a cache entry with `inst_a`.
+fn inst_a_respelled() -> String {
+    r#"{ "tasks": [ {"weight":10,"demand":2,"hi":2,"lo":0}, {"hi":3,"weight":8,"lo":1,"demand":3} ], "capacities": [4, 6, 4] }"#.to_string()
+}
+
+fn mixed_batch() -> Vec<String> {
+    vec![
+        inst_a(),
+        "{definitely not json".to_string(),
+        inst_b(),
+        inst_a_respelled(),
+        r#"{"capacities":[],"tasks":[]}"#.to_string(),
+        format!(r#"{{"instance":{},"algo":"combined"}}"#, inst_a()),
+        inst_b(),
+    ]
+}
+
+fn run_engine(opts: ServeOptions, batches: &[Vec<String>]) -> (Vec<String>, ServeEngine) {
+    let mut engine = ServeEngine::new(opts);
+    let mut out = Vec::new();
+    for batch in batches {
+        let refs: Vec<&str> = batch.iter().map(String::as_str).collect();
+        out.extend(engine.process_batch(&refs));
+    }
+    (out, engine)
+}
+
+#[test]
+fn output_is_byte_identical_across_worker_widths() {
+    let batches = vec![mixed_batch(), vec![inst_a(), inst_b()]];
+    let (base, _) = run_engine(ServeOptions { workers: 1, ..Default::default() }, &batches);
+    for workers in [2, 8] {
+        let (out, _) = run_engine(ServeOptions { workers, ..Default::default() }, &batches);
+        assert_eq!(out, base, "workers={workers} diverged from workers=1");
+    }
+}
+
+#[test]
+fn output_is_byte_identical_cold_vs_warm() {
+    let batch = mixed_batch();
+    let batches = vec![batch.clone(), batch];
+    let (out, engine) = run_engine(ServeOptions::default(), &batches);
+    let (cold, warm) = out.split_at(out.len() / 2);
+    assert_eq!(cold, warm, "warm-cache replay changed the bytes");
+    // Batch 1: the respelled duplicate and the second inst_b ride as
+    // followers (2 hits); batch 2: every request that solved ok hits
+    // (5 hits). Error responses are never cached, so the invalid
+    // instance re-misses on replay: 4 cold misses + 1 warm re-miss.
+    assert_eq!(engine.stats.cache_hits, 7);
+    assert_eq!(engine.stats.cache_misses, 5);
+}
+
+#[test]
+fn respelled_instance_shares_a_cache_entry() {
+    let (_, engine) =
+        run_engine(ServeOptions::default(), &[vec![inst_a()], vec![inst_a_respelled()]]);
+    assert_eq!(engine.stats.cache_misses, 1);
+    assert_eq!(engine.stats.cache_hits, 1);
+}
+
+#[test]
+fn algo_override_is_part_of_the_cache_key() {
+    let combined = format!(r#"{{"instance":{},"algo":"combined"}}"#, inst_a());
+    let practical = format!(r#"{{"instance":{},"algo":"practical"}}"#, inst_a());
+    let (_, engine) =
+        run_engine(ServeOptions::default(), &[vec![combined.clone()], vec![practical], vec![combined]]);
+    // Two distinct keys solved once each; the replay hits.
+    assert_eq!(engine.stats.cache_misses, 2);
+    assert_eq!(engine.stats.cache_hits, 1);
+}
+
+#[test]
+fn budgeted_requests_degrade_deterministically() {
+    // A starvation budget forces the driver down its fallback chain; the
+    // response must still be ok (greedy is budget-free) and identical at
+    // any width and on replay.
+    let line = format!(r#"{{"instance":{},"work_units":1,"algo":"combined"}}"#, inst_b());
+    let batches = vec![vec![line.clone(), line.clone()], vec![line]];
+    let (base, engine) = run_engine(ServeOptions { workers: 1, ..Default::default() }, &batches);
+    assert!(base[0].starts_with(r#"{"v":1,"status":"ok""#), "{}", base[0]);
+    assert!(base[0].contains("budget_exhausted"), "report should record the trip: {}", base[0]);
+    assert_eq!(base[0], base[1]);
+    assert_eq!(base[0], base[2]);
+    assert_eq!(engine.stats.cache_misses, 1);
+    let (wide, _) = run_engine(ServeOptions { workers: 8, ..Default::default() }, &batches);
+    assert_eq!(base, wide);
+}
+
+#[test]
+fn cache_evictions_are_counted_and_bounded() {
+    let opts = ServeOptions { cache_size: 1, ..Default::default() };
+    let (_, engine) = run_engine(opts, &[vec![inst_a()], vec![inst_b()], vec![inst_a()]]);
+    // inst_b evicts inst_a, the second inst_a evicts inst_b: 2 evictions,
+    // 3 misses, 0 hits.
+    assert_eq!(engine.stats.cache_evictions, 2);
+    assert_eq!(engine.stats.cache_misses, 3);
+    assert_eq!(engine.stats.cache_hits, 0);
+}
+
+#[test]
+fn disabled_cache_never_hits_but_output_is_unchanged() {
+    let batches = vec![vec![inst_a()], vec![inst_a()]];
+    let (cached, _) = run_engine(ServeOptions::default(), &batches);
+    let (uncached, engine) =
+        run_engine(ServeOptions { cache_size: 0, ..Default::default() }, &batches);
+    assert_eq!(cached, uncached);
+    assert_eq!(engine.stats.cache_hits, 0);
+    assert_eq!(engine.stats.cache_misses, 2);
+}
+
+// ---------------------------------------------------------------------
+// Binary end-to-end, over real pipes.
+// ---------------------------------------------------------------------
+
+fn run_serve_binary(args: &[&str], input: &str) -> (String, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sap"))
+        .arg("serve")
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn sap serve");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(input.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("sap serve exit");
+    assert!(out.status.success(), "sap serve failed: {out:?}");
+    (
+        String::from_utf8(out.stdout).expect("utf8 stdout"),
+        String::from_utf8(out.stderr).expect("utf8 stderr"),
+    )
+}
+
+#[test]
+fn serve_binary_end_to_end_mixed_batch() {
+    let input = mixed_batch().join("\n") + "\n";
+    let (stdout, stderr) = run_serve_binary(&["--telemetry=json"], &input);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 7, "one response per request line:\n{stdout}");
+    for (i, ok) in [true, false, true, true, false, true, true].iter().enumerate() {
+        let want = if *ok { r#"{"v":1,"status":"ok""# } else { r#"{"v":1,"status":"error""# };
+        assert!(lines[i].starts_with(want), "line {i}: {}", lines[i]);
+    }
+    // Responses embed solution, report, and telemetry.
+    assert!(lines[0].contains("\"solution\":{"), "{}", lines[0]);
+    assert!(lines[0].contains("\"report\":{"), "{}", lines[0]);
+    assert!(lines[0].contains("\"telemetry\":{"), "{}", lines[0]);
+    // The duplicate spelled differently copies the leader byte-for-byte.
+    assert_eq!(lines[0], lines[3]);
+    // Cache counters are first-class telemetry on stderr.
+    for needle in [
+        "serve.cache.hits",
+        "serve.cache.misses",
+        "serve.cache.evictions",
+        "serve.requests",
+    ] {
+        assert!(stderr.contains(needle), "stderr missing {needle}:\n{stderr}");
+    }
+    assert!(stderr.contains("serve: 7 requests (5 ok, 2 err)"), "{stderr}");
+}
+
+#[test]
+fn serve_binary_stdout_identical_across_widths_and_cache_warmth() {
+    // Two copies of the batch in one stream: the second half replays the
+    // first against a warm cache. Workers 1 vs 8 and cold vs warm must
+    // all be byte-identical.
+    let one_round = mixed_batch().join("\n") + "\n";
+    let input = format!("{one_round}{one_round}");
+    let (w1, _) = run_serve_binary(&["--workers", "1"], &input);
+    let (w2, _) = run_serve_binary(&["--workers", "2"], &input);
+    let (w8, _) = run_serve_binary(&["--workers", "8"], &input);
+    assert_eq!(w1, w2);
+    assert_eq!(w1, w8);
+    let lines: Vec<&str> = w1.lines().collect();
+    assert_eq!(lines.len(), 14);
+    let (cold, warm) = lines.split_at(7);
+    assert_eq!(cold, warm, "warm replay diverged from cold");
+    // Small batch sizes slice the stream differently but cannot change it.
+    let (b2, _) = run_serve_binary(&["--batch", "2"], &input);
+    assert_eq!(w1, b2);
+}
+
+#[test]
+fn serve_binary_rejects_bad_flags() {
+    let out = Command::new(env!("CARGO_BIN_EXE_sap"))
+        .args(["serve", "--algo", "greedy"])
+        .stdin(Stdio::null())
+        .stderr(Stdio::piped())
+        .output()
+        .expect("run sap serve");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--algo accepts combined or practical"), "{stderr}");
+}
+
+#[test]
+fn serve_engine_algo_names_round_trip() {
+    assert_eq!(ServeAlgo::from_name("combined"), Some(ServeAlgo::Combined));
+    assert_eq!(ServeAlgo::from_name("practical"), Some(ServeAlgo::Practical));
+    assert_eq!(ServeAlgo::from_name("exact"), None);
+}
