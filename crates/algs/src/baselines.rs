@@ -26,8 +26,8 @@ pub fn greedy_sap(instance: &Instance, ids: &[TaskId], order: GreedyOrder) -> Sa
         }
         GreedyOrder::DensityDesc => sorted.sort_by(|&a, &b| {
             let area = |j: TaskId| instance.demand(j) as u128 * instance.span(j).len() as u128;
-            let lhs = instance.weight(a) as u128 * area(b);
-            let rhs = instance.weight(b) as u128 * area(a);
+            let lhs = instance.weight(a) as u128 * area(b); // lint:allow(o1) — u64 factors widened to u128 cannot overflow
+            let rhs = instance.weight(b) as u128 * area(a); // lint:allow(o1) — u64 factors widened to u128 cannot overflow
             rhs.cmp(&lhs).then(a.cmp(&b))
         }),
         GreedyOrder::AsGiven => {}
@@ -45,19 +45,22 @@ pub fn greedy_sap(instance: &Instance, ids: &[TaskId], order: GreedyOrder) -> Sa
             .map(|p| (p.height, p.height + instance.demand(p.task)))
             .collect();
         blocks.sort_unstable();
+        // Saturating sums: if `h + d` overflows, the task cannot fit
+        // under any bottleneck, and saturation makes the `<=` fail.
+        let fits = |h: u64| h.saturating_add(d) <= b;
         let mut h = 0u64;
-        let mut ok = h + d <= b;
+        let mut ok = fits(h);
         for &(lo, hi) in &blocks {
-            if lo >= h + d {
+            if lo >= h.saturating_add(d) {
                 break; // gap [h, lo) big enough
             }
             h = h.max(hi);
-            ok = h + d <= b;
+            ok = fits(h);
             if !ok {
                 break;
             }
         }
-        if ok && h + d <= b {
+        if ok && fits(h) {
             placed.push(Placement { task: j, height: h });
         }
     }

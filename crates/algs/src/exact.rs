@@ -140,7 +140,7 @@ impl Search<'_> {
                 feasible.push((i, h));
             }
         }
-        if weight + potential <= self.best_weight {
+        if weight.saturating_add(potential) <= self.best_weight {
             return;
         }
         if !self.seen.insert((mask, mu.to_vec())) {
@@ -158,7 +158,7 @@ impl Search<'_> {
                 mu2[e] = top;
             }
             order.push(j);
-            self.dfs(mask | (1 << i), &mu2, weight + self.inst.weight(j), order);
+            self.dfs(mask | (1 << i), &mu2, weight.saturating_add(self.inst.weight(j)), order);
             order.pop();
         }
     }

@@ -18,7 +18,7 @@
 //! produces. The test-suite cross-validates it against the independent
 //! search-based exact solver ([`crate::exact`]).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use sap_core::budget::{Budget, CheckpointClass};
 use sap_core::error::SapResult;
@@ -96,7 +96,7 @@ fn run_lemma13(
             let d = instance.demand(j);
             let snapshot: Vec<u64> = sums.clone();
             for s in snapshot {
-                let v = s + d;
+                let v = s.saturating_add(d);
                 if v < max_cap && seen.insert(v) {
                     sums.push(v);
                 }
@@ -116,13 +116,16 @@ fn run_lemma13(
 
     // Forward sweep. Value map: state -> (weight, parent state, newly
     // placed tasks). Parents are tracked per edge for traceback.
-    let mut prev: HashMap<State, (u64, State, Vec<Placement>)> = HashMap::new();
+    // BTreeMap, not HashMap: equal-weight states tie-break by iteration
+    // order in the final `max_by_key`, so the map order is part of the
+    // byte-identical output contract.
+    let mut prev: BTreeMap<State, (u64, State, Vec<Placement>)> = BTreeMap::new();
     prev.insert(Vec::new(), (0, Vec::new(), Vec::new()));
-    let mut history: Vec<HashMap<State, (u64, State, Vec<Placement>)>> = Vec::with_capacity(m);
+    let mut history: Vec<BTreeMap<State, (u64, State, Vec<Placement>)>> = Vec::with_capacity(m);
     let mut total_states = 0usize;
 
     for e in 0..m {
-        let mut cur: HashMap<State, (u64, State, Vec<Placement>)> = HashMap::new();
+        let mut cur: BTreeMap<State, (u64, State, Vec<Placement>)> = BTreeMap::new();
         for (state, (w, _, _)) in &prev {
             if let Some(b) = budget {
                 b.tick(CheckpointClass::DpRow, 1);
@@ -146,12 +149,12 @@ fn run_lemma13(
                     if st.iter().all(|&(j, h)| h + instance.demand(j) <= cap) {
                         let entry = cur.entry(st.clone());
                         match entry {
-                            std::collections::hash_map::Entry::Occupied(mut o) => {
+                            std::collections::btree_map::Entry::Occupied(mut o) => {
                                 if o.get().0 < sw {
                                     o.insert((sw, state.clone(), placed.clone()));
                                 }
                             }
-                            std::collections::hash_map::Entry::Vacant(v) => {
+                            std::collections::btree_map::Entry::Vacant(v) => {
                                 v.insert((sw, state.clone(), placed.clone()));
                                 total_states += 1;
                             }
@@ -169,12 +172,13 @@ fn run_lemma13(
                 // from the current crossers.
                 let d = instance.demand(j);
                 for &h in &sums {
-                    if h + d > instance.bottleneck(j) {
+                    let top = h.saturating_add(d);
+                    if top > instance.bottleneck(j) {
                         break; // sums are sorted
                     }
                     let disjoint = st
                         .iter()
-                        .all(|&(i, hi)| h + d <= hi || hi + instance.demand(i) <= h);
+                        .all(|&(i, hi)| top <= hi || hi + instance.demand(i) <= h);
                     if disjoint {
                         let mut st2 = st.clone();
                         st2.push((j, h));
@@ -249,6 +253,40 @@ mod tests {
             })
             .collect();
         Instance::new(net, tasks).unwrap()
+    }
+
+    #[test]
+    fn dp_placements_do_not_depend_on_map_order() {
+        // Equal task weights make equal-weight optima common, so the
+        // final `max_by_key` constantly breaks ties. The DP maps are
+        // BTreeMaps precisely so those ties resolve the same way every
+        // run — with HashMaps each run draws a fresh RandomState and
+        // repeated in-process solves could return different (equally
+        // optimal) placement sets.
+        for seed in 0..6 {
+            let base = random_instance(seed, 4, 8, 4);
+            let net = base.network().clone();
+            let tasks: Vec<Task> = base
+                .all_ids()
+                .iter()
+                .map(|&j| {
+                    let sp = base.span(j);
+                    Task::of(sp.lo, sp.hi, base.demand(j), 7)
+                })
+                .collect();
+            let inst = Instance::new(net, tasks).unwrap();
+            let ids = inst.all_ids();
+            let first = solve_lemma13_dp(&inst, &ids, Lemma13Config::default())
+                .expect("budget");
+            for round in 0..4 {
+                let again = solve_lemma13_dp(&inst, &ids, Lemma13Config::default())
+                    .expect("budget");
+                assert_eq!(
+                    first.placements, again.placements,
+                    "seed {seed} round {round}"
+                );
+            }
+        }
     }
 
     #[test]

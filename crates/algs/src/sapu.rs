@@ -13,7 +13,7 @@
 //! so a bug in either would have to be mirrored in a completely
 //! different algorithm to go unnoticed.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use sap_core::{Instance, Placement, SapSolution, TaskId};
 
@@ -53,10 +53,10 @@ pub fn solve_sapu_exact_dp(instance: &Instance, ids: &[TaskId]) -> SapSolution {
         parent: Option<(usize, usize)>, // (edge, index in that edge's trace)
         placed: Vec<Placement>,
     }
-    let mut layers: Vec<HashMap<State, usize>> = Vec::with_capacity(m);
+    let mut layers: Vec<BTreeMap<State, usize>> = Vec::with_capacity(m);
     let mut traces: Vec<Vec<Entry>> = Vec::with_capacity(m);
 
-    let mut prev: HashMap<State, usize> = HashMap::new();
+    let mut prev: BTreeMap<State, usize> = BTreeMap::new();
     let mut prev_trace: Vec<Entry> = vec![Entry {
         weight: 0,
         parent: None,
@@ -65,7 +65,7 @@ pub fn solve_sapu_exact_dp(instance: &Instance, ids: &[TaskId]) -> SapSolution {
     prev.insert(vec![FREE; k], 0);
 
     for e in 0..m {
-        let mut cur: HashMap<State, usize> = HashMap::new();
+        let mut cur: BTreeMap<State, usize> = BTreeMap::new();
         let mut cur_trace: Vec<Entry> = Vec::new();
         for (state, &idx) in &prev {
             let base_weight = prev_trace[idx].weight;
@@ -113,9 +113,12 @@ pub fn solve_sapu_exact_dp(instance: &Instance, ids: &[TaskId]) -> SapSolution {
                 // `ids`, so the lookup always succeeds.
                 let pos_in_ids = ids.iter().position(|&x| x == j).expect("starter in ids") as u32;
                 for h in 0..=(k.saturating_sub(d)) {
-                    if st[h..h + d].iter().all(|&u| u == FREE) {
+                    // `h + d <= k` by the loop bound; saturating keeps
+                    // the lint's overflow proof local to this line.
+                    let top = h.saturating_add(d);
+                    if st[h..top].iter().all(|&u| u == FREE) {
                         let mut st2 = st.clone();
-                        for unit in st2[h..h + d].iter_mut() {
+                        for unit in st2[h..top].iter_mut() {
                             *unit = pos_in_ids;
                         }
                         let mut placed2 = placed.clone();
@@ -180,6 +183,36 @@ mod tests {
             })
             .collect();
         Instance::new(net, tasks).unwrap()
+    }
+
+    #[test]
+    fn placements_do_not_depend_on_map_order() {
+        // Equal weights force constant tie-breaking in the final state
+        // scan; BTreeMap layers make every repeated solve return the
+        // same placements (HashMap layers re-seed per map and could
+        // pick a different equally-optimal state each run).
+        for (seed, k) in [(1u64, 3u64), (2, 4), (3, 5)] {
+            let base = random_sapu(seed, 4, 8, k);
+            let net = base.network().clone();
+            let tasks: Vec<Task> = base
+                .all_ids()
+                .iter()
+                .map(|&j| {
+                    let sp = base.span(j);
+                    Task::of(sp.lo, sp.hi, base.demand(j), 5)
+                })
+                .collect();
+            let inst = Instance::new(net, tasks).unwrap();
+            let ids = inst.all_ids();
+            let first = solve_sapu_exact_dp(&inst, &ids);
+            for round in 0..4 {
+                let again = solve_sapu_exact_dp(&inst, &ids);
+                assert_eq!(
+                    first.placements, again.placements,
+                    "seed {seed} round {round}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -98,6 +98,8 @@ pub fn try_solve_small(
         });
     let mut sols = Vec::with_capacity(parts.len());
     let mut lp_ok = true;
+    // lint:allow(b1) — folds per-stratum results; the per-stratum work
+    // was metered inside map_reduce_isolated.
     for part in parts {
         let (sol, ok) = part?;
         lp_ok &= ok;

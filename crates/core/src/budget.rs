@@ -255,6 +255,8 @@ impl Budget {
     /// Deadline checks read [`Instant::now`], so deadline-limited runs are
     /// *not* deterministic; combine with care in tests that compare runs.
     pub fn with_deadline_ms(mut self, ms: u64) -> Budget {
+        // lint:allow(n1) — deadlines are a documented opt-out of
+        // determinism (see the doc comment above).
         self.deadline = Some(Instant::now() + Duration::from_millis(ms));
         self
     }
@@ -427,6 +429,8 @@ impl Budget {
             return Err(SapError::BudgetExhausted);
         }
         if let Some(deadline) = self.deadline {
+            // lint:allow(n1) — only reachable when with_deadline_ms was
+            // called, which documents the determinism opt-out.
             if Instant::now() >= deadline {
                 // Deadline trips cancel the whole solve, not just this arm.
                 self.cancelled.store(true, Ordering::Relaxed);

@@ -124,6 +124,9 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         if self.slots.len() >= self.capacity {
             let victim = self
                 .slots
+                // lint:allow(n1) — `last_used` ticks are strictly
+                // monotone, so min_by_key has a unique minimum and hash
+                // iteration order cannot change the evicted key.
                 .iter()
                 .min_by_key(|(_, slot)| slot.last_used)
                 .map(|(k, _)| k.clone());

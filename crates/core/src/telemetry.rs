@@ -193,6 +193,9 @@ impl Telemetry {
         if let Some(node) = &self.node {
             node.entries.fetch_add(1, Ordering::Relaxed);
             if node.timings {
+                // lint:allow(n1) — guarded by the `timings` opt-in:
+                // durations are recorded only when the caller asked for
+                // wall-clock data and accepts the nondeterminism.
                 started = Some(Instant::now());
             }
         }

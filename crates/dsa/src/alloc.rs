@@ -57,7 +57,9 @@ pub fn allocate(instance: &Instance, ids: &[TaskId], order: DsaOrder) -> SapSolu
         // Lowest gap of size ≥ d.
         let mut h = 0u64;
         for &(lo, hi) in &blocks {
-            if lo >= h + d {
+            // Saturating: an overflowing `h + d` means no gap below
+            // `lo` can hold the task, which the comparison preserves.
+            if lo >= h.saturating_add(d) {
                 break; // gap [h, lo) fits
             }
             h = h.max(hi);

@@ -216,7 +216,7 @@ pub fn solve_exact_branch_and_bound(items: &[Item], capacity: u64) -> KnapsackSo
             let i = self.order[pos];
             if self.items[i].size <= room {
                 self.current.push(i);
-                self.go(pos + 1, room - self.items[i].size, weight + self.items[i].weight);
+                self.go(pos + 1, room - self.items[i].size, weight.saturating_add(self.items[i].weight));
                 self.current.pop();
             }
             self.go(pos + 1, room, weight);
@@ -269,8 +269,11 @@ pub fn validate(items: &[Item], capacity: u64, sol: &KnapsackSolution) -> bool {
             return false;
         }
         seen[i] = true;
-        size += items[i].size;
-        weight += items[i].weight;
+        // Overflowing totals can never equal a genuine solution weight.
+        let Some(s) = size.checked_add(items[i].size) else { return false };
+        let Some(w) = weight.checked_add(items[i].weight) else { return false };
+        size = s;
+        weight = w;
     }
     size <= capacity && weight == sol.weight
 }

@@ -1,0 +1,31 @@
+//! Known-bad fixture for the semantic lints: n1, o1, v2, b1 and t2
+//! must all fire in this file, and the stale `allow` below must be
+//! reported by the directive audit.
+
+use std::collections::HashMap;
+
+// lint:allow(f1) — stale on purpose: no float comparison ever fires here.
+pub fn solve_unvalidated(inst: &Instance) -> Solution {
+    build(inst)
+}
+
+fn build(inst: &Instance) -> Solution {
+    let seen: HashMap<u64, u64> = HashMap::new();
+    let mut acc = 0;
+    for (k, _) in seen.iter() {
+        acc += k + inst.demand(*k as usize);
+    }
+    Solution::with_weight(acc)
+}
+
+pub fn try_scan(cap: u64, weight: u64, n: u64) -> SapResult<u64> {
+    let mut acc = cap + weight;
+    while acc < n {
+        acc += 1;
+    }
+    Ok(acc)
+}
+
+fn record(tele: &Telemetry) {
+    tele.count("typo.counter", 1);
+}

@@ -1,0 +1,254 @@
+//! Conservative cross-file call graph over the workspace.
+//!
+//! Call sites are recovered from the token stream: an identifier
+//! directly followed by `(` that is neither a keyword, a macro
+//! invocation (`name!`), nor a definition (`fn name`). Resolution is by
+//! bare name — the last segment of `a::b::c(…)` or `.method(…)` —
+//! against every function of that name anywhere in the workspace,
+//! over-approximating on ambiguity: an edge too many only makes the
+//! reachability lints *more* cautious, never unsound. Unresolvable
+//! names (std, closures, trait objects) contribute no edges.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::items::{self, FnItem};
+use crate::source::SourceFile;
+use crate::tokens::{self, TokKind, Token};
+
+/// Keywords that look like calls when followed by `(`.
+const NON_CALL_KEYWORDS: [&str; 12] = [
+    "if", "while", "for", "match", "return", "loop", "fn", "in", "move", "else",
+    "impl", "where",
+];
+
+/// One function in the whole-workspace table.
+#[derive(Clone, Debug)]
+pub struct FnNode {
+    /// Index into the file list the graph was built from.
+    pub file: usize,
+    /// The item itself.
+    pub item: FnItem,
+    /// Bare names this fn calls directly (deduped, sorted).
+    pub calls: Vec<String>,
+}
+
+/// The workspace call graph.
+#[derive(Debug)]
+pub struct Graph {
+    /// Every fn in the workspace, grouped by file in source order.
+    pub nodes: Vec<FnNode>,
+    /// `name -> indices of fns with that name` (the resolution table).
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// Adjacency: caller index -> callee indices (over-approximated).
+    edges: Vec<Vec<usize>>,
+    /// For each file, the node indices of its fns.
+    per_file: Vec<Vec<usize>>,
+}
+
+impl Graph {
+    /// Build the graph over `files` (token streams are computed here).
+    pub fn build(files: &[SourceFile]) -> Graph {
+        let mut nodes = Vec::new();
+        let mut per_file = Vec::with_capacity(files.len());
+        for (fi, src) in files.iter().enumerate() {
+            let toks = tokens::tokenize(src);
+            let fns = items::file_fns(src);
+            let mut indices = Vec::with_capacity(fns.len());
+            for item in fns {
+                let calls = call_names(&toks, item.open_line, item.end_line);
+                indices.push(nodes.len());
+                nodes.push(FnNode { file: fi, item, calls });
+            }
+            per_file.push(indices);
+        }
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, n) in nodes.iter().enumerate() {
+            by_name.entry(n.item.name.clone()).or_default().push(i);
+        }
+        let edges = nodes
+            .iter()
+            .map(|n| {
+                let mut out: Vec<usize> = n
+                    .calls
+                    .iter()
+                    .filter_map(|name| by_name.get(name))
+                    .flatten()
+                    .copied()
+                    .collect();
+                out.sort_unstable();
+                out.dedup();
+                out
+            })
+            .collect();
+        Graph { nodes, by_name, edges, per_file }
+    }
+
+    /// Indices of the fns defined in `file`.
+    pub fn fns_of_file(&self, file: usize) -> &[usize] {
+        &self.per_file[file]
+    }
+
+    /// The innermost fn of `file` containing 0-based `line`, if any.
+    pub fn enclosing(&self, file: usize, line: usize) -> Option<usize> {
+        self.per_file[file]
+            .iter()
+            .copied()
+            .filter(|&i| self.nodes[i].item.contains(line))
+            .min_by_key(|&i| self.nodes[i].item.end_line - self.nodes[i].item.header_line)
+    }
+
+    /// All fns with the given bare name.
+    pub fn named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Forward closure: every node reachable from `seeds` (inclusive).
+    pub fn reachable_from(&self, seeds: &[usize]) -> Vec<bool> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut queue: Vec<usize> = Vec::new();
+        for &s in seeds {
+            if !seen[s] {
+                seen[s] = true;
+                queue.push(s);
+            }
+        }
+        while let Some(i) = queue.pop() {
+            for &j in &self.edges[i] {
+                if !seen[j] {
+                    seen[j] = true;
+                    queue.push(j);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Backward closure: every node that can reach a node in `marks`
+    /// (inclusive) — "this fn, or something it calls, satisfies P".
+    pub fn can_reach(&self, marks: &[bool]) -> Vec<bool> {
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+        for (i, outs) in self.edges.iter().enumerate() {
+            for &j in outs {
+                rev[j].push(i);
+            }
+        }
+        let mut seen = marks.to_vec();
+        let mut queue: Vec<usize> =
+            (0..self.nodes.len()).filter(|&i| marks[i]).collect();
+        while let Some(i) = queue.pop() {
+            for &p in &rev[i] {
+                if !seen[p] {
+                    seen[p] = true;
+                    queue.push(p);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Bare names of everything called between lines `[open, end)` of a
+/// token stream: `name(` that is not a keyword, macro, or definition.
+pub fn call_names(toks: &[Token], open: usize, end: usize) -> Vec<String> {
+    let mut out = BTreeSet::new();
+    for w in toks.windows(2) {
+        let (t, next) = (&w[0], &w[1]);
+        if t.line < open || t.line >= end {
+            continue;
+        }
+        if t.kind == TokKind::Ident
+            && next.kind == TokKind::Punct
+            && next.text == "("
+            && !NON_CALL_KEYWORDS.contains(&t.text.as_str())
+        {
+            out.insert(t.text.clone());
+        }
+    }
+    // Remove macro invocations and definitions after the fact: `name!`
+    // and `fn name` leave the same `name (` bigram when the `!` / `fn`
+    // is adjacent, so re-scan with one token of left context.
+    let mut banned = BTreeSet::new();
+    for w in toks.windows(3) {
+        if w[1].line < open || w[1].line >= end || w[1].kind != TokKind::Ident {
+            continue;
+        }
+        let is_def = w[0].kind == TokKind::Ident && w[0].text == "fn";
+        let is_macro = w[2].kind == TokKind::Punct && w[2].text == "!";
+        if is_def || is_macro {
+            banned.insert(w[1].text.clone());
+        }
+    }
+    // A macro name is banned wholesale: `write!(` vs a fn `write(` in
+    // the same body is ambiguous at this level, and dropping the edge
+    // is the conservative direction only for *positive* proofs, so the
+    // reachability lints treat missing edges as "unproven", not "safe".
+    out.retain(|n| !banned.contains(n));
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(texts: &[(&str, &str)]) -> Graph {
+        let files: Vec<SourceFile> =
+            texts.iter().map(|(rel, text)| SourceFile::parse(rel, text)).collect();
+        Graph::build(&files)
+    }
+
+    #[test]
+    fn direct_and_cross_file_edges() {
+        let g = graph(&[
+            (
+                "a.rs",
+                "pub fn entry() -> u64 {\n    helper(1) + other::leaf(2)\n}\nfn helper(x: u64) -> u64 {\n    x\n}\n",
+            ),
+            ("b.rs", "pub fn leaf(x: u64) -> u64 {\n    x * 2\n}\n"),
+        ]);
+        let entry = g.named("entry")[0];
+        let reach = g.reachable_from(&[entry]);
+        assert!(reach[g.named("helper")[0]]);
+        assert!(reach[g.named("leaf")[0]], "cross-file edge by last path segment");
+    }
+
+    #[test]
+    fn keywords_and_macros_are_not_calls() {
+        let g = graph(&[(
+            "a.rs",
+            "fn f(xs: &[u64]) -> u64 {\n    if xs.len() > 1 {\n        assert!(true);\n        vec![1]\n    } else { Vec::new() };\n    for x in xs.iter() {}\n    0\n}\n",
+        )]);
+        let f = &g.nodes[g.named("f")[0]];
+        assert!(f.calls.contains(&"len".to_string()));
+        assert!(f.calls.contains(&"iter".to_string()));
+        assert!(!f.calls.contains(&"assert".to_string()));
+        assert!(!f.calls.contains(&"if".to_string()));
+        assert!(!f.calls.contains(&"for".to_string()));
+    }
+
+    #[test]
+    fn ambiguous_names_over_approximate() {
+        let g = graph(&[
+            ("a.rs", "fn go() {\n    step()\n}\nfn step() {}\n"),
+            ("b.rs", "fn step() {\n    danger()\n}\nfn danger() {}\n"),
+        ]);
+        let go = g.named("go")[0];
+        let reach = g.reachable_from(&[go]);
+        // Both `step`s are reachable, hence so is `danger`.
+        assert!(g.named("step").iter().all(|&i| reach[i]));
+        assert!(reach[g.named("danger")[0]]);
+    }
+
+    #[test]
+    fn backward_closure_marks_callers() {
+        let g = graph(&[(
+            "a.rs",
+            "pub fn top() {\n    mid()\n}\nfn mid() {\n    leaf()\n}\nfn leaf() {}\nfn lonely() {}\n",
+        )]);
+        let mut marks = vec![false; g.nodes.len()];
+        marks[g.named("leaf")[0]] = true;
+        let can = g.can_reach(&marks);
+        assert!(can[g.named("top")[0]]);
+        assert!(can[g.named("mid")[0]]);
+        assert!(!can[g.named("lonely")[0]]);
+    }
+}

@@ -1,0 +1,239 @@
+//! Per-file item table: every `fn` in a file with its signature text,
+//! visibility, `cfg(test)` scope and body line range.
+//!
+//! This generalises the `pub`-only extraction the v1/d1 lints use: the
+//! call graph needs *all* functions (private helpers included) so that
+//! reachability proofs can pass through them. Parsing stays line-based
+//! and conservative — a header is the text from the `fn` keyword to its
+//! opening `{` (or `;` for bodyless trait methods, which are skipped),
+//! and the body is found by brace counting on the blanked code view.
+
+use crate::source::SourceFile;
+
+/// One function item found in a file.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// True for any `pub` form (`pub`, `pub(crate)`, …).
+    pub is_pub: bool,
+    /// True for plain `pub` visibility only (public API).
+    pub is_pub_plain: bool,
+    /// True if the item sits inside a `#[cfg(test)]` module.
+    pub in_test: bool,
+    /// 0-based line of the `fn` keyword.
+    pub header_line: usize,
+    /// 0-based line of the body's opening `{`.
+    pub open_line: usize,
+    /// 0-based line index just past the body's closing `}`.
+    pub end_line: usize,
+    /// Full signature text (header through the opening brace).
+    pub sig: String,
+    /// Return type text, `""` when the fn returns `()`.
+    pub ret: String,
+}
+
+impl FnItem {
+    /// True if 0-based `line` lies within this fn (header or body).
+    pub fn contains(&self, line: usize) -> bool {
+        line >= self.header_line && line < self.end_line
+    }
+}
+
+/// Extract every `fn` with a body from a file, in source order.
+pub fn file_fns(src: &SourceFile) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    for (idx, line) in src.lines.iter().enumerate() {
+        let Some(name) = fn_header_name(&line.code) else { continue };
+        // Collect the signature until its opening `{` or a `;` (trait
+        // method declarations have no body and no edges).
+        let mut sig = String::new();
+        let mut open_line = None;
+        for (j, l) in src.lines.iter().enumerate().skip(idx).take(32) {
+            sig.push_str(l.code.trim());
+            sig.push(' ');
+            if let Some(brace) = l.code.find('{') {
+                // A `;` before the `{` ends the item bodyless
+                // (`fn f(); …`): the brace belongs to something else.
+                if l.code[..brace].contains(';') {
+                    break;
+                }
+                open_line = Some(j);
+                break;
+            }
+            if l.code.contains(';') {
+                break;
+            }
+        }
+        let Some(open_line) = open_line else { continue };
+        let trimmed = line.code.trim_start();
+        let is_pub = trimmed.starts_with("pub ") || trimmed.starts_with("pub(");
+        out.push(FnItem {
+            name,
+            is_pub,
+            is_pub_plain: trimmed.starts_with("pub "),
+            in_test: line.in_test,
+            header_line: idx,
+            open_line,
+            end_line: body_close(src, open_line),
+            ret: return_type(&sig),
+            sig,
+        });
+    }
+    out
+}
+
+/// Of the fns containing `line`, the innermost (the one whose range is
+/// smallest — nested `fn` items belong to themselves, not the parent).
+pub fn enclosing_fn(fns: &[FnItem], line: usize) -> Option<usize> {
+    fns.iter()
+        .enumerate()
+        .filter(|(_, f)| f.contains(line))
+        .min_by_key(|(_, f)| f.end_line - f.header_line)
+        .map(|(i, _)| i)
+}
+
+/// If a code line begins a `fn` item, return its name. Lines where the
+/// `fn` keyword appears mid-expression (`fn` pointers in types, …) are
+/// rejected by requiring the keyword at the start of the line modulo
+/// qualifiers.
+fn fn_header_name(code: &str) -> Option<String> {
+    let mut tokens = code.trim().split_whitespace().peekable();
+    loop {
+        match tokens.peek()? {
+            &"pub" | &"const" | &"unsafe" | &"async" | &"extern" | &"\"C\"" => {
+                tokens.next();
+            }
+            t if t.starts_with("pub(") => {
+                tokens.next();
+            }
+            &"fn" => {
+                tokens.next();
+                let raw = tokens.next()?;
+                let name: String = raw
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect();
+                return if name.is_empty() { None } else { Some(name) };
+            }
+            t if t.starts_with("fn") => {
+                // `fn name(` glued without a space never happens in
+                // rustfmt'd code; treat anything else as not a header.
+                let rest = t.strip_prefix("fn")?;
+                if !rest.is_empty() {
+                    return None;
+                }
+                tokens.next();
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// The text between `->` and the body `{` / `where` clause.
+fn return_type(sig: &str) -> String {
+    let Some(arrow) = sig.find("->") else { return String::new() };
+    let after = &sig[arrow + 2..];
+    let mut end = after.len();
+    if let Some(p) = after.find('{') {
+        end = end.min(p);
+    }
+    if let Some(p) = after.find(" where ") {
+        end = end.min(p);
+    }
+    after[..end].trim().to_string()
+}
+
+/// 0-based line index just past the body opened on `open_line`.
+fn body_close(src: &SourceFile, open_line: usize) -> usize {
+    let mut depth = 0i64;
+    let mut started = false;
+    for (j, l) in src.lines.iter().enumerate().skip(open_line) {
+        for c in l.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    started = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if started && depth <= 0 {
+            return j + 1;
+        }
+    }
+    src.lines.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_private_and_pub_fns_with_bodies() {
+        let text = "\
+/// Doc.
+pub fn outer(x: u64) -> Result<Solution, SapError> {
+    inner(x)
+}
+
+fn inner(x: u64) -> Result<Solution, SapError> {
+    Err(SapError::Budget)
+}
+
+pub(crate) const fn shifted() -> u64 { 1 }
+
+trait T {
+    fn decl_only(&self);
+}
+";
+        let fns = file_fns(&SourceFile::parse("x.rs", text));
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["outer", "inner", "shifted"]);
+        assert!(fns[0].is_pub_plain);
+        assert!(!fns[1].is_pub);
+        assert!(fns[2].is_pub && !fns[2].is_pub_plain);
+        assert_eq!(fns[0].ret, "Result<Solution, SapError>");
+        assert!(fns[0].contains(2));
+        assert!(!fns[0].contains(5));
+    }
+
+    #[test]
+    fn multiline_headers_and_nesting() {
+        let text = "\
+fn long(
+    a: u64,
+    b: u64,
+) -> u64 {
+    fn nested(c: u64) -> u64 {
+        c
+    }
+    nested(a + b)
+}
+";
+        let src = SourceFile::parse("x.rs", text);
+        let fns = file_fns(&src);
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].ret, "u64");
+        assert_eq!(fns[0].open_line, 3);
+        // Line 5 (`c`) is inside both; the innermost wins.
+        assert_eq!(enclosing_fn(&fns, 5), Some(1));
+        assert_eq!(enclosing_fn(&fns, 7), Some(0));
+        assert_eq!(enclosing_fn(&fns, 20), None);
+    }
+
+    #[test]
+    fn cfg_test_fns_are_marked() {
+        let text = "\
+fn live() {}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+";
+        let fns = file_fns(&SourceFile::parse("x.rs", text));
+        assert!(!fns[0].in_test);
+        assert!(fns[1].in_test);
+    }
+}

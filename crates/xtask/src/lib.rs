@@ -34,14 +34,42 @@
 //!   path silently reintroduces the per-visit allocations the interner
 //!   removed.
 //!
+//! On top of the per-line lints, a semantic layer (token stream →
+//! per-file item table → conservative cross-file call graph; see
+//! [`tokens`], [`items`], [`callgraph`], [`semantic`]) powers four
+//! whole-program lints:
+//!
+//! * **n1 — nondeterminism.** `HashMap`/`HashSet` iteration or drain in
+//!   code reachable from a `Solution` / `SolveReport` / JSON-export
+//!   constructor (std's randomized hasher silently breaks the
+//!   byte-identical output contract), and `Instant::now` /
+//!   `SystemTime::now` outside the opt-in timing paths.
+//! * **o1 — overflow.** Unchecked `+` / `*` / `<<` on capacity- or
+//!   weight-typed `u64`s in the solver cores; use `checked_*` /
+//!   `saturating_*` or justify the bound.
+//! * **v2 — validator reachability.** Upgrades v1 from doc-adjacency to
+//!   call-graph proof: every pub `sap-algs` path returning a `Solution`
+//!   must reach a validator call.
+//! * **b1 — checkpoint coverage.** Every loop in a fallible `try_*`
+//!   core whose trip count scales with the instance must reach a
+//!   `Budget::checkpoint` in its body or callees.
+//! * **t2 — counter registry.** Every string-keyed telemetry counter
+//!   incremented in the crates must be asserted in the root test suite
+//!   or documented, so dead and typo'd counters cannot accumulate.
+//!
 //! Any finding can be suppressed with `// lint:allow(<name>) — why`
 //! (or `# lint:allow(h1) — why` in TOML). The justification text is
 //! mandatory: an allow without one is itself reported under the
-//! `allow` pseudo-lint.
+//! `allow` pseudo-lint, and a directive that no longer suppresses
+//! anything is reported as stale.
 
+pub mod callgraph;
+pub mod items;
 pub mod manifest;
 pub mod rust_lints;
+pub mod semantic;
 pub mod source;
+pub mod tokens;
 pub mod workspace;
 
 use std::fmt;
@@ -72,13 +100,29 @@ pub enum Lint {
     /// memo keys, floor constraints) in `rectpack` library code — they
     /// are interned through the `ConstraintPool` arena.
     A1,
+    /// No `HashMap`/`HashSet` iteration (randomized order) reachable
+    /// from output constructors; no wall-clock reads outside the
+    /// opt-in timing paths.
+    N1,
+    /// No unchecked `+` / `*` / `<<` on capacity/weight-typed `u64`s in
+    /// the solver cores.
+    O1,
+    /// Call-graph proof that every pub `sap-algs` path returning a
+    /// `Solution` reaches a validator call.
+    V2,
+    /// Every loop in a fallible `try_*` core must reach a
+    /// `Budget::checkpoint` in its body or callees.
+    B1,
+    /// Every incremented telemetry counter name is asserted by the root
+    /// test suite or documented.
+    T2,
     /// Malformed `lint:allow` directives (missing justification,
-    /// unknown lint name).
+    /// unknown lint name, stale directive).
     Allow,
 }
 
 /// All lints, in reporting order.
-pub const ALL_LINTS: [Lint; 9] = [
+pub const ALL_LINTS: [Lint; 14] = [
     Lint::H1,
     Lint::P1,
     Lint::F1,
@@ -87,6 +131,11 @@ pub const ALL_LINTS: [Lint; 9] = [
     Lint::R1,
     Lint::T1,
     Lint::A1,
+    Lint::N1,
+    Lint::O1,
+    Lint::V2,
+    Lint::B1,
+    Lint::T2,
     Lint::Allow,
 ];
 
@@ -102,6 +151,11 @@ impl Lint {
             Lint::R1 => "r1",
             Lint::T1 => "t1",
             Lint::A1 => "a1",
+            Lint::N1 => "n1",
+            Lint::O1 => "o1",
+            Lint::V2 => "v2",
+            Lint::B1 => "b1",
+            Lint::T2 => "t2",
             Lint::Allow => "allow",
         }
     }
@@ -117,7 +171,12 @@ impl Lint {
             Lint::R1 => "resume_unwind in sap-algs driver code (isolate and report instead)",
             Lint::T1 => "Budget::checkpoint call site without a telemetry tick beside it",
             Lint::A1 => "clone()/to_vec() of a memo-key value in rectpack hot-path code",
-            Lint::Allow => "malformed lint:allow directive",
+            Lint::N1 => "hash-order iteration or wall-clock read on an output-affecting path",
+            Lint::O1 => "unchecked +/*/<< on a capacity/weight-typed u64 in a solver core",
+            Lint::V2 => "pub Solution path with no validator call reachable in the call graph",
+            Lint::B1 => "loop in a try_* core with no Budget::checkpoint in body or callees",
+            Lint::T2 => "telemetry counter incremented but never asserted or documented",
+            Lint::Allow => "malformed or stale lint:allow directive",
         }
     }
 
@@ -133,6 +192,11 @@ impl Lint {
             "r1" => Some(Lint::R1),
             "t1" => Some(Lint::T1),
             "a1" => Some(Lint::A1),
+            "n1" => Some(Lint::N1),
+            "o1" => Some(Lint::O1),
+            "v2" => Some(Lint::V2),
+            "b1" => Some(Lint::B1),
+            "t2" => Some(Lint::T2),
             "allow" => Some(Lint::Allow),
             _ => None,
         }
@@ -148,7 +212,12 @@ impl Lint {
             Lint::R1 => 5,
             Lint::T1 => 6,
             Lint::A1 => 7,
-            Lint::Allow => 8,
+            Lint::N1 => 8,
+            Lint::O1 => 9,
+            Lint::V2 => 10,
+            Lint::B1 => 11,
+            Lint::T2 => 12,
+            Lint::Allow => 13,
         }
     }
 }
@@ -165,11 +234,11 @@ pub enum Level {
 /// Per-lint severity table. The default denies everything: the tree is
 /// expected to stay lint-clean.
 #[derive(Clone, Debug)]
-pub struct Levels([Level; 9]);
+pub struct Levels([Level; 14]);
 
 impl Default for Levels {
     fn default() -> Self {
-        Levels([Level::Deny; 9])
+        Levels([Level::Deny; 14])
     }
 }
 
@@ -186,7 +255,7 @@ impl Levels {
 
     /// Set every lint's severity.
     pub fn set_all(&mut self, level: Level) {
-        self.0 = [level; 9];
+        self.0 = [level; 14];
     }
 }
 
@@ -229,6 +298,8 @@ pub struct Report {
     pub denied: usize,
     /// How many findings are at `Warn` severity.
     pub warned: usize,
+    /// How many findings were dropped by the baseline file.
+    pub baselined: usize,
 }
 
 /// Run every lint over the workspace at `cfg.root`.
@@ -240,6 +311,7 @@ pub fn run_lint(cfg: &Config) -> Result<Report, String> {
             .map_err(|e| format!("{}: {e}", m.path.display()))?;
         findings.extend(manifest::lint_manifest(&m.rel, &text));
     }
+    let mut sources = Vec::new();
     for f in &ws.rust_files {
         // The linter does not lint its own sources: they necessarily
         // spell out every needle (`panic!`, `lint:allow(...)`) in docs,
@@ -249,20 +321,35 @@ pub fn run_lint(cfg: &Config) -> Result<Report, String> {
         }
         let text = std::fs::read_to_string(&f.path)
             .map_err(|e| format!("{}: {e}", f.path.display()))?;
-        let src = source::SourceFile::parse(&f.rel, &text);
-        findings.extend(rust_lints::lint_source(&src));
+        sources.push(source::SourceFile::parse(&f.rel, &text));
+    }
+    for src in &sources {
+        findings.extend(rust_lints::lint_source(src));
+    }
+    findings.extend(semantic::lint_semantic(&sources));
+    findings.extend(semantic::lint_t2(&cfg.root, &sources));
+    // Only after every lint (per-file and whole-program) has had the
+    // chance to consume a directive can unconsumed ones be called stale.
+    for src in &sources {
+        findings.extend(src.stale_allow_findings());
     }
     findings.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.lint).cmp(&(b.file.as_str(), b.line, b.lint))
     });
     let denied = findings.iter().filter(|f| cfg.levels.get(f.lint) == Level::Deny).count();
     let warned = findings.len() - denied;
-    Ok(Report { findings, denied, warned })
+    Ok(Report { findings, denied, warned, baselined: 0 })
 }
 
+/// Version of the JSON export / baseline schema. Bump when the shape of
+/// the document (not the set of lints) changes.
+pub const JSON_SCHEMA_VERSION: u32 = 1;
+
 /// Render a report as compact JSON (hand-rolled: xtask takes no deps).
+/// Findings are pre-sorted by `run_lint` and every map key is emitted
+/// in a fixed order, so two runs over the same tree are byte-identical.
 pub fn report_to_json(report: &Report, levels: &Levels) -> String {
-    let mut out = String::from("{\"findings\":[");
+    let mut out = format!("{{\"v\":{JSON_SCHEMA_VERSION},\"findings\":[");
     for (i, f) in report.findings.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -280,10 +367,100 @@ pub fn report_to_json(report: &Report, levels: &Levels) -> String {
         ));
     }
     out.push_str(&format!(
-        "],\"denied\":{},\"warned\":{}}}",
-        report.denied, report.warned
+        "],\"denied\":{},\"warned\":{},\"baselined\":{}}}",
+        report.denied, report.warned, report.baselined
     ));
     out
+}
+
+/// The identity of a baselined finding: `(lint, file, message)`. Line
+/// numbers are deliberately excluded so unrelated edits that shift a
+/// baselined site do not resurrect it.
+pub type BaselineEntry = (String, String, String);
+
+/// Parse a baseline file — the same schema-versioned document written
+/// by `--format json` / `--write-baseline`.
+pub fn parse_baseline(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let trimmed = text.trim();
+    let marker = format!("{{\"v\":{JSON_SCHEMA_VERSION},");
+    if !trimmed.starts_with(&marker) {
+        return Err(format!(
+            "baseline is not a v{JSON_SCHEMA_VERSION} lint export (expected it to start \
+             with `{marker}`)"
+        ));
+    }
+    let mut out = Vec::new();
+    let mut rest = trimmed;
+    while let Some(pos) = rest.find("{\"lint\":\"") {
+        let (lint, after) = read_json_string(&rest[pos + "{\"lint\":\"".len()..])?;
+        let Some(fpos) = after.find("\"file\":\"") else {
+            return Err("baseline entry without a \"file\" key".to_string());
+        };
+        let (file, after_file) = read_json_string(&after[fpos + "\"file\":\"".len()..])?;
+        let Some(mpos) = after_file.find("\"message\":\"") else {
+            return Err("baseline entry without a \"message\" key".to_string());
+        };
+        let (message, tail) =
+            read_json_string(&after_file[mpos + "\"message\":\"".len()..])?;
+        out.push((lint, file, message));
+        rest = tail;
+    }
+    Ok(out)
+}
+
+/// Read a JSON string body starting right after its opening quote;
+/// returns the unescaped value and the text after the closing quote.
+fn read_json_string(s: &str) -> Result<(String, &str), String> {
+    let mut out = String::new();
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, &s[i + 1..])),
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, 'u')) => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let Some((_, h)) = chars.next() else {
+                            return Err("truncated \\u escape in baseline".to_string());
+                        };
+                        code = code * 16
+                            + h.to_digit(16)
+                                .ok_or("bad \\u escape in baseline".to_string())?;
+                    }
+                    out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                }
+                other => {
+                    return Err(format!("bad escape {:?} in baseline string", other))
+                }
+            },
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string in baseline".to_string())
+}
+
+/// Drop findings whose `(lint, file, message)` identity appears in the
+/// baseline, recomputing the deny/warn counts. CI therefore fails only
+/// on findings *new* relative to the committed baseline.
+pub fn apply_baseline(report: &mut Report, baseline: &[BaselineEntry], levels: &Levels) {
+    let before = report.findings.len();
+    report.findings.retain(|f| {
+        !baseline.iter().any(|(l, file, msg)| {
+            l == f.lint.name() && file == &f.file && msg == &f.message
+        })
+    });
+    report.baselined = before - report.findings.len();
+    report.denied = report
+        .findings
+        .iter()
+        .filter(|f| levels.get(f.lint) == Level::Deny)
+        .count();
+    report.warned = report.findings.len() - report.denied;
 }
 
 fn json_escape(s: &str) -> String {
@@ -328,5 +505,56 @@ mod tests {
     #[test]
     fn json_escaping() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn baseline_round_trips_through_the_json_export() {
+        let report = Report {
+            findings: vec![
+                Finding {
+                    lint: Lint::N1,
+                    file: "crates/algs/src/x.rs".into(),
+                    line: 7,
+                    message: "iterates a \"HashMap\"\nacross lines".into(),
+                },
+                Finding {
+                    lint: Lint::O1,
+                    file: "crates/lp/src/y.rs".into(),
+                    line: 3,
+                    message: "unchecked `cap + w`".into(),
+                },
+            ],
+            denied: 2,
+            warned: 0,
+            baselined: 0,
+        };
+        let levels = Levels::default();
+        let json = report_to_json(&report, &levels);
+        let baseline = parse_baseline(&json).unwrap();
+        assert_eq!(baseline.len(), 2);
+        assert_eq!(baseline[0].0, "n1");
+        assert_eq!(baseline[0].2, "iterates a \"HashMap\"\nacross lines");
+
+        // Same findings at shifted lines are still baselined out.
+        let mut next = Report {
+            findings: report
+                .findings
+                .iter()
+                .map(|f| Finding { line: f.line + 40, ..f.clone() })
+                .collect(),
+            denied: 2,
+            warned: 0,
+            baselined: 0,
+        };
+        apply_baseline(&mut next, &baseline, &levels);
+        assert!(next.findings.is_empty());
+        assert_eq!(next.baselined, 2);
+        assert_eq!(next.denied, 0);
+    }
+
+    #[test]
+    fn baseline_rejects_wrong_schema() {
+        assert!(parse_baseline("{\"findings\":[]}").is_err());
+        assert!(parse_baseline("{\"v\":99,\"findings\":[]}").is_err());
     }
 }

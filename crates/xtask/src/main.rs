@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo xtask lint [--root DIR] [--deny LINT|all] [--warn LINT|all]
-//!                  [--json] [--list]
+//!                  [--format text|json] [--baseline FILE]
+//!                  [--write-baseline FILE] [--list]
 //! ```
 //!
 //! Exit codes: 0 clean (warnings allowed), 1 denied findings, 2 usage
@@ -10,7 +11,10 @@
 
 use std::io::Write;
 
-use xtask::{report_to_json, run_lint, Config, Level, Levels, Lint, ALL_LINTS};
+use xtask::{
+    apply_baseline, parse_baseline, report_to_json, run_lint, Config, Level, Levels,
+    Lint, ALL_LINTS,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,24 +54,58 @@ const USAGE: &str = "\
 usage: cargo xtask lint [options]
 
 options:
-  --root DIR     workspace root (default: walk up from the cwd)
-  --deny LINT    treat LINT as an error (default for every lint); `all` applies to all
-  --warn LINT    report LINT but do not fail the run; `all` applies to all
-  --json         machine-readable output
-  --list         print the lint set and exit
+  --root DIR             workspace root (default: walk up from the cwd)
+  --deny LINT            treat LINT as an error (default for every lint); `all` applies to all
+  --warn LINT            report LINT but do not fail the run; `all` applies to all
+  --format text|json     output format (json is schema-versioned and deterministic)
+  --json                 shorthand for --format json
+  --baseline FILE        drop findings recorded in FILE; fail only on new ones
+  --write-baseline FILE  write the current findings to FILE as the new baseline
+  --list                 print the lint set and exit
 
 lints: h1 (hermetic deps)  p1 (panic freedom)  f1 (float equality)
        v1 (validator coverage)  d1 (docs)  r1 (panic isolation)
-       t1 (telemetry ticks)  allow (directive hygiene)";
+       t1 (telemetry ticks)  a1 (memo-key clones)  n1 (nondeterminism)
+       o1 (overflow)  v2 (validator reachability)  b1 (checkpoint coverage)
+       t2 (counter registry)  allow (directive hygiene)";
 
 fn lint_cmd(args: &[String]) -> i32 {
     let mut levels = Levels::default();
     let mut root: Option<std::path::PathBuf> = None;
     let mut json = false;
+    let mut baseline: Option<std::path::PathBuf> = None;
+    let mut write_baseline: Option<std::path::PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--json" => json = true,
+            "--format" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("json") => json = true,
+                    Some("text") => json = false,
+                    _ => {
+                        eprintln!("--format needs `text` or `json`\n{USAGE}");
+                        return 2;
+                    }
+                }
+            }
+            "--baseline" => {
+                i += 1;
+                let Some(file) = args.get(i) else {
+                    eprintln!("--baseline needs a file\n{USAGE}");
+                    return 2;
+                };
+                baseline = Some(file.into());
+            }
+            "--write-baseline" => {
+                i += 1;
+                let Some(file) = args.get(i) else {
+                    eprintln!("--write-baseline needs a file\n{USAGE}");
+                    return 2;
+                };
+                write_baseline = Some(file.into());
+            }
             "--list" => {
                 for lint in ALL_LINTS {
                     out(0, format_args!("{:6} {}", lint.name(), lint.describe()));
@@ -121,13 +159,45 @@ fn lint_cmd(args: &[String]) -> i32 {
     };
 
     let cfg = Config { root, levels, json };
-    let report = match run_lint(&cfg) {
+    let mut report = match run_lint(&cfg) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("xtask lint: {e}");
             return 2;
         }
     };
+
+    if let Some(file) = write_baseline {
+        let doc = report_to_json(&report, &cfg.levels);
+        if let Err(e) = std::fs::write(&file, format!("{doc}\n")) {
+            eprintln!("xtask lint: cannot write baseline {}: {e}", file.display());
+            return 2;
+        }
+        out(0, format_args!(
+            "xtask lint: baselined {} finding(s) into {}",
+            report.findings.len(),
+            file.display()
+        ));
+        return 0;
+    }
+
+    if let Some(file) = baseline {
+        let text = match std::fs::read_to_string(&file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("xtask lint: cannot read baseline {}: {e}", file.display());
+                return 2;
+            }
+        };
+        let entries = match parse_baseline(&text) {
+            Ok(es) => es,
+            Err(e) => {
+                eprintln!("xtask lint: {}: {e}", file.display());
+                return 2;
+            }
+        };
+        apply_baseline(&mut report, &entries, &cfg.levels);
+    }
 
     let code = if report.denied > 0 { 1 } else { 0 };
     if cfg.json {
@@ -141,11 +211,19 @@ fn lint_cmd(args: &[String]) -> i32 {
             out(code, format_args!("{f} ({tag})"));
         }
         if report.findings.is_empty() {
-            out(code, format_args!("xtask lint: clean ({} lints)", ALL_LINTS.len()));
+            let note = if report.baselined > 0 {
+                format!(" ({} baselined)", report.baselined)
+            } else {
+                String::new()
+            };
+            out(code, format_args!("xtask lint: clean ({} lints){note}", ALL_LINTS.len()));
         } else {
             out(
                 code,
-                format_args!("xtask lint: {} denied, {} warned", report.denied, report.warned),
+                format_args!(
+                    "xtask lint: {} denied, {} warned, {} baselined",
+                    report.denied, report.warned, report.baselined
+                ),
             );
         }
     }

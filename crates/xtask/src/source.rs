@@ -8,6 +8,8 @@
 //! lints. `lint:allow(...)` directives are parsed out of the raw
 //! comment text before it is discarded.
 
+use std::cell::RefCell;
+
 use crate::{Finding, Lint};
 
 /// A `lint:allow(<name>) — justification` directive found in a comment.
@@ -33,6 +35,12 @@ pub struct Line {
     pub in_test: bool,
     /// Directives written on this line.
     pub allows: Vec<AllowDirective>,
+    /// Contents of the string literals that *close* on this line, in
+    /// source order. The code view blanks them; token-level passes that
+    /// need literal text (the `t2` counter-registry check) read it from
+    /// here. Raw strings spanning multiple lines contribute only their
+    /// final-line fragment.
+    pub strings: Vec<String>,
 }
 
 /// A source file after lexical analysis, addressed by 0-based line
@@ -43,6 +51,11 @@ pub struct SourceFile {
     pub rel_path: String,
     /// The analysed lines.
     pub lines: Vec<Line>,
+    /// `(line, lint)` pairs of directives that suppressed (or converted)
+    /// at least one finding this run — the complement feeds the
+    /// stale-allow audit. Interior mutability because every lint holds
+    /// the file by shared reference.
+    used_allows: RefCell<Vec<(usize, Lint)>>,
 }
 
 /// Minimum length of the justification text after `lint:allow(<name>)`
@@ -64,7 +77,7 @@ impl SourceFile {
         let mut lines = Vec::new();
         let mut state = LexState::Normal;
         for raw in text.lines() {
-            let (code, next_state, comment_text) = strip_line(raw, state);
+            let (code, next_state, comment_text, strings) = strip_line(raw, state);
             state = next_state;
             let allows = parse_allows(&comment_text);
             let comment_only = code.trim().is_empty();
@@ -74,9 +87,14 @@ impl SourceFile {
                 comment_only,
                 in_test: false,
                 allows,
+                strings,
             });
         }
-        let mut file = SourceFile { rel_path: rel_path.to_string(), lines };
+        let mut file = SourceFile {
+            rel_path: rel_path.to_string(),
+            lines,
+            used_allows: RefCell::new(Vec::new()),
+        };
         file.mark_test_regions();
         file
     }
@@ -136,6 +154,7 @@ impl SourceFile {
         let matches_lint =
             |d: &AllowDirective| Lint::from_name(&d.lint_name) == Some(lint);
         if let Some(d) = self.lines[idx].allows.iter().find(|d| matches_lint(d)) {
+            self.used_allows.borrow_mut().push((idx, lint));
             return Some(d.justified);
         }
         let mut i = idx;
@@ -146,10 +165,43 @@ impl SourceFile {
                 break;
             }
             if let Some(d) = line.allows.iter().find(|d| matches_lint(d)) {
+                self.used_allows.borrow_mut().push((i, lint));
                 return Some(d.justified);
             }
         }
         None
+    }
+
+    /// Findings for stale directives: a well-formed `lint:allow(<name>)`
+    /// that suppressed nothing this run — its line (and the line below,
+    /// for comment-run directives) no longer triggers `<name>`, so the
+    /// directive is dead weight and must be removed. Call this only
+    /// after **every** lint (per-file and cross-file) has run, or live
+    /// directives will be misreported as stale.
+    pub fn stale_allow_findings(&self) -> Vec<Finding> {
+        let used = self.used_allows.borrow();
+        let mut out = Vec::new();
+        for (idx, line) in self.lines.iter().enumerate() {
+            for d in &line.allows {
+                let Some(lint) = Lint::from_name(&d.lint_name) else {
+                    continue; // unknown names are directive_findings' job
+                };
+                if !used.iter().any(|&(i, l)| i == idx && l == lint) {
+                    out.push(Finding {
+                        lint: Lint::Allow,
+                        file: self.rel_path.clone(),
+                        line: idx + 1,
+                        message: format!(
+                            "stale lint:allow({}): no {} finding fires here any more; \
+                             remove the directive",
+                            lint.name(),
+                            lint.name()
+                        ),
+                    });
+                }
+            }
+        }
+        out
     }
 
     /// Findings for malformed directives anywhere in the file: unknown
@@ -165,7 +217,8 @@ impl SourceFile {
                         file: self.rel_path.clone(),
                         line: idx + 1,
                         message: format!(
-                            "lint:allow({}) names an unknown lint (known: h1 p1 f1 v1 d1)",
+                            "lint:allow({}) names an unknown lint \
+                             (known: h1 p1 f1 v1 d1 r1 t1 a1 n1 o1 v2 b1 t2)",
                             d.lint_name
                         ),
                     });
@@ -220,12 +273,15 @@ fn is_ident_byte(b: u8) -> bool {
 }
 
 /// Strip one line given the carry-over lexer state. Returns the code
-/// view (string contents blanked), the state after the line, and the
-/// concatenated comment text (for directive parsing).
-fn strip_line(raw: &str, mut state: LexState) -> (String, LexState, String) {
+/// view (string contents blanked), the state after the line, the
+/// concatenated comment text (for directive parsing), and the contents
+/// of the string literals that close on this line.
+fn strip_line(raw: &str, mut state: LexState) -> (String, LexState, String, Vec<String>) {
     let chars: Vec<char> = raw.chars().collect();
     let mut code = String::with_capacity(raw.len());
     let mut comments = String::new();
+    let mut strings = Vec::new();
+    let mut literal = String::new();
     let mut i = 0;
     while i < chars.len() {
         match state {
@@ -248,8 +304,10 @@ fn strip_line(raw: &str, mut state: LexState) -> (String, LexState, String) {
                     for _ in 0..hashes {
                         code.push('#');
                     }
+                    strings.push(std::mem::take(&mut literal));
                     state = LexState::Normal;
                 } else {
+                    literal.push(chars[i]);
                     code.push(' ');
                     i += 1;
                 }
@@ -285,6 +343,13 @@ fn strip_line(raw: &str, mut state: LexState) -> (String, LexState, String) {
                     i += 1;
                     while i < chars.len() {
                         if chars[i] == '\\' {
+                            // Escapes are kept verbatim in the capture:
+                            // counter names and schema keys never use
+                            // them, and byte-fidelity is not required.
+                            literal.push(chars[i]);
+                            if i + 1 < chars.len() {
+                                literal.push(chars[i + 1]);
+                            }
                             code.push(' ');
                             code.push(' ');
                             i += 2;
@@ -293,10 +358,12 @@ fn strip_line(raw: &str, mut state: LexState) -> (String, LexState, String) {
                             i += 1;
                             break;
                         } else {
+                            literal.push(chars[i]);
                             code.push(' ');
                             i += 1;
                         }
                     }
+                    strings.push(std::mem::take(&mut literal));
                     continue;
                 }
                 if c == '\'' {
@@ -319,7 +386,7 @@ fn strip_line(raw: &str, mut state: LexState) -> (String, LexState, String) {
             }
         }
     }
-    (code, state, comments)
+    (code, state, comments, strings)
 }
 
 /// Byte offset of the `idx`-th char of `raw`.
@@ -454,6 +521,34 @@ mod tests {
         let text = "// lint:allow(p1) — some justification here\n\nlet y = w.unwrap();\n";
         let f = SourceFile::parse("x.rs", text);
         assert_eq!(f.allowed(Lint::P1, 2), None);
+    }
+
+    #[test]
+    fn string_contents_are_captured() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "t.count(\"serve.requests\", 1); let r = r#\"raw.name\"#;\n",
+        );
+        assert_eq!(f.lines[0].strings, vec!["serve.requests", "raw.name"]);
+    }
+
+    #[test]
+    fn multiline_raw_string_captures_final_fragment() {
+        let f = SourceFile::parse("x.rs", "let r = r#\"head\ntail\"#;\n");
+        assert!(f.lines[0].strings.is_empty());
+        assert_eq!(f.lines[1].strings, vec!["tail"]);
+    }
+
+    #[test]
+    fn stale_allow_detected_and_used_allow_is_not() {
+        let text = "let y = w.unwrap(); // lint:allow(p1) — checked above ok\n\
+                    let z = 1 + 1; // lint:allow(f1) — nothing fires here\n";
+        let f = SourceFile::parse("x.rs", text);
+        assert_eq!(f.allowed(Lint::P1, 0), Some(true));
+        let stale = f.stale_allow_findings();
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].line, 2);
+        assert!(stale[0].message.contains("stale lint:allow(f1)"));
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Token stream over the blanked code view.
+//!
+//! [`crate::source::SourceFile`] already strips comments and blanks
+//! string contents, so tokenizing its code view is a small, honest
+//! lexer: identifiers, number literals, and punctuation (multi-char
+//! operators like `::`, `->`, `<<` kept whole). String literals leave
+//! only their quotes in the code view and the blanked interior is
+//! whitespace, so quotes are simply skipped — passes that need literal
+//! text read `Line::strings` instead. Lifetimes (`'a`) are folded into
+//! a single token so `<'a>` never looks like a char literal.
+
+use crate::source::SourceFile;
+
+/// What kind of lexeme a token is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    /// Identifier or keyword (the stream does not distinguish).
+    Ident,
+    /// Integer or float literal (including suffixed forms, `1_000u64`).
+    Number,
+    /// Operator or delimiter; multi-char operators are one token.
+    Punct,
+    /// A lifetime (`'a`) or char literal remnant.
+    Lifetime,
+}
+
+/// One token with its 0-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The lexeme text.
+    pub text: String,
+    /// Its kind.
+    pub kind: TokKind,
+    /// 0-based line the token starts on.
+    pub line: usize,
+}
+
+/// Multi-char operators, longest first so maximal munch works.
+const MULTI_PUNCT: [&str; 20] = [
+    "<<=", ">>=", "..=", "::", "->", "=>", "<<", ">>", "<=", ">=", "==", "!=", "+=",
+    "-=", "*=", "/=", "%=", "&&", "||", "..",
+];
+
+/// Tokenize the entire code view of a file.
+pub fn tokenize(src: &SourceFile) -> Vec<Token> {
+    let mut out = Vec::new();
+    for (idx, line) in src.lines.iter().enumerate() {
+        tokenize_line(&line.code, idx, &mut out);
+    }
+    out
+}
+
+/// Tokenize one code-view line, appending to `out`.
+pub fn tokenize_line(code: &str, line: usize, out: &mut Vec<Token>) {
+    let chars: Vec<char> = code.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() || c == '"' {
+            // Blanked string interiors are whitespace; quotes carry no
+            // information the stream needs.
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            out.push(Token {
+                text: chars[start..i].iter().collect(),
+                kind: TokKind::Ident,
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len()
+                && (chars[i].is_ascii_alphanumeric()
+                    || chars[i] == '_'
+                    || (chars[i] == '.'
+                        && chars.get(i + 1).copied() != Some('.')
+                        && i > start
+                        && chars[i - 1].is_ascii_digit()))
+            {
+                i += 1;
+            }
+            out.push(Token {
+                text: chars[start..i].iter().collect(),
+                kind: TokKind::Number,
+                line,
+            });
+            continue;
+        }
+        if c == '\'' {
+            // The code view keeps lifetimes verbatim and reduces char
+            // literals to `'…'`; fold either into one token.
+            let start = i;
+            i += 1;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            if i < chars.len() && chars[i] == '\'' {
+                i += 1;
+            }
+            out.push(Token {
+                text: chars[start..i].iter().collect(),
+                kind: TokKind::Lifetime,
+                line,
+            });
+            continue;
+        }
+        let rest: String = chars[i..chars.len().min(i + 3)].iter().collect();
+        if let Some(op) = MULTI_PUNCT.iter().find(|op| rest.starts_with(**op)) {
+            out.push(Token { text: (*op).to_string(), kind: TokKind::Punct, line });
+            i += op.len();
+            continue;
+        }
+        out.push(Token { text: c.to_string(), kind: TokKind::Punct, line });
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(code: &str) -> Vec<String> {
+        let src = SourceFile::parse("x.rs", code);
+        tokenize(&src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        assert_eq!(
+            texts("let cap2 = a + 1_000u64;"),
+            ["let", "cap2", "=", "a", "+", "1_000u64", ";"]
+        );
+    }
+
+    #[test]
+    fn multi_char_operators_are_single_tokens() {
+        assert_eq!(
+            texts("a::b(x) -> y << 2 >>= w..=z"),
+            ["a", "::", "b", "(", "x", ")", "->", "y", "<<", "2", ">>=", "w", "..=", "z"]
+        );
+    }
+
+    #[test]
+    fn strings_vanish_and_comments_are_gone() {
+        assert_eq!(texts("f(\"a + b\"); // c * d"), ["f", "(", ")", ";"]);
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_generics() {
+        assert_eq!(texts("fn f<'a>(x: &'a u64) {}"), [
+            "fn", "f", "<", "'a", ">", "(", "x", ":", "&", "'a", "u64", ")", "{", "}"
+        ]);
+    }
+
+    #[test]
+    fn float_literal_is_one_token_but_range_is_not() {
+        assert_eq!(texts("a(1.5, 0..4)"), ["a", "(", "1.5", ",", "0", "..", "4", ")"]);
+    }
+}

@@ -4,7 +4,7 @@
 use std::path::PathBuf;
 
 use xtask::source::SourceFile;
-use xtask::{manifest, rust_lints, Lint};
+use xtask::{manifest, rust_lints, semantic, Lint};
 
 fn fixture(rel: &str) -> String {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(rel);
@@ -114,6 +114,68 @@ fn bad_manifest_fires_h1() {
     assert_eq!(lints_of(&findings), [Lint::H1, Lint::H1], "{findings:?}");
     assert!(findings[0].message.contains("rand"));
     assert!(findings[1].message.contains("rayon"));
+}
+
+#[test]
+fn bad_semantic_fires_n1_o1_v2_b1() {
+    let text = fixture("bad-workspace/crates/algs/src/semantic.rs");
+    let files = vec![SourceFile::parse("crates/algs/src/semantic.rs", &text)];
+    let findings = semantic::lint_semantic(&files);
+    let lints = lints_of(&findings);
+    for lint in [Lint::N1, Lint::O1, Lint::V2, Lint::B1] {
+        assert!(lints.contains(&lint), "missing {}: {findings:?}", lint.name());
+    }
+    assert!(
+        findings.iter().any(|f| f.lint == Lint::N1 && f.message.contains("seen.iter()")),
+        "{findings:?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.lint == Lint::O1 && f.message.contains("cap + weight")),
+        "{findings:?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.lint == Lint::V2 && f.message.contains("solve_unvalidated")),
+        "{findings:?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.lint == Lint::B1 && f.message.contains("try_scan")),
+        "{findings:?}"
+    );
+    // The same text outside the solver crates is out of scope.
+    let other = vec![SourceFile::parse("crates/gen/src/semantic.rs", &text)];
+    assert!(semantic::lint_semantic(&other).is_empty());
+}
+
+#[test]
+fn bad_semantic_fires_t2_without_a_registry() {
+    // The bad workspace ships no docs and no root tests, so the typo'd
+    // counter name cannot be registered anywhere.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/bad-workspace");
+    let text = fixture("bad-workspace/crates/algs/src/semantic.rs");
+    let files = vec![SourceFile::parse("crates/algs/src/semantic.rs", &text)];
+    let findings = semantic::lint_t2(&root, &files);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0].message.contains("typo.counter"), "{findings:?}");
+}
+
+#[test]
+fn bad_semantic_reports_the_stale_allow() {
+    let text = fixture("bad-workspace/crates/algs/src/semantic.rs");
+    let src = SourceFile::parse("crates/algs/src/semantic.rs", &text);
+    // Run the lints first so every *used* directive is marked.
+    let mut findings = rust_lints::lint_source(&src);
+    findings.extend(semantic::lint_semantic(std::slice::from_ref(&src)));
+    let stale = src.stale_allow_findings();
+    assert_eq!(stale.len(), 1, "{stale:?}");
+    assert!(stale[0].message.contains("stale lint:allow(f1)"), "{stale:?}");
+}
+
+#[test]
+fn clean_semantic_passes() {
+    let text = fixture("clean/semantic.rs");
+    let files = vec![SourceFile::parse("crates/algs/src/semantic.rs", &text)];
+    let findings = semantic::lint_semantic(&files);
+    assert!(findings.is_empty(), "{findings:?}");
 }
 
 #[test]

@@ -18,6 +18,10 @@
 #   7. the serve determinism gate: the same NDJSON request stream (valid,
 #      malformed, and duplicate lines mixed) fed through `sap serve` at
 #      --workers 1 and --workers 8 must produce byte-identical stdout.
+#   8. the lint baseline gate: `cargo xtask lint --format json` run twice
+#      must be byte-identical (the export is schema-versioned and sorted),
+#      and must match the committed `lint-baseline.json` — so CI fails on
+#      *new* findings only, and a stale baseline is itself a failure.
 #
 # Run from anywhere inside the repository.
 set -euo pipefail
@@ -68,5 +72,15 @@ echo "==> serve determinism gate"
     2>/dev/null > "$tmpdir/serve-w8.ndjson"
 diff "$tmpdir/serve-w1.ndjson" "$tmpdir/serve-w8.ndjson" \
     || { echo "serve output depends on the worker width" >&2; exit 1; }
+
+echo "==> lint baseline gate"
+cargo run --release -p xtask -- lint --format json > "$tmpdir/lint-a.json"
+cargo run --release -p xtask -- lint --format json > "$tmpdir/lint-b.json"
+diff "$tmpdir/lint-a.json" "$tmpdir/lint-b.json" \
+    || { echo "lint json export is not deterministic" >&2; exit 1; }
+diff "$tmpdir/lint-a.json" lint-baseline.json \
+    || { echo "lint findings diverge from lint-baseline.json" >&2; \
+         echo "regenerate with: cargo xtask lint --write-baseline lint-baseline.json" >&2; \
+         exit 1; }
 
 echo "ci: all gates passed"

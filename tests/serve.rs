@@ -180,7 +180,11 @@ fn serve_binary_end_to_end_mixed_batch() {
         "serve.cache.hits",
         "serve.cache.misses",
         "serve.cache.evictions",
+        "serve.cache.entries",
         "serve.requests",
+        "serve.batches",
+        r#""serve.ok":5"#,
+        r#""serve.err":2"#,
     ] {
         assert!(stderr.contains(needle), "stderr missing {needle}:\n{stderr}");
     }
