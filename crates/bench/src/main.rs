@@ -58,7 +58,12 @@ fn main() {
             let errors = sap_bench::serve_bench::validate_serve_report(&doc);
             (doc, errors)
         }
-        other => usage(&format!("unknown suite {other:?} (available: core, serve)")),
+        "overload" => {
+            let doc = sap_bench::overload_bench::run_overload(&config);
+            let errors = sap_bench::overload_bench::validate_overload_report(&doc);
+            (doc, errors)
+        }
+        other => usage(&format!("unknown suite {other:?} (available: core, serve, overload)")),
     };
     if !errors.is_empty() {
         for e in &errors {
@@ -78,7 +83,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("sap-bench: {msg}");
     eprintln!(
-        "usage: sap-bench [--suite core|serve] [--smoke] [--workers 1,8] [--out report.json]"
+        "usage: sap-bench [--suite core|serve|overload] [--smoke] [--workers 1,8] [--out report.json]"
     );
     std::process::exit(2);
 }

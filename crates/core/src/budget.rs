@@ -148,6 +148,21 @@ pub struct FaultPlan {
     /// Exhaust the budget at the Nth checkpoint (1-based), optionally
     /// restricted to one [`CheckpointClass`] (`None` matches any class).
     pub exhaust_at: Option<(Option<CheckpointClass>, u64)>,
+    /// Serve-level injection: force the admission controller to reject
+    /// the Nth admission decision (1-based, counted per engine across
+    /// batches) as if the global capacity pool were empty — the request
+    /// sheds with `reason:"capacity"` even when capacity is plentiful.
+    pub fail_admission: Option<u64>,
+    /// Serve-level injection: at the Nth tenant-bucket refill tick
+    /// (1-based, one tick per served batch when quotas are configured),
+    /// drain every bucket to zero instead of refilling it, so quota'd
+    /// tenants degrade or shed on that batch.
+    pub exhaust_tenant_at: Option<u64>,
+    /// Serve-level injection: panic inside the worker executing the Nth
+    /// solved request (1-based, counted over *executed* solves in input
+    /// order — cache hits and shed requests don't count). Exercises the
+    /// serve engine's per-request panic isolation.
+    pub panic_request: Option<u64>,
 }
 
 #[cfg(feature = "fault-injection")]
@@ -156,9 +171,11 @@ impl FaultPlan {
     /// used to seed the in-repo `Rng64` (`sap-gen`), re-implemented here
     /// because `sap-gen` depends on `sap-core`.
     ///
-    /// Each of the three fault dimensions independently fires with
-    /// probability 1/2, so seed sweeps exercise single and combined
-    /// faults. Seed 0 yields the empty plan.
+    /// Each of the three *solver* fault dimensions independently fires
+    /// with probability 1/2, so seed sweeps exercise single and combined
+    /// faults. Seed 0 yields the empty plan. The serve-level dimensions
+    /// (`fail_admission`, `exhaust_tenant_at`, `panic_request`) are not
+    /// seeded — the serve chaos tests address them explicitly.
     pub fn from_seed(seed: u64) -> FaultPlan {
         if seed == 0 {
             return FaultPlan::default();
@@ -186,7 +203,7 @@ impl FaultPlan {
             };
             (class, 1 + (r2 >> 16) % 64)
         });
-        FaultPlan { fail_lp_solve, panic_worker, exhaust_at }
+        FaultPlan { fail_lp_solve, panic_worker, exhaust_at, ..FaultPlan::default() }
     }
 
     /// True when no fault is scheduled.

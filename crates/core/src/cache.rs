@@ -93,10 +93,35 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.slots.is_empty()
     }
 
+    /// Advances the logical clock and returns the new tick.
+    ///
+    /// The eviction scan relies on `last_used` ticks being **unique**
+    /// (a unique minimum makes the victim independent of hash iteration
+    /// order), so the counter must never wrap or saturate into repeats.
+    /// Near the ceiling the live ticks are renumbered 1..=len in their
+    /// current recency order — a pure compaction that preserves the
+    /// eviction order and restores headroom, keeping behaviour
+    /// deterministic even after `u64::MAX` operations.
+    fn next_tick(&mut self) -> u64 {
+        if self.tick == u64::MAX {
+            // lint:allow(n1) — sorted by the unique `last_used` tick
+            // before use; hash iteration order cannot survive the sort.
+            let mut order: Vec<K> = self.slots.keys().cloned().collect();
+            order.sort_by_key(|k| self.slots.get(k).map_or(0, |s| s.last_used));
+            for (rank, key) in order.iter().enumerate() {
+                if let Some(slot) = self.slots.get_mut(key) {
+                    slot.last_used = rank as u64 + 1;
+                }
+            }
+            self.tick = self.slots.len() as u64;
+        }
+        self.tick = self.tick.saturating_add(1);
+        self.tick
+    }
+
     /// Looks up `key`, marking it most-recently-used on a hit.
     pub fn get(&mut self, key: &K) -> Option<&V> {
-        self.tick += 1;
-        let tick = self.tick;
+        let tick = self.next_tick();
         match self.slots.get_mut(key) {
             Some(slot) => {
                 slot.last_used = tick;
@@ -113,8 +138,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         if self.capacity == 0 {
             return false;
         }
-        self.tick += 1;
-        let tick = self.tick;
+        let tick = self.next_tick();
         if let Some(slot) = self.slots.get_mut(&key) {
             slot.value = value;
             slot.last_used = tick;
@@ -197,6 +221,44 @@ mod tests {
         assert!(!cache.insert(1, 10));
         assert!(cache.is_empty());
         assert_eq!(cache.get(&1), None);
+    }
+
+    #[test]
+    fn tick_ceiling_preserves_eviction_order() {
+        // Start the logical clock one step below the ceiling: the next
+        // operations must renumber instead of wrapping (debug overflow
+        // panic) or saturating into duplicate ticks (nondeterministic
+        // min_by_key victim).
+        let mut cache: LruCache<u32, &str> =
+            LruCache { capacity: 3, tick: u64::MAX - 1, slots: HashMap::new() };
+        assert!(!cache.insert(1, "one")); // tick = MAX
+        assert!(!cache.insert(2, "two")); // renumbers, then ticks
+        assert!(!cache.insert(3, "three"));
+        assert!(cache.tick < u64::MAX, "clock was compacted away from the ceiling");
+        // Recency order must have survived the renumbering: touch 1 and
+        // 3, leaving 2 as the unique LRU victim.
+        assert_eq!(cache.get(&1), Some(&"one"));
+        assert_eq!(cache.get(&3), Some(&"three"));
+        assert!(cache.insert(4, "four"));
+        assert_eq!(cache.get(&2), None, "the LRU entry is the victim at the ceiling");
+        assert_eq!(cache.get(&1), Some(&"one"));
+        assert_eq!(cache.get(&3), Some(&"three"));
+        assert_eq!(cache.get(&4), Some(&"four"));
+    }
+
+    #[test]
+    fn tick_ceiling_renumber_is_deterministic() {
+        let run = || {
+            let mut cache: LruCache<u64, u64> =
+                LruCache { capacity: 4, tick: u64::MAX - 6, slots: HashMap::new() };
+            let mut evictions = Vec::new();
+            for i in 0..24u64 {
+                let _ = cache.get(&(i % 6));
+                evictions.push(cache.insert(i % 9, i));
+            }
+            evictions
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

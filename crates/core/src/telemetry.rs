@@ -28,6 +28,16 @@
 //! identifier-like name (names are emitted unescaped). Only record
 //! values that are functions of the input — never of thread scheduling —
 //! or the determinism gate in `scripts/ci.sh` will catch the drift.
+//! Register the name in the DESIGN.md §9 counter registry (the `t2`
+//! lint rejects counter names that no test or exported doc mentions).
+//!
+//! Per-solve recorders are not the only producers: long-lived engines
+//! (the serve engine, its admission controller) accumulate plain `u64`
+//! stats across requests and replay them onto a fresh recorder at
+//! shutdown via `count` — cumulative families like `serve.*` follow the
+//! same static-name and determinism rules as per-solve counters, with
+//! "dynamic" dimensions (arm names, tenants) folded onto fixed names
+//! (`serve.winner.*`, `serve.tenant.*`) rather than interpolated.
 
 use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};

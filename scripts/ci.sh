@@ -22,6 +22,12 @@
 #      must be byte-identical (the export is schema-versioned and sorted),
 #      and must match the committed `lint-baseline.json` — so CI fails on
 #      *new* findings only, and a stale baseline is itself a failure.
+#   9. the overload determinism gate: a mixed multi-tenant stream that
+#      overruns both the global admission pool and one tenant's quota is
+#      replayed twice at --workers 1 and once at --workers 8; all three
+#      stdouts must be byte-identical (admission, degradation, and shed
+#      decisions are width- and replay-invariant) and the stream must
+#      actually shed (the gate must not pass vacuously).
 #
 # Run from anywhere inside the repository.
 set -euo pipefail
@@ -56,6 +62,8 @@ cargo run --release -p sap-bench -- --suite core --smoke --workers 1,2 \
     --out "$tmpdir/bench-smoke.json"
 cargo run --release -p sap-bench -- --suite serve --smoke --workers 1,2 \
     --out "$tmpdir/bench-serve-smoke.json"
+cargo run --release -p sap-bench -- --suite overload --smoke --workers 1,2 \
+    --out "$tmpdir/bench-overload-smoke.json"
 
 echo "==> serve determinism gate"
 # Each pretty-printed instance is flattened to one NDJSON line (instance
@@ -82,5 +90,37 @@ diff "$tmpdir/lint-a.json" lint-baseline.json \
     || { echo "lint findings diverge from lint-baseline.json" >&2; \
          echo "regenerate with: cargo xtask lint --write-baseline lint-baseline.json" >&2; \
          exit 1; }
+
+echo "==> overload determinism gate"
+# A two-batch multi-tenant stream (blank line = batch boundary): tenant
+# "hog" declares three 300-unit solves per batch against a 330/tick
+# quota, tenant "mouse" stays modest, and the 700-unit global pool is
+# oversubscribed — so the stream exercises full admission, both
+# degradation rungs, and quota shedding.
+hog_inst="$(./target/release/sap generate --edges 8 --tasks 24 --seed 21 | tr -d ' \n')"
+mouse_inst="$(./target/release/sap generate --edges 6 --tasks 18 --seed 22 | tr -d ' \n')"
+{
+    for _ in 1 2; do
+        for _ in 1 2 3; do
+            echo "{\"instance\":$hog_inst,\"work_units\":300,\"tenant\":\"hog\"}"
+            echo "{\"instance\":$mouse_inst,\"work_units\":40,\"tenant\":\"mouse\"}"
+        done
+        echo
+    done
+} > "$tmpdir/overload-req.ndjson"
+overload_serve() {
+    ./target/release/sap serve --workers "$1" --cache-size 0 \
+        --max-inflight-units 700 --tenant-quota 330 \
+        < "$tmpdir/overload-req.ndjson" 2>/dev/null
+}
+overload_serve 1 > "$tmpdir/overload-w1a.ndjson"
+overload_serve 1 > "$tmpdir/overload-w1b.ndjson"
+overload_serve 8 > "$tmpdir/overload-w8.ndjson"
+diff "$tmpdir/overload-w1a.ndjson" "$tmpdir/overload-w1b.ndjson" \
+    || { echo "overload replay is not deterministic" >&2; exit 1; }
+diff "$tmpdir/overload-w1a.ndjson" "$tmpdir/overload-w8.ndjson" \
+    || { echo "shed/degrade decisions depend on the worker width" >&2; exit 1; }
+grep -q '"status":"shed"' "$tmpdir/overload-w1a.ndjson" \
+    || { echo "overload stream never shed — gate is vacuous" >&2; exit 1; }
 
 echo "ci: all gates passed"

@@ -46,6 +46,7 @@ fn main() -> ExitCode {
                  sap info <inst.json>\n\
                  sap serve [--algo combined|practical] [--workers N] [--solve-workers N]\n\
                  \x20         [--work-units N] [--cache-size N] [--batch N]\n\
+                 \x20         [--max-inflight-units N] [--tenant-quota N]\n\
                  \x20         [--telemetry[=json|tree]]   (NDJSON on stdin/stdout)"
             );
             return ExitCode::from(2);
@@ -298,6 +299,21 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     if let Some(v) = flag_value(args, "--cache-size") {
         opts.cache_size = v.parse().map_err(|_| "--cache-size must be a number (0 = off)")?;
+    }
+    if let Some(v) = flag_value(args, "--max-inflight-units") {
+        let units: u64 =
+            v.parse().map_err(|_| "--max-inflight-units must be a positive number")?;
+        if units == 0 {
+            return Err("--max-inflight-units must be a positive number".to_string());
+        }
+        opts.max_inflight_units = Some(units);
+    }
+    if let Some(v) = flag_value(args, "--tenant-quota") {
+        let quota: u64 = v.parse().map_err(|_| "--tenant-quota must be a positive number")?;
+        if quota == 0 {
+            return Err("--tenant-quota must be a positive number".to_string());
+        }
+        opts.tenant_quota = Some(quota);
     }
     let batch_size: usize = match flag_value(args, "--batch") {
         Some(v) => {

@@ -14,12 +14,15 @@
 //!
 //! ```json
 //! {"instance": {"capacities": [4], "tasks": [...]},
-//!  "algo": "combined", "work_units": 50000, "workers": 2}
+//!  "algo": "combined", "work_units": 50000, "workers": 2,
+//!  "tenant": "team-a"}
 //! ```
 //!
 //! Envelope keys other than `instance` / `algo` / `work_units` /
-//! `workers` are rejected (this is a strict interchange format, like
-//! the rest of [`crate::io`]).
+//! `workers` / `tenant` are rejected (this is a strict interchange
+//! format, like the rest of [`crate::io`]). The optional `tenant`
+//! string keys the per-tenant admission quota (below); it never affects
+//! the solve itself or the response cache key.
 //!
 //! ## Response format
 //!
@@ -32,7 +35,30 @@
 //! * failure — `{"v":1,"status":"error","error":"..."}`. A malformed
 //!   line, an invalid instance, or a panicking solver arm produces an
 //!   error response for *that line only*; the batch keeps going
-//!   (requests run panic-isolated via [`sap_core::run_isolated`]).
+//!   (requests run panic-isolated via [`sap_core::run_isolated`]);
+//! * shed — `{"v":1,"status":"shed","reason":"capacity"}` (or
+//!   `"quota"`): the admission controller refused the request and no
+//!   solver ran. Only emitted when admission limits are configured.
+//!
+//! ## Admission control and graceful degradation
+//!
+//! When `--max-inflight-units` and/or `--tenant-quota` are set, a
+//! deterministic [`crate::admission::AdmissionController`] meters every
+//! decodable request *before* the cache is consulted: the request's
+//! full work-unit cost (its explicit `work_units`, or
+//! [`crate::admission::estimate_units`] of its task count) must fit the
+//! global per-batch pool and its tenant's token bucket. Requests that
+//! don't fit walk the degradation ladder — admitted at a quarter of the
+//! cost (the Lemma-13 rung), then at the greedy floor, each enforced as
+//! the solve's actual work-unit budget so the driver's fallback chain
+//! (portfolio → Lemma 13 DP → greedy) answers cheaper — and only when
+//! even the floor doesn't fit is the request shed. Admission decisions
+//! happen in the sequential classification pass and charge the pools
+//! even when the response is later served from cache, so the
+//! admit/degrade/shed sequence is a pure function of the request stream
+//! and configuration: cache warmth and worker width cannot shift it.
+//! Tenant buckets refill on batch ticks (logical time, never wall
+//! clock). See DESIGN.md §13 for the full semantics.
 //!
 //! ## Determinism and caching
 //!
@@ -56,8 +82,13 @@
 
 use std::collections::HashMap;
 
+use crate::admission::{
+    estimate_units, AdmissionConfig, AdmissionController, Decision, Rung, ShedReason,
+};
 use crate::io::{InstanceDto, JsonDto, SolutionDto};
 use sap_algs::SapParams;
+#[cfg(feature = "fault-injection")]
+use sap_core::FaultPlan;
 use sap_core::json::{self, Json};
 use sap_core::{map_reduce_isolated, run_isolated, Budget, Fnv1a, LruCache, Recorder, Telemetry};
 
@@ -99,6 +130,16 @@ pub struct ServeOptions {
     pub work_units: Option<u64>,
     /// Solution cache capacity in entries (`0` disables caching).
     pub cache_size: usize,
+    /// Global admission pool per batch tick (`None` = unlimited).
+    pub max_inflight_units: Option<u64>,
+    /// Per-tenant token-bucket refill per batch tick (`None` = tenants
+    /// unmetered).
+    pub tenant_quota: Option<u64>,
+    /// Deterministic fault plan for chaos testing (serve-level
+    /// injections: `fail_admission`, `exhaust_tenant_at`,
+    /// `panic_request`).
+    #[cfg(feature = "fault-injection")]
+    pub fault: FaultPlan,
 }
 
 impl Default for ServeOptions {
@@ -109,6 +150,10 @@ impl Default for ServeOptions {
             solve_workers: 0,
             work_units: None,
             cache_size: 256,
+            max_inflight_units: None,
+            tenant_quota: None,
+            #[cfg(feature = "fault-injection")]
+            fault: FaultPlan::default(),
         }
     }
 }
@@ -122,6 +167,8 @@ pub struct ServeStats {
     pub ok: u64,
     /// Responses with `"status":"error"`.
     pub errors: u64,
+    /// Responses with `"status":"shed"` (admission refusals).
+    pub shed: u64,
     /// Batches processed.
     pub batches: u64,
     /// Requests answered without launching a solve (cache hits plus
@@ -156,7 +203,13 @@ fn winner_counter(winner: &str) -> &'static str {
         "large" => "serve.winner.large",
         "lemma13" => "serve.winner.lemma13",
         "greedy" => "serve.winner.greedy",
-        _ => "serve.winner.other",
+        _ => {
+            // A renamed or brand-new arm must be added to this table,
+            // not silently folded away; `other` is only the release-
+            // build safety net.
+            debug_assert!(false, "unmapped winner arm {winner:?}: extend winner_counter");
+            "serve.winner.other"
+        }
     }
 }
 
@@ -166,7 +219,10 @@ fn outcome_counter(outcome: &str) -> &'static str {
         "budget_exhausted" => "serve.outcome.budget_exhausted",
         "lp_non_optimal" => "serve.outcome.lp_non_optimal",
         "panicked" => "serve.outcome.panicked",
-        _ => "serve.outcome.other",
+        _ => {
+            debug_assert!(false, "unmapped arm outcome {outcome:?}: extend outcome_counter");
+            "serve.outcome.other"
+        }
     }
 }
 
@@ -178,6 +234,10 @@ struct Request {
     algo: ServeAlgo,
     work_units: Option<u64>,
     solve_workers: usize,
+    /// Admission quota key. Not part of the cache key: the tenant never
+    /// influences response bytes, only whether/at what rung the request
+    /// is admitted.
+    tenant: Option<String>,
 }
 
 /// Cache key: canonical instance fingerprint plus every parameter that
@@ -218,6 +278,25 @@ fn error_response(message: &str) -> String {
         ("error".into(), Json::Str(message.into())),
     ])
     .to_string_compact()
+}
+
+/// Builds a shed response line (admission refusal; no solver ran).
+fn shed_response(reason: ShedReason) -> String {
+    Json::Object(vec![
+        ("v".into(), Json::UInt(SERVE_SCHEMA_VERSION)),
+        ("status".into(), Json::Str("shed".into())),
+        ("reason".into(), Json::Str(reason.as_str().into())),
+    ])
+    .to_string_compact()
+}
+
+/// Response classification carried from classify/merge into the
+/// counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RespKind {
+    Ok,
+    Err,
+    Shed,
 }
 
 /// What a successful solve hands back to the merge pass.
@@ -264,30 +343,47 @@ fn solve_request(req: &Request) -> Result<SolveOk, String> {
 /// How one input line will be answered, decided by the sequential
 /// classification pass before the parallel fan-out.
 enum Slot {
-    /// Response already known (parse error or cache hit); `bool` is
-    /// whether it counts as ok.
-    Ready(String, bool),
+    /// Response already known (parse error, admission shed, or cache
+    /// hit), with its classification.
+    Ready(String, RespKind),
     /// First occurrence of a novel request — index into the job list.
     Leader(usize),
     /// Within-batch duplicate — index of its leader's *line*.
     Follower(usize),
 }
 
-/// The serve engine: decode → classify → fan out → merge, one batch at
-/// a time, with the solution cache and counters living across batches.
+/// The serve engine: decode → admit → classify → fan out → merge, one
+/// batch at a time, with the solution cache, admission pools, and
+/// counters living across batches.
 pub struct ServeEngine {
     opts: ServeOptions,
     cache: LruCache<CacheKey, String>,
+    admission: AdmissionController,
+    /// Solves dispatched over the engine's lifetime (the address space
+    /// of the `panic_request` fault injection).
+    solve_seq: u64,
     /// Cumulative counters (exported via
     /// [`ServeEngine::record_telemetry`]).
     pub stats: ServeStats,
 }
 
 impl ServeEngine {
-    /// A fresh engine with an empty cache.
+    /// A fresh engine with an empty cache and full admission pools.
     pub fn new(opts: ServeOptions) -> Self {
         let cache = LruCache::new(opts.cache_size);
-        ServeEngine { opts, cache, stats: ServeStats::default() }
+        let cfg = AdmissionConfig {
+            max_inflight_units: opts.max_inflight_units,
+            tenant_quota: opts.tenant_quota,
+        };
+        let admission = AdmissionController::new(cfg);
+        #[cfg(feature = "fault-injection")]
+        let admission = admission.with_fault_plan(opts.fault);
+        ServeEngine { opts, cache, admission, solve_seq: 0, stats: ServeStats::default() }
+    }
+
+    /// Read access to the cumulative admission counters.
+    pub fn admission_stats(&self) -> crate::admission::AdmissionStats {
+        self.admission.stats
     }
 
     /// Decodes one parsed request line (bare instance or envelope).
@@ -300,6 +396,7 @@ impl ServeEngine {
                 algo: self.opts.algo,
                 work_units: self.opts.work_units,
                 solve_workers: self.opts.solve_workers,
+                tenant: None,
             });
         }
         let Json::Object(pairs) = value else {
@@ -310,10 +407,18 @@ impl ServeEngine {
             algo: self.opts.algo,
             work_units: self.opts.work_units,
             solve_workers: self.opts.solve_workers,
+            tenant: None,
         };
         for (key, val) in pairs {
             match key.as_str() {
                 "instance" => req.dto = InstanceDto::from_json(val)?,
+                "tenant" => {
+                    let name = val.as_str().ok_or("field \"tenant\" must be a string")?;
+                    if name.is_empty() {
+                        return Err("field \"tenant\" must be non-empty".to_string());
+                    }
+                    req.tenant = Some(name.to_string());
+                }
                 "algo" => {
                     let name = val.as_str().ok_or("field \"algo\" must be a string")?;
                     req.algo = ServeAlgo::from_name(name)
@@ -341,11 +446,17 @@ impl ServeEngine {
     /// `workers` width and for cold vs warm cache.
     pub fn process_batch(&mut self, lines: &[&str]) -> Vec<String> {
         self.stats.batches += 1;
-        // Sequential classification: parse, decode, fingerprint, and
-        // consult the cache in input order, so the hit/miss/leader
-        // pattern is independent of worker scheduling.
+        // One logical admission tick per batch: replenish the global
+        // pool and refill tenant buckets (no wall clock involved).
+        self.admission.tick();
+        // Sequential classification: parse, decode, admit, fingerprint,
+        // and consult the cache in input order, so the admit/degrade/
+        // shed/hit/miss/leader pattern is independent of worker
+        // scheduling. Admission charges happen *before* the cache
+        // lookup — a cache hit pays the same as a solve, which keeps
+        // the decision sequence invariant under cache warmth.
         let mut slots: Vec<Slot> = Vec::with_capacity(lines.len());
-        let mut jobs: Vec<(Request, CacheKey)> = Vec::new();
+        let mut jobs: Vec<(Request, CacheKey, u64)> = Vec::new();
         let mut pending: HashMap<CacheKey, usize> = HashMap::new();
         for (idx, line) in lines.iter().enumerate() {
             self.stats.requests += 1;
@@ -353,25 +464,43 @@ impl ServeEngine {
                 .map_err(|e| format!("bad request: {e}"))
                 .and_then(|v| self.decode_request(&v).map_err(|e| format!("bad request: {e}")));
             let slot = match decoded {
-                Err(msg) => Slot::Ready(error_response(&msg), false),
-                Ok(req) => {
-                    let key = CacheKey {
-                        fp: fingerprint(&req.dto),
-                        algo: req.algo,
-                        work_units: req.work_units,
-                    };
-                    if let Some(payload) = self.cache.get(&key) {
-                        // Only ok payloads are ever cached.
-                        self.stats.cache_hits += 1;
-                        Slot::Ready(payload.clone(), true)
-                    } else if let Some(&leader) = pending.get(&key) {
-                        self.stats.cache_hits += 1;
-                        Slot::Follower(leader)
-                    } else {
-                        self.stats.cache_misses += 1;
-                        pending.insert(key.clone(), idx);
-                        jobs.push((req, key));
-                        Slot::Leader(jobs.len() - 1)
+                Err(msg) => Slot::Ready(error_response(&msg), RespKind::Err),
+                Ok(mut req) => {
+                    let full_cost = req
+                        .work_units
+                        .unwrap_or_else(|| estimate_units(req.dto.tasks.len()));
+                    match self.admission.decide(full_cost, req.tenant.as_deref()) {
+                        Decision::Shed(reason) => {
+                            Slot::Ready(shed_response(reason), RespKind::Shed)
+                        }
+                        Decision::Admit { rung, cost } => {
+                            // Degraded rungs enforce the admitted cost
+                            // as the solve's actual budget; the full
+                            // rung keeps the request's own (possibly
+                            // unlimited) budget.
+                            if rung != Rung::Full {
+                                req.work_units = Some(cost);
+                            }
+                            let key = CacheKey {
+                                fp: fingerprint(&req.dto),
+                                algo: req.algo,
+                                work_units: req.work_units,
+                            };
+                            if let Some(payload) = self.cache.get(&key) {
+                                // Only ok payloads are ever cached.
+                                self.stats.cache_hits += 1;
+                                Slot::Ready(payload.clone(), RespKind::Ok)
+                            } else if let Some(&leader) = pending.get(&key) {
+                                self.stats.cache_hits += 1;
+                                Slot::Follower(leader)
+                            } else {
+                                self.stats.cache_misses += 1;
+                                pending.insert(key.clone(), idx);
+                                self.solve_seq = self.solve_seq.saturating_add(1);
+                                jobs.push((req, key, self.solve_seq));
+                                Slot::Leader(jobs.len() - 1)
+                            }
+                        }
                     }
                 }
             };
@@ -380,13 +509,24 @@ impl ServeEngine {
         // Parallel fan-out over the novel requests. Each request solves
         // under its own budget; the unlimited parent budget here only
         // provides the deterministic dispatch/merge structure. Panics
-        // are absorbed per request, not propagated.
+        // are absorbed per request, not propagated. Solve sequence
+        // numbers were assigned in input order during classification,
+        // so the `panic_request` injection hits the same request at any
+        // worker width.
+        #[cfg(feature = "fault-injection")]
+        let fault = self.opts.fault;
         let results = map_reduce_isolated(
             &Budget::unlimited(),
             &jobs,
             self.opts.workers,
-            |(req, _key), _b| {
-                Ok(match run_isolated(|| solve_request(req)) {
+            |(req, _key, _seq), _b| {
+                Ok(match run_isolated(|| {
+                    #[cfg(feature = "fault-injection")]
+                    if fault.panic_request == Some(*_seq) {
+                        panic!("injected panic_request #{_seq}");
+                    }
+                    solve_request(req)
+                }) {
                     Ok(inner) => inner,
                     Err(panic_msg) => Err(format!("solver panicked: {panic_msg}")),
                 })
@@ -394,15 +534,17 @@ impl ServeEngine {
         );
         // Sequential index-order merge: responses, counter updates, and
         // cache insertions all happen in input order.
-        let mut out: Vec<(String, bool)> = Vec::with_capacity(slots.len());
+        let mut out: Vec<(String, RespKind)> = Vec::with_capacity(slots.len());
         for slot in &slots {
             let entry = match slot {
-                Slot::Ready(line, ok) => (line.clone(), *ok),
+                Slot::Ready(line, kind) => (line.clone(), *kind),
                 Slot::Follower(leader_line) => {
                     // The leader always precedes its followers.
                     match out.get(*leader_line) {
                         Some(leader) => leader.clone(),
-                        None => (error_response("internal error: missing leader"), false),
+                        None => {
+                            (error_response("internal error: missing leader"), RespKind::Err)
+                        }
                     }
                 }
                 Slot::Leader(job_idx) => {
@@ -422,21 +564,21 @@ impl ServeEngine {
                             for o in &solved.outcomes {
                                 bump(&mut self.stats.outcomes, outcome_counter(o));
                             }
-                            if let Some((_, key)) = jobs.get(*job_idx) {
+                            if let Some((_, key, _)) = jobs.get(*job_idx) {
                                 if self.cache.insert(key.clone(), solved.payload.clone()) {
                                     self.stats.cache_evictions += 1;
                                 }
                             }
-                            (solved.payload.clone(), true)
+                            (solved.payload.clone(), RespKind::Ok)
                         }
-                        Err(msg) => (error_response(&msg), false),
+                        Err(msg) => (error_response(&msg), RespKind::Err),
                     }
                 }
             };
-            if entry.1 {
-                self.stats.ok += 1;
-            } else {
-                self.stats.errors += 1;
+            match entry.1 {
+                RespKind::Ok => self.stats.ok += 1,
+                RespKind::Err => self.stats.errors += 1,
+                RespKind::Shed => self.stats.shed += 1,
             }
             out.push(entry);
         }
@@ -454,6 +596,15 @@ impl ServeEngine {
         tele.count("serve.cache.misses", self.stats.cache_misses);
         tele.count("serve.cache.evictions", self.stats.cache_evictions);
         tele.count("serve.cache.entries", self.cache.len() as u64);
+        let adm = &self.admission.stats;
+        tele.count("serve.admitted", adm.admitted);
+        tele.count("serve.degraded.lemma13", adm.degraded_lemma13);
+        tele.count("serve.degraded.greedy", adm.degraded_greedy);
+        tele.count("serve.shed.quota", adm.shed_quota);
+        tele.count("serve.shed.capacity", adm.shed_capacity);
+        tele.count("serve.tenant.buckets", self.admission.tenant_buckets() as u64);
+        tele.count("serve.tenant.refills", adm.refills);
+        tele.count("serve.tenant.throttled", adm.tenant_throttled);
         for &(name, n) in &self.stats.winners {
             tele.count(name, n);
         }
@@ -464,15 +615,20 @@ impl ServeEngine {
 
     /// One-line human summary for stderr (deterministic).
     pub fn summary_line(&self) -> String {
+        let adm = &self.admission.stats;
         format!(
-            "serve: {} requests ({} ok, {} err) in {} batches; cache {} hits / {} misses / {} evictions",
+            "serve: {} requests ({} ok, {} err, {} shed) in {} batches; cache {} hits / {} misses / {} evictions; admission {} admitted / {} degraded / {} throttled",
             self.stats.requests,
             self.stats.ok,
             self.stats.errors,
+            self.stats.shed,
             self.stats.batches,
             self.stats.cache_hits,
             self.stats.cache_misses,
-            self.stats.cache_evictions
+            self.stats.cache_evictions,
+            adm.admitted,
+            adm.degraded_lemma13 + adm.degraded_greedy,
+            adm.tenant_throttled
         )
     }
 }
@@ -535,6 +691,90 @@ mod tests {
         assert!(out[2].starts_with(r#"{"v":1,"status":"error""#), "{}", out[2]);
         assert_eq!(engine.stats.ok, 1);
         assert_eq!(engine.stats.errors, 2);
+    }
+
+    #[test]
+    fn known_arm_names_map_to_dedicated_counters() {
+        for arm in ["small", "medium", "large", "lemma13", "greedy"] {
+            assert_ne!(winner_counter(arm), "serve.winner.other", "{arm}");
+        }
+        for outcome in ["completed", "budget_exhausted", "lp_non_optimal", "panicked"] {
+            assert_ne!(outcome_counter(outcome), "serve.outcome.other", "{outcome}");
+        }
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "unmapped winner arm"))]
+    fn unknown_winner_trips_the_debug_assert() {
+        // In release builds the fold-to-other fallback must still hold.
+        assert_eq!(winner_counter("warp-drive"), "serve.winner.other");
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "unmapped arm outcome"))]
+    fn unknown_outcome_trips_the_debug_assert() {
+        assert_eq!(outcome_counter("teleported"), "serve.outcome.other");
+    }
+
+    #[test]
+    fn tenant_field_decodes_and_rejects_non_strings() {
+        let engine = ServeEngine::new(ServeOptions::default());
+        let v = json::parse(&format!(r#"{{"instance":{},"tenant":"team-a"}}"#, inst_line()))
+            .unwrap();
+        let req = engine.decode_request(&v).unwrap();
+        assert_eq!(req.tenant.as_deref(), Some("team-a"));
+        let bad = json::parse(&format!(r#"{{"instance":{},"tenant":7}}"#, inst_line())).unwrap();
+        assert!(engine.decode_request(&bad).unwrap_err().contains("tenant"));
+        let empty =
+            json::parse(&format!(r#"{{"instance":{},"tenant":""}}"#, inst_line())).unwrap();
+        assert!(engine.decode_request(&empty).unwrap_err().contains("tenant"));
+    }
+
+    #[test]
+    fn overload_walks_the_ladder_then_sheds() {
+        // Pool of 250 per batch; every request declares cost 200, so a
+        // batch of three admits: full(200), lemma13(50), then sheds.
+        let opts = ServeOptions {
+            max_inflight_units: Some(250),
+            cache_size: 0,
+            ..Default::default()
+        };
+        let mut engine = ServeEngine::new(opts);
+        let line = format!(r#"{{"instance":{},"work_units":200}}"#, inst_line());
+        let lines = vec![line.as_str(), line.as_str(), line.as_str()];
+        let out = engine.process_batch(&lines);
+        assert!(out[0].starts_with(r#"{"v":1,"status":"ok""#), "{}", out[0]);
+        assert!(out[1].starts_with(r#"{"v":1,"status":"ok""#), "{}", out[1]);
+        assert_eq!(out[2], r#"{"v":1,"status":"shed","reason":"capacity"}"#);
+        let adm = engine.admission_stats();
+        assert_eq!(adm.admitted, 2);
+        assert_eq!(adm.degraded_lemma13, 1);
+        assert_eq!(adm.shed_capacity, 1);
+        assert_eq!(engine.stats.shed, 1);
+        assert_eq!(engine.stats.ok, 2);
+        // The degraded request really ran under the reduced budget:
+        // its cache key (work_units=Some(50)) differs from the leader's,
+        // which is why both were misses rather than duplicates.
+        assert_eq!(engine.stats.cache_misses, 2);
+        // Next batch: the pool refilled, full admission resumes.
+        let out2 = engine.process_batch(&[line.as_str()]);
+        assert!(out2[0].starts_with(r#"{"v":1,"status":"ok""#), "{}", out2[0]);
+    }
+
+    #[test]
+    fn admission_decisions_are_cache_warmth_invariant() {
+        // Same stream against a cold and a warm engine: the response
+        // bytes must match line for line, because admission charges
+        // before the cache lookup.
+        let opts = ServeOptions { max_inflight_units: Some(400), ..Default::default() };
+        let line = format!(r#"{{"instance":{},"work_units":180}}"#, inst_line());
+        let lines = vec![line.as_str(), line.as_str(), line.as_str()];
+        let mut cold = ServeEngine::new(opts.clone());
+        let cold_out = cold.process_batch(&lines);
+        let mut warm = ServeEngine::new(opts);
+        let _ = warm.process_batch(&[line.as_str()]); // warm the cache
+        let warm_out = warm.process_batch(&lines);
+        assert_eq!(cold_out, warm_out);
     }
 
     #[test]

@@ -171,3 +171,140 @@ fn fault_plans_are_deterministic() {
         assert_eq!(a.to_json_string(), b.to_json_string());
     }
 }
+
+// ---------------------------------------------------------------------
+// Serve-level injections (ISSUE 7): panic_request, fail_admission,
+// exhaust_tenant_at.
+// ---------------------------------------------------------------------
+
+mod serve_chaos {
+    use storage_alloc::serve::{ServeEngine, ServeOptions};
+    use storage_alloc::sap_core::FaultPlan;
+
+    fn inst(weight: u64) -> String {
+        format!(
+            r#"{{"capacities":[4,6,4],"tasks":[{{"lo":0,"hi":2,"demand":2,"weight":{weight}}},{{"lo":1,"hi":3,"demand":3,"weight":8}}]}}"#
+        )
+    }
+
+    /// Five distinct solvable lines (distinct weights → distinct cache
+    /// keys, so every line dispatches its own solve).
+    fn batch() -> Vec<String> {
+        (1..=5u64).map(|w| inst(w * 10)).collect()
+    }
+
+    fn run(opts: ServeOptions, batches: &[Vec<String>]) -> (Vec<String>, ServeEngine) {
+        let mut engine = ServeEngine::new(opts);
+        let mut out = Vec::new();
+        for b in batches {
+            let refs: Vec<&str> = b.iter().map(String::as_str).collect();
+            out.extend(engine.process_batch(&refs));
+        }
+        (out, engine)
+    }
+
+    #[test]
+    fn panicking_request_degrades_alone_and_neighbours_are_byte_identical() {
+        let batches = vec![batch()];
+        let (clean, _) = run(ServeOptions::default(), &batches);
+        for workers in [1, 2, 8] {
+            let opts = ServeOptions {
+                workers,
+                fault: FaultPlan { panic_request: Some(3), ..Default::default() },
+                ..Default::default()
+            };
+            let (faulted, engine) = run(opts, &batches);
+            assert_eq!(faulted.len(), clean.len());
+            for (i, (f, c)) in faulted.iter().zip(&clean).enumerate() {
+                if i == 2 {
+                    // The third dispatched solve is the third line here
+                    // (all lines are novel leaders).
+                    assert!(
+                        f.starts_with(r#"{"v":1,"status":"error""#),
+                        "workers={workers} line {i}: {f}"
+                    );
+                    assert!(f.contains("solver panicked"), "workers={workers}: {f}");
+                    assert!(f.contains("injected panic_request"), "workers={workers}: {f}");
+                } else {
+                    assert_eq!(f, c, "workers={workers}: fault leaked into line {i}");
+                }
+            }
+            assert_eq!(engine.stats.errors, 1);
+            assert_eq!(engine.stats.ok, 4);
+        }
+    }
+
+    #[test]
+    fn panic_request_seq_spans_batches_and_skips_cache_hits() {
+        // Line layout: batch 1 = [A, B], batch 2 = [A(cache hit), C].
+        // Executed solves are A=#1, B=#2, C=#3: the injection must hit C
+        // even though it is the 4th request line.
+        let a = inst(10);
+        let b = inst(20);
+        let c = inst(30);
+        let batches = vec![vec![a.clone(), b], vec![a, c]];
+        let opts = ServeOptions {
+            fault: FaultPlan { panic_request: Some(3), ..Default::default() },
+            ..Default::default()
+        };
+        let (out, engine) = run(opts, &batches);
+        assert!(out[0].starts_with(r#"{"v":1,"status":"ok""#));
+        assert!(out[1].starts_with(r#"{"v":1,"status":"ok""#));
+        assert_eq!(out[2], out[0], "cache hit must replay the healthy response");
+        assert!(out[3].contains("injected panic_request"), "{}", out[3]);
+        assert_eq!(engine.stats.cache_hits, 1);
+        assert_eq!(engine.stats.errors, 1);
+    }
+
+    #[test]
+    fn injected_admission_failure_sheds_the_nth_request_as_capacity() {
+        // No limits configured at all: only the injection can shed, and
+        // it must present as a capacity refusal on exactly the 2nd
+        // admission decision.
+        let batches = vec![batch()];
+        let opts = ServeOptions {
+            fault: FaultPlan { fail_admission: Some(2), ..Default::default() },
+            ..Default::default()
+        };
+        let (out, engine) = run(opts, &batches);
+        assert_eq!(out[1], r#"{"v":1,"status":"shed","reason":"capacity"}"#);
+        for (i, line) in out.iter().enumerate() {
+            if i != 1 {
+                assert!(line.starts_with(r#"{"v":1,"status":"ok""#), "line {i}: {line}");
+            }
+        }
+        let adm = engine.admission_stats();
+        assert_eq!(adm.shed_capacity, 1);
+        assert_eq!(adm.admitted, 4);
+        assert_eq!(engine.stats.shed, 1);
+    }
+
+    #[test]
+    fn injected_tenant_exhaustion_drains_buckets_at_the_nth_refill() {
+        // Quota 1000 comfortably fits every request; draining the
+        // buckets at refill tick 2 (= batch 2) starves the tenant for
+        // that batch only — tick 3 refills and service resumes.
+        let line = |w: u64| format!(r#"{{"instance":{},"tenant":"t","work_units":50}}"#, inst(w));
+        let batches: Vec<Vec<String>> =
+            (0..3).map(|b| vec![line(10 + b), line(20 + b)]).collect();
+        let opts = ServeOptions {
+            tenant_quota: Some(1000),
+            cache_size: 0,
+            fault: FaultPlan { exhaust_tenant_at: Some(2), ..Default::default() },
+            ..Default::default()
+        };
+        let (out, engine) = run(opts, &batches);
+        // Batch 1: both ok. Batch 2: bucket drained to 0 → quota sheds.
+        // Batch 3: refilled → both ok again.
+        for i in [0, 1, 4, 5] {
+            assert!(out[i].starts_with(r#"{"v":1,"status":"ok""#), "line {i}: {}", out[i]);
+        }
+        for i in [2, 3] {
+            assert_eq!(out[i], r#"{"v":1,"status":"shed","reason":"quota"}"#, "line {i}");
+        }
+        let adm = engine.admission_stats();
+        assert_eq!(adm.refills, 3);
+        assert_eq!(adm.shed_quota, 2);
+        assert_eq!(adm.admitted, 4);
+    }
+}

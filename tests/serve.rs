@@ -11,6 +11,8 @@
 use std::io::Write;
 use std::process::{Command, Stdio};
 
+use storage_alloc::io::{InstanceDto, JsonDto, SolutionDto};
+use storage_alloc::json;
 use storage_alloc::serve::{ServeAlgo, ServeEngine, ServeOptions};
 
 fn inst_a() -> String {
@@ -133,6 +135,245 @@ fn disabled_cache_never_hits_but_output_is_unchanged() {
 }
 
 // ---------------------------------------------------------------------
+// Admission control, per-tenant quotas, and the degradation ladder
+// (ISSUE 7). Counter names asserted here double as the `t2` lint
+// registration for the serve.admitted / serve.degraded.* /
+// serve.shed.* / serve.tenant.* families.
+// ---------------------------------------------------------------------
+
+/// A multi-tenant stream that overruns both the global pool and tenant
+/// "hog"'s bucket: hog declares three 300-unit solves per batch while
+/// "mouse" asks for modest ones.
+fn overload_batch() -> Vec<String> {
+    let mut lines = Vec::new();
+    for _ in 0..3 {
+        lines.push(format!(
+            r#"{{"instance":{},"work_units":300,"tenant":"hog"}}"#,
+            inst_b()
+        ));
+        lines.push(format!(
+            r#"{{"instance":{},"work_units":40,"tenant":"mouse"}}"#,
+            inst_a()
+        ));
+    }
+    lines
+}
+
+fn overload_opts(workers: usize) -> ServeOptions {
+    ServeOptions {
+        workers,
+        max_inflight_units: Some(700),
+        tenant_quota: Some(330),
+        cache_size: 0,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn overload_stream_degrades_and_sheds_deterministically() {
+    let batches = vec![overload_batch(), overload_batch()];
+    let (base, engine) = run_engine(overload_opts(1), &batches);
+    // The stream is genuinely overloaded: some requests shed, some
+    // degrade, and the well-behaved tenant keeps full service.
+    let adm = engine.admission_stats();
+    assert!(engine.stats.shed > 0, "stream should overrun the quota: {adm:?}");
+    assert!(
+        adm.degraded_lemma13 + adm.degraded_greedy > 0,
+        "ladder should engage before shedding: {adm:?}"
+    );
+    assert!(adm.admitted > 0, "{adm:?}");
+    assert_eq!(
+        adm.admitted + adm.shed_quota + adm.shed_capacity,
+        engine.stats.requests,
+        "every decodable request gets exactly one admission decision: {adm:?}"
+    );
+    // Byte-identical on a second run and at any worker width.
+    let (rerun, _) = run_engine(overload_opts(1), &batches);
+    assert_eq!(base, rerun, "overload replay diverged");
+    for workers in [2, 8] {
+        let (wide, wide_engine) = run_engine(overload_opts(workers), &batches);
+        assert_eq!(base, wide, "workers={workers} shifted admission decisions");
+        assert_eq!(engine.admission_stats(), wide_engine.admission_stats());
+    }
+}
+
+#[test]
+fn non_shed_overload_responses_stay_validator_feasible() {
+    let batches = vec![overload_batch()];
+    let (out, _) = run_engine(overload_opts(1), &batches);
+    let requests = overload_batch();
+    let mut checked = 0;
+    for (req_line, resp_line) in requests.iter().zip(&out) {
+        if !resp_line.starts_with(r#"{"v":1,"status":"ok""#) {
+            assert!(
+                resp_line.starts_with(r#"{"v":1,"status":"shed""#),
+                "unexpected non-ok line: {resp_line}"
+            );
+            continue;
+        }
+        // Re-derive the instance from the request and check the embedded
+        // solution against the exact validator — degraded budgets may
+        // change the answer but never its feasibility.
+        let req = json::parse(req_line).unwrap();
+        let inst_dto = InstanceDto::from_json(req.get("instance").unwrap()).unwrap();
+        let instance = inst_dto.to_instance().unwrap();
+        let resp = json::parse(resp_line).unwrap();
+        let sol_dto = SolutionDto::from_json(resp.get("solution").unwrap()).unwrap();
+        let solution = sol_dto.to_solution_verified(&instance).unwrap();
+        solution.validate(&instance).unwrap();
+        checked += 1;
+    }
+    assert!(checked > 0, "no ok responses to check:\n{out:?}");
+}
+
+#[test]
+fn shed_response_schema_is_exact() {
+    // Quota 30 with burst 60: the third 30-unit request from one tenant
+    // in one batch cannot afford even the greedy floor (8 > 0) while
+    // the global pool stays plentiful → a quota shed, single line,
+    // exact schema.
+    let opts = ServeOptions {
+        max_inflight_units: Some(1_000_000),
+        tenant_quota: Some(30),
+        ..Default::default()
+    };
+    let mut engine = ServeEngine::new(opts);
+    let line = format!(r#"{{"instance":{},"work_units":30,"tenant":"t"}}"#, inst_a());
+    let lines = vec![line.as_str(), line.as_str(), line.as_str()];
+    let out = engine.process_batch(&lines);
+    assert_eq!(out[2], r#"{"v":1,"status":"shed","reason":"quota"}"#);
+    // A shed is not an error; the summary separates the three kinds.
+    assert_eq!(engine.stats.shed, 1);
+    assert_eq!(engine.stats.errors, 0);
+    assert!(engine.summary_line().contains("1 shed"), "{}", engine.summary_line());
+}
+
+#[test]
+fn tenant_bucket_refills_restore_service() {
+    // Burst 2×60 = 120 drains in batch 1 (two 60-unit solves); batch 2
+    // refills +60, so exactly one full-cost solve fits again.
+    let opts = ServeOptions {
+        max_inflight_units: None,
+        tenant_quota: Some(60),
+        cache_size: 0,
+        ..Default::default()
+    };
+    let mut engine = ServeEngine::new(opts);
+    let line = format!(r#"{{"instance":{},"work_units":60,"tenant":"t"}}"#, inst_a());
+    let lines = vec![line.as_str(), line.as_str(), line.as_str()];
+    let first = engine.process_batch(&lines);
+    assert!(first[0].starts_with(r#"{"v":1,"status":"ok""#));
+    assert!(first[1].starts_with(r#"{"v":1,"status":"ok""#));
+    // Third request: bucket empty → lemma13 (16) and greedy (8) don't
+    // fit either → quota shed.
+    assert_eq!(first[2], r#"{"v":1,"status":"shed","reason":"quota"}"#);
+    let second = engine.process_batch(&lines);
+    assert!(second[0].starts_with(r#"{"v":1,"status":"ok""#), "{}", second[0]);
+    let adm = engine.admission_stats();
+    assert_eq!(adm.refills, 2);
+    assert!(adm.tenant_throttled >= 1, "{adm:?}");
+}
+
+#[test]
+fn tenantless_requests_bypass_quotas_but_not_capacity() {
+    let opts = ServeOptions {
+        max_inflight_units: Some(100),
+        tenant_quota: Some(10),
+        cache_size: 0,
+        ..Default::default()
+    };
+    let mut engine = ServeEngine::new(opts);
+    let line = format!(r#"{{"instance":{},"work_units":90}}"#, inst_a());
+    let lines = vec![line.as_str(), line.as_str()];
+    let out = engine.process_batch(&lines);
+    // No tenant: the 10-unit quota never applies, only the pool does.
+    assert!(out[0].starts_with(r#"{"v":1,"status":"ok""#), "{}", out[0]);
+    // Pool has 10 left: full 90 and lemma13 22 don't fit, greedy 8 does.
+    assert!(out[1].starts_with(r#"{"v":1,"status":"ok""#), "{}", out[1]);
+    let adm = engine.admission_stats();
+    assert_eq!(adm.degraded_greedy, 1);
+    assert_eq!(adm.tenant_throttled, 0);
+    assert_eq!(engine.admission_stats().shed_quota, 0);
+}
+
+#[test]
+fn serve_binary_overload_flags_and_admission_counters() {
+    // Two batches (blank line = batch boundary): the hog tenant's debt
+    // carries into batch 2, where its bucket runs dry and sheds.
+    let round = overload_batch().join("\n");
+    let input = format!("{round}\n\n{round}\n");
+    let (stdout, stderr) = run_serve_binary(
+        &[
+            "--max-inflight-units",
+            "700",
+            "--tenant-quota",
+            "330",
+            "--cache-size",
+            "0",
+            "--telemetry=json",
+        ],
+        &input,
+    );
+    assert!(stdout.contains(r#""status":"shed""#), "no shed line:\n{stdout}");
+    for needle in [
+        "serve.admitted",
+        "serve.degraded.lemma13",
+        "serve.degraded.greedy",
+        "serve.shed.quota",
+        "serve.shed.capacity",
+        "serve.tenant.buckets",
+        "serve.tenant.refills",
+        "serve.tenant.throttled",
+    ] {
+        assert!(stderr.contains(needle), "stderr missing {needle}:\n{stderr}");
+    }
+    // Width-invariance through the real binary.
+    let (w8, _) = run_serve_binary(
+        &[
+            "--max-inflight-units",
+            "700",
+            "--tenant-quota",
+            "330",
+            "--cache-size",
+            "0",
+            "--workers",
+            "8",
+        ],
+        &input,
+    );
+    let (w1, _) = run_serve_binary(
+        &[
+            "--max-inflight-units",
+            "700",
+            "--tenant-quota",
+            "330",
+            "--cache-size",
+            "0",
+            "--workers",
+            "1",
+        ],
+        &input,
+    );
+    assert_eq!(w1, w8);
+    assert_eq!(stdout, w1);
+}
+
+#[test]
+fn serve_binary_rejects_zero_admission_flags() {
+    for flag in ["--max-inflight-units", "--tenant-quota"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_sap"))
+            .args(["serve", flag, "0"])
+            .stdin(Stdio::null())
+            .stderr(Stdio::piped())
+            .output()
+            .expect("run sap serve");
+        assert!(!out.status.success(), "{flag}=0 should be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(flag), "{stderr}");
+    }
+}
+
+// ---------------------------------------------------------------------
 // Binary end-to-end, over real pipes.
 // ---------------------------------------------------------------------
 
@@ -188,7 +429,7 @@ fn serve_binary_end_to_end_mixed_batch() {
     ] {
         assert!(stderr.contains(needle), "stderr missing {needle}:\n{stderr}");
     }
-    assert!(stderr.contains("serve: 7 requests (5 ok, 2 err)"), "{stderr}");
+    assert!(stderr.contains("serve: 7 requests (5 ok, 2 err, 0 shed)"), "{stderr}");
 }
 
 #[test]
