@@ -257,6 +257,15 @@ pub fn try_solve(
         + medium_b.checkpoints_passed()
         + large_b.checkpoints_passed()
         + fallback_checkpoints;
+    // Mirror each arm's outcome onto its phase node, so a service-level
+    // profile merged from many solves (crate::obs in sap-core) can read
+    // per-arm completion/exhaustion rates without re-parsing reports.
+    // lint:allow(b1) — fixed handful of arms, one counter bump each;
+    // the arms' own work was metered while they ran.
+    for r in &reports {
+        note_arm_outcome(&tele.child(r.arm), r.outcome);
+    }
+
     let report = SolveReport {
         arms: reports,
         fallbacks,
@@ -268,6 +277,17 @@ pub fn try_solve(
     };
     debug_assert!(report.work_is_attributed(), "report loses work: {report:?}");
     Ok((solution, report))
+}
+
+/// Bumps the arm-phase counter matching `outcome` (no-op without a
+/// recorder). Names are registered in the DESIGN.md §9 counter table.
+fn note_arm_outcome(tele: &sap_core::Telemetry, outcome: ArmOutcome) {
+    match outcome {
+        ArmOutcome::Completed => tele.count("arm.completed", 1),
+        ArmOutcome::BudgetExhausted => tele.count("arm.budget_exhausted", 1),
+        ArmOutcome::LpNonOptimal => tele.count("arm.lp_non_optimal", 1),
+        ArmOutcome::Panicked => tele.count("arm.panicked", 1),
+    }
 }
 
 /// Budgeted counterpart of the practical facade: the driver's answer,
@@ -294,6 +314,7 @@ pub fn try_solve_practical(
             work: WorkProfile::default(),
             fallback: None,
         });
+        note_arm_outcome(&budget.telemetry().child("greedy"), ArmOutcome::Completed);
         report.winner = "greedy";
         report.weight = gw;
         return Ok((greedy, report));

@@ -63,7 +63,14 @@ fn main() {
             let errors = sap_bench::overload_bench::validate_overload_report(&doc);
             (doc, errors)
         }
-        other => usage(&format!("unknown suite {other:?} (available: core, serve, overload)")),
+        "obs" => {
+            let doc = sap_bench::obs_bench::run_obs(&config);
+            let errors = sap_bench::obs_bench::validate_obs_report(&doc);
+            (doc, errors)
+        }
+        other => {
+            usage(&format!("unknown suite {other:?} (available: core, serve, overload, obs)"))
+        }
     };
     if !errors.is_empty() {
         for e in &errors {
@@ -83,7 +90,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("sap-bench: {msg}");
     eprintln!(
-        "usage: sap-bench [--suite core|serve|overload] [--smoke] [--workers 1,8] [--out report.json]"
+        "usage: sap-bench [--suite core|serve|overload|obs] [--smoke] [--workers 1,8] [--out report.json]"
     );
     std::process::exit(2);
 }

@@ -49,6 +49,7 @@ pub mod gravity;
 pub mod instance;
 pub mod json;
 pub mod network;
+pub mod obs;
 pub mod parallel;
 pub mod render;
 pub mod ring;
@@ -77,6 +78,9 @@ pub use error::{SapError, SapResult};
 pub use gravity::{apply_gravity, canonical_heights, is_grounded};
 pub use instance::Instance;
 pub use network::PathNetwork;
+pub use obs::{
+    chrome_trace, Aggregator, Histogram, ObsNode, TenantObs, TraceClock, OBS_SCHEMA_VERSION,
+};
 pub use parallel::{join, join3, join3_isolated, map_reduce_isolated, parallel_map, run_isolated};
 pub use render::{render_solution, render_solution_svg};
 pub use rmq::RangeMin;
@@ -84,7 +88,9 @@ pub use solution::{Placement, SapSolution, UfppSolution};
 pub use stack::{lift, stack};
 pub use stats::{instance_stats, solution_stats, InstanceStats, SolutionStats};
 pub use task::{Span, Task};
-pub use telemetry::{Recorder, Span as TelemetrySpan, Telemetry, TELEMETRY_SCHEMA_VERSION};
+pub use telemetry::{
+    Recorder, Span as TelemetrySpan, SpanData, Telemetry, TELEMETRY_SCHEMA_VERSION,
+};
 pub use units::{Capacity, Demand, EdgeId, Height, Ratio, TaskId, Vertex, Weight};
 
 /// Commonly used items, for glob import.

@@ -45,23 +45,11 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 use crate::budget::CheckpointClass;
+use crate::obs::Histogram;
 
 /// Schema version emitted as the leading `"v"` field of the telemetry
 /// JSON export.
 pub const TELEMETRY_SCHEMA_VERSION: u64 = 1;
-
-/// Number of log2 histogram buckets: bucket 0 holds the value 0, bucket
-/// `k` (1 ..= 64) holds values in `[2^(k-1), 2^k)`.
-const HIST_BUCKETS: usize = 65;
-
-/// Log2 bucket index of a value.
-fn bucket_of(v: u64) -> usize {
-    if v == 0 {
-        0
-    } else {
-        64 - v.leading_zeros() as usize
-    }
-}
 
 /// Mutex lock that shrugs off poisoning: telemetry must keep working
 /// while the driver unwinds a panicked arm (partial metrics are exactly
@@ -86,7 +74,7 @@ struct SpanNode {
     work: [AtomicU64; CheckpointClass::ALL.len()],
     counters: Mutex<Vec<(&'static str, u64)>>,
     gauges: Mutex<Vec<(&'static str, u64)>>,
-    hists: Mutex<Vec<(&'static str, Box<[u64; HIST_BUCKETS]>)>>,
+    hists: Mutex<Vec<(&'static str, Histogram)>>,
     children: Mutex<Vec<Arc<SpanNode>>>,
 }
 
@@ -232,12 +220,10 @@ impl Telemetry {
         let Some(node) = &self.node else { return };
         let mut hs = lock(&node.hists);
         if !hs.iter().any(|(k, _)| *k == name) {
-            hs.push((name, Box::new([0u64; HIST_BUCKETS])));
+            hs.push((name, Histogram::new()));
         }
         if let Some((_, h)) = hs.iter_mut().find(|(k, _)| *k == name) {
-            if let Some(b) = h.get_mut(bucket_of(v)) {
-                *b = b.saturating_add(1);
-            }
+            h.record(v);
         }
     }
 
@@ -288,6 +274,12 @@ impl Telemetry {
         kids.iter()
             .find(|k| k.name == name)
             .map(|k| Telemetry { node: Some(Arc::clone(k)) })
+    }
+
+    /// Owned, sorted snapshot of this phase's subtree (see
+    /// [`Recorder::snapshot`]); `None` when the handle is off.
+    pub fn snapshot_node(&self) -> Option<SpanData> {
+        self.node.as_ref().map(|n| node_snapshot(n))
     }
 }
 
@@ -393,6 +385,72 @@ impl Recorder {
         node_tree(&self.root, 0, &mut out);
         out
     }
+
+    /// An owned, sorted snapshot of the whole phase tree — the handoff
+    /// format for cumulative aggregation ([`crate::obs`]): a long-lived
+    /// engine snapshots each finished per-request recorder and merges
+    /// the snapshots into an [`crate::obs::ObsNode`] profile.
+    pub fn snapshot(&self) -> SpanData {
+        node_snapshot(&self.root)
+    }
+}
+
+/// An owned snapshot of one span node and its subtree, with children
+/// and metric names sorted — the same deterministic order as the JSON
+/// export, so consumers (aggregation, trace export) inherit the
+/// byte-reproducibility contract. Produced by [`Recorder::snapshot`] /
+/// [`Telemetry::snapshot_node`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanData {
+    /// Phase name.
+    pub name: &'static str,
+    /// Times the phase was entered.
+    pub entries: u64,
+    /// Accumulated wall-clock nanoseconds (0 unless the recorder opted
+    /// into timings).
+    pub busy_ns: u64,
+    /// Work units by [`CheckpointClass`] index.
+    pub work: [u64; CheckpointClass::ALL.len()],
+    /// Counters, sorted by name.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Monotonic gauges, sorted by name.
+    pub gauges: Vec<(&'static str, u64)>,
+    /// Log2 histograms, sorted by name.
+    pub hists: Vec<(&'static str, Histogram)>,
+    /// Child snapshots, sorted by name.
+    pub children: Vec<SpanData>,
+}
+
+impl SpanData {
+    /// Total work units on this node (children excluded).
+    pub fn work_total(&self) -> u64 {
+        self.work.iter().fold(0u64, |acc, &w| acc.saturating_add(w))
+    }
+
+    /// Child snapshot by name.
+    pub fn child(&self, name: &str) -> Option<&SpanData> {
+        self.children.iter().find(|c| c.name == name)
+    }
+}
+
+fn node_snapshot(node: &SpanNode) -> SpanData {
+    let hists = {
+        let mut hs: Vec<(&'static str, Histogram)> = lock(&node.hists).clone();
+        hs.sort_by_key(|&(k, _)| k);
+        hs
+    };
+    SpanData {
+        name: node.name,
+        entries: node.entries.load(Ordering::Relaxed),
+        busy_ns: node.busy_nanos.load(Ordering::Relaxed),
+        work: std::array::from_fn(|i| {
+            node.work.get(i).map_or(0, |w| w.load(Ordering::Relaxed))
+        }),
+        counters: sorted_slots(&node.counters),
+        gauges: sorted_slots(&node.gauges),
+        hists,
+        children: node.sorted_children().iter().map(|k| node_snapshot(k)).collect(),
+    }
 }
 
 /// Writes a `u64` without going through `format!` (hot-ish path, and it
@@ -462,7 +520,7 @@ fn node_json(node: &SpanNode, out: &mut String) {
         out.push('}');
     }
     let hists = {
-        let mut hs: Vec<(&'static str, Box<[u64; HIST_BUCKETS]>)> = lock(&node.hists).clone();
+        let mut hs: Vec<(&'static str, Histogram)> = lock(&node.hists).clone();
         hs.sort_by_key(|&(k, _)| k);
         hs
     };
@@ -476,10 +534,7 @@ fn node_json(node: &SpanNode, out: &mut String) {
             out.push_str(k);
             out.push_str("\":[");
             let mut first = true;
-            for (bucket, &count) in h.iter().enumerate() {
-                if count == 0 {
-                    continue;
-                }
+            for (bucket, count) in h.entries() {
                 if !first {
                     out.push(',');
                 }
@@ -554,7 +609,7 @@ fn node_tree(node: &SpanNode, depth: usize, out: &mut String) {
     {
         let hs = lock(&node.hists);
         let mut names: Vec<(&'static str, u64)> =
-            hs.iter().map(|(k, h)| (*k, h.iter().sum::<u64>())).collect();
+            hs.iter().map(|(k, h)| (*k, h.total())).collect();
         drop(hs);
         names.sort_by_key(|&(k, _)| k);
         for (k, n) in names {
@@ -610,14 +665,14 @@ mod tests {
 
     #[test]
     fn log2_buckets() {
-        assert_eq!(bucket_of(0), 0);
-        assert_eq!(bucket_of(1), 1);
-        assert_eq!(bucket_of(2), 2);
-        assert_eq!(bucket_of(3), 2);
-        assert_eq!(bucket_of(4), 3);
-        assert_eq!(bucket_of(255), 8);
-        assert_eq!(bucket_of(256), 9);
-        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(255), 8);
+        assert_eq!(Histogram::bucket_of(256), 9);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
         let rec = Recorder::new();
         let t = rec.handle();
         for v in [0, 1, 2, 3, 8] {
@@ -684,6 +739,61 @@ mod tests {
         let tree = rec.to_tree_string();
         assert!(tree.starts_with("root  n=0  work=1 (driver=1)\n"), "{tree}");
         assert!(tree.contains("  small  n=1  work=0  lp.solves=3  max:peak=7  sizes~1"), "{tree}");
+    }
+
+    #[test]
+    fn tree_export_order_is_insertion_independent() {
+        // Regression for the counter/child ordering contract: a child
+        // created *after* its parent's counters (and counters added
+        // after the child) must render identically to the reverse
+        // insertion order — the exporters sort at render time.
+        let build = |counters_first: bool| {
+            let rec = Recorder::new();
+            let t = rec.handle();
+            if counters_first {
+                t.count("zeta", 1);
+                t.count("alpha", 2);
+                t.child("kid").count("hits", 1);
+            } else {
+                t.child("kid").count("hits", 1);
+                t.count("alpha", 2);
+                t.count("zeta", 1);
+            }
+            rec.to_tree_string()
+        };
+        let a = build(true);
+        let b = build(false);
+        assert_eq!(a, b);
+        assert!(a.starts_with("root  n=0  work=0  alpha=2  zeta=1\n"), "{a}");
+        assert!(a.contains("  kid  n=0  work=0  hits=1"), "{a}");
+    }
+
+    #[test]
+    fn snapshot_captures_the_sorted_tree() {
+        let rec = Recorder::new();
+        let t = rec.handle();
+        t.work(CheckpointClass::Driver, 3);
+        let arm = t.span("beta");
+        arm.count("hits", 2);
+        arm.observe("sizes", 5);
+        drop(arm);
+        t.child("alpha").gauge_max("peak", 9);
+        let snap = rec.snapshot();
+        assert_eq!(snap.name, "root");
+        assert_eq!(snap.work_total(), 3);
+        // Children sorted by name regardless of creation order.
+        let names: Vec<&str> = snap.children.iter().map(|c| c.name).collect();
+        assert_eq!(names, vec!["alpha", "beta"]);
+        let beta = snap.child("beta").expect("captured");
+        assert_eq!(beta.entries, 1);
+        assert_eq!(beta.counters, vec![("hits", 2)]);
+        assert_eq!(beta.hists.len(), 1);
+        assert_eq!(beta.hists[0].1.total(), 1);
+        assert_eq!(snap.child("alpha").expect("captured").gauges, vec![("peak", 9)]);
+        assert!(snap.child("missing").is_none());
+        // The off handle has nothing to snapshot.
+        assert!(Telemetry::off().snapshot_node().is_none());
+        assert_eq!(t.snapshot_node().expect("enabled"), snap);
     }
 
     #[test]

@@ -29,3 +29,7 @@ pub fn try_scan(cap: u64, weight: u64, n: u64) -> SapResult<u64> {
 fn record(tele: &Telemetry) {
     tele.count("typo.counter", 1);
 }
+
+fn record_ops(agg: &mut Aggregator) {
+    agg.count_ops("obs.typo.ops", 1);
+}

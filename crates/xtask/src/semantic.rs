@@ -564,7 +564,7 @@ fn loop_body_span(src: &SourceFile, loop_line: usize) -> Option<(usize, usize)> 
 /// Needles that increment a string-keyed telemetry slot. The quote is
 /// part of the needle: dynamic keys (`tele.count(name, n)`) carry no
 /// literal to check.
-const T2_NEEDLES: [&str; 3] = [".count(\"", ".gauge_max(\"", ".observe(\""];
+const T2_NEEDLES: [&str; 4] = [".count(\"", ".count_ops(\"", ".gauge_max(\"", ".observe(\""];
 
 /// Documents that, together with the root `tests/*.rs` suite, form the
 /// registry a counter name must appear in.

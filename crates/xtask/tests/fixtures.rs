@@ -154,8 +154,11 @@ fn bad_semantic_fires_t2_without_a_registry() {
     let text = fixture("bad-workspace/crates/algs/src/semantic.rs");
     let files = vec![SourceFile::parse("crates/algs/src/semantic.rs", &text)];
     let findings = semantic::lint_t2(&root, &files);
-    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings.len(), 2, "{findings:?}");
     assert!(findings[0].message.contains("typo.counter"), "{findings:?}");
+    // The ops-plane needle (`.count_ops("…")`) is covered too: an
+    // unregistered obs.* name must fail the lint like any other.
+    assert!(findings[1].message.contains("obs.typo.ops"), "{findings:?}");
 }
 
 #[test]

@@ -28,6 +28,13 @@
 #      stdouts must be byte-identical (admission, degradation, and shed
 #      decisions are width- and replay-invariant) and the stream must
 #      actually shed (the gate must not pass vacuously).
+#  10. the observability determinism gate: the same overloaded stream run
+#      with per-batch snapshots interleaved into stdout, a snapshot side
+#      channel, and a shutdown Chrome trace — twice at --workers 1 and
+#      once at --workers 8. Stdout (responses + snapshot lines), the
+#      snapshot file, and the trace must all be byte-identical across
+#      the three runs, snapshots must actually appear, and the trace
+#      must contain a non-vacuous span pair (more than the bare root).
 #
 # Run from anywhere inside the repository.
 set -euo pipefail
@@ -64,6 +71,8 @@ cargo run --release -p sap-bench -- --suite serve --smoke --workers 1,2 \
     --out "$tmpdir/bench-serve-smoke.json"
 cargo run --release -p sap-bench -- --suite overload --smoke --workers 1,2 \
     --out "$tmpdir/bench-overload-smoke.json"
+cargo run --release -p sap-bench -- --suite obs --smoke --workers 1,2 \
+    --out "$tmpdir/bench-obs-smoke.json"
 
 echo "==> serve determinism gate"
 # Each pretty-printed instance is flattened to one NDJSON line (instance
@@ -122,5 +131,41 @@ diff "$tmpdir/overload-w1a.ndjson" "$tmpdir/overload-w8.ndjson" \
     || { echo "shed/degrade decisions depend on the worker width" >&2; exit 1; }
 grep -q '"status":"shed"' "$tmpdir/overload-w1a.ndjson" \
     || { echo "overload stream never shed — gate is vacuous" >&2; exit 1; }
+
+echo "==> observability determinism gate"
+# The gate-9 overload stream again, now with the obs plane on: snapshot
+# lines interleave into stdout every batch, mirror into a side file, and
+# the service-lifetime profile exports as a Chrome trace at shutdown.
+# All three artifacts must be byte-identical across a replay and across
+# worker widths — cache warmth is already covered by the engine tests.
+obs_serve() {
+    ./target/release/sap serve --workers "$1" --cache-size 0 \
+        --max-inflight-units 700 --tenant-quota 330 \
+        --snapshot-every 1 --snapshot-file "$tmpdir/obs-snap-$2.ndjson" \
+        --trace "$tmpdir/obs-trace-$2.json" \
+        < "$tmpdir/overload-req.ndjson" 2>/dev/null
+}
+obs_serve 1 w1a > "$tmpdir/obs-w1a.ndjson"
+obs_serve 1 w1b > "$tmpdir/obs-w1b.ndjson"
+obs_serve 8 w8 > "$tmpdir/obs-w8.ndjson"
+diff "$tmpdir/obs-w1a.ndjson" "$tmpdir/obs-w1b.ndjson" \
+    || { echo "obs stdout (responses + snapshots) is not replay-deterministic" >&2; exit 1; }
+diff "$tmpdir/obs-w1a.ndjson" "$tmpdir/obs-w8.ndjson" \
+    || { echo "obs stdout depends on the worker width" >&2; exit 1; }
+diff "$tmpdir/obs-snap-w1a.ndjson" "$tmpdir/obs-snap-w1b.ndjson" \
+    || { echo "snapshot side channel is not replay-deterministic" >&2; exit 1; }
+diff "$tmpdir/obs-snap-w1a.ndjson" "$tmpdir/obs-snap-w8.ndjson" \
+    || { echo "snapshot side channel depends on the worker width" >&2; exit 1; }
+diff "$tmpdir/obs-trace-w1a.json" "$tmpdir/obs-trace-w1b.json" \
+    || { echo "trace export is not replay-deterministic" >&2; exit 1; }
+diff "$tmpdir/obs-trace-w1a.json" "$tmpdir/obs-trace-w8.json" \
+    || { echo "trace export depends on the worker width" >&2; exit 1; }
+grep -q '"kind":"snapshot"' "$tmpdir/obs-w1a.ndjson" \
+    || { echo "no snapshot lines on stdout — gate is vacuous" >&2; exit 1; }
+grep -q '"kind":"snapshot"' "$tmpdir/obs-snap-w1a.ndjson" \
+    || { echo "snapshot side channel is empty — gate is vacuous" >&2; exit 1; }
+# A non-vacuous trace nests at least one named child span under root.
+grep -q '"name":"medium","ph":"B"' "$tmpdir/obs-trace-w1a.json" \
+    || { echo "trace holds no solver span pair — gate is vacuous" >&2; exit 1; }
 
 echo "ci: all gates passed"

@@ -227,6 +227,14 @@ impl AdmissionController {
         self.buckets.len()
     }
 
+    /// Current `(tenant, token level)` pairs in tenant-name order —
+    /// the observability plane syncs these into its per-tenant snapshot
+    /// section. Deterministic: bucket levels are a pure function of the
+    /// request stream and the tick sequence.
+    pub fn bucket_levels(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.buckets.iter().map(|(name, &level)| (name.as_str(), level))
+    }
+
     /// One batch tick: replenish the global pool to its configured size
     /// and refill every tenant bucket by one quota (capped at the
     /// burst). Purely logical time — no clock is read.
@@ -426,6 +434,12 @@ mod tests {
         assert_eq!(admitted(ac.decide(100, Some("a"))), (Rung::Full, 100));
         assert_eq!(ac.tenant_buckets(), 2);
         assert_eq!(ac.stats.refills, 2);
+        // bucket_levels iterates in name order with current levels:
+        // "a" paid 100 from its refilled 100; "b" paid 100 from its
+        // initial burst 200 and refilled back to the 200 cap.
+        let levels: Vec<(String, u64)> =
+            ac.bucket_levels().map(|(n, l)| (n.to_string(), l)).collect();
+        assert_eq!(levels, vec![("a".to_string(), 0), ("b".to_string(), 200)]);
     }
 
     #[test]

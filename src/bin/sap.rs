@@ -37,7 +37,7 @@ fn main() -> ExitCode {
                  \n\
                  sap solve <inst.json> [--algo combined|practical|greedy|exact|small|medium|large]\n\
                  \x20         [--deadline-ms N] [--work-units N] [--workers N] [--report]\n\
-                 \x20         [--telemetry[=json|tree]] [--timings]\n\
+                 \x20         [--telemetry[=json|tree]] [--timings] [--trace out.json]\n\
                  \x20         [--render] [--svg out.svg] [-o solution.json]\n\
                  sap validate <inst.json> <solution.json>\n\
                  sap generate --edges N --tasks N [--regime small|medium|large|mixed]\n\
@@ -47,6 +47,8 @@ fn main() -> ExitCode {
                  sap serve [--algo combined|practical] [--workers N] [--solve-workers N]\n\
                  \x20         [--work-units N] [--cache-size N] [--batch N]\n\
                  \x20         [--max-inflight-units N] [--tenant-quota N]\n\
+                 \x20         [--snapshot-every N] [--snapshot-file f.ndjson]\n\
+                 \x20         [--trace out.json] [--obs]\n\
                  \x20         [--telemetry[=json|tree]]   (NDJSON on stdin/stdout)"
             );
             return ExitCode::from(2);
@@ -104,16 +106,18 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         Some(other) => return Err(format!("--telemetry accepts json or tree (got {other:?})")),
     }
     let want_timings = args.iter().any(|a| a == "--timings");
+    let trace_path = flag_value(args, "--trace");
     if (deadline_ms.is_some()
         || work_units.is_some()
         || workers.is_some()
         || want_report
-        || telemetry_mode.is_some())
+        || telemetry_mode.is_some()
+        || trace_path.is_some())
         && !matches!(algo, "combined" | "practical")
     {
         return Err(format!(
-            "--deadline-ms/--work-units/--workers/--report/--telemetry require --algo combined \
-             or practical (got {algo:?})"
+            "--deadline-ms/--work-units/--workers/--report/--telemetry/--trace require \
+             --algo combined or practical (got {algo:?})"
         ));
     }
     let mut budget = storage_alloc::sap_core::Budget::unlimited();
@@ -123,7 +127,7 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     if let Some(units) = work_units {
         budget = budget.with_work_units(units);
     }
-    let recorder = telemetry_mode.map(|_| {
+    let recorder = (telemetry_mode.is_some() || trace_path.is_some()).then(|| {
         if want_timings {
             storage_alloc::sap_core::Recorder::with_timings()
         } else {
@@ -184,9 +188,25 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         }
     }
     if let Some(rec) = &recorder {
-        match telemetry_mode {
-            Some("tree") => eprint!("{}", rec.to_tree_string()),
-            _ => eprintln!("{}", rec.to_json_string()),
+        if telemetry_mode.is_some() {
+            match telemetry_mode {
+                Some("tree") => eprint!("{}", rec.to_tree_string()),
+                _ => eprintln!("{}", rec.to_json_string()),
+            }
+        }
+        if let Some(path) = trace_path {
+            // Chrome trace-event export of the solve's span tree. The
+            // work-unit clock is deterministic; `--timings` switches to
+            // wall-clock durations.
+            let root = storage_alloc::sap_core::ObsNode::from_span(&rec.snapshot());
+            let clock = if want_timings {
+                storage_alloc::sap_core::TraceClock::WallNanos
+            } else {
+                storage_alloc::sap_core::TraceClock::WorkUnits
+            };
+            let trace = storage_alloc::sap_core::chrome_trace(&root, clock);
+            std::fs::write(path, trace).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote {path}");
         }
     }
     if args.iter().any(|a| a == "--render") {
@@ -333,6 +353,34 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         None | Some("") | Some("json") | Some("tree") => {}
         Some(other) => return Err(format!("--telemetry accepts json or tree (got {other:?})")),
     }
+    // Observability plane: `--snapshot-every N` interleaves snapshot
+    // lines into stdout every N batches; `--snapshot-file` mirrors them
+    // to a side channel (and alone implies a per-batch cadence without
+    // touching stdout); `--trace` writes a Chrome trace of the
+    // service-lifetime profile at shutdown; `--obs` dumps the full
+    // aggregator export to stderr at shutdown.
+    let snapshot_every_flag: Option<u64> = flag_value(args, "--snapshot-every")
+        .map(|v| v.parse().map_err(|_| "--snapshot-every must be a positive number"))
+        .transpose()?;
+    if snapshot_every_flag == Some(0) {
+        return Err("--snapshot-every must be a positive number".to_string());
+    }
+    let snapshot_path = flag_value(args, "--snapshot-file");
+    let trace_path = flag_value(args, "--trace");
+    let want_obs = args.iter().any(|a| a == "--obs");
+    opts.snapshot_every = match snapshot_every_flag {
+        Some(n) => n,
+        None if snapshot_path.is_some() => 1,
+        None => 0,
+    };
+    opts.obs = want_obs || trace_path.is_some();
+    let snapshots_on_stdout = snapshot_every_flag.is_some();
+    let mut snap_file = match snapshot_path {
+        Some(path) => {
+            Some(std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => None,
+    };
 
     let mut engine = ServeEngine::new(opts);
     let stdin = std::io::stdin();
@@ -340,7 +388,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut pending: Vec<String> = Vec::new();
     let flush_batch = |engine: &mut ServeEngine,
                            pending: &mut Vec<String>,
-                           stdout: &mut dyn Write|
+                           stdout: &mut dyn Write,
+                           snap_file: &mut Option<std::fs::File>|
      -> Result<(), String> {
         if pending.is_empty() {
             return Ok(());
@@ -348,6 +397,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         let lines: Vec<&str> = pending.iter().map(String::as_str).collect();
         for response in engine.process_batch(&lines) {
             writeln!(stdout, "{response}").map_err(|e| format!("stdout: {e}"))?;
+        }
+        if let Some(snapshot) = engine.maybe_snapshot() {
+            if snapshots_on_stdout {
+                writeln!(stdout, "{snapshot}").map_err(|e| format!("stdout: {e}"))?;
+            }
+            if let Some(f) = snap_file {
+                writeln!(f, "{snapshot}").map_err(|e| format!("snapshot file: {e}"))?;
+            }
         }
         stdout.flush().map_err(|e| format!("stdout: {e}"))?;
         pending.clear();
@@ -357,15 +414,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         let line = line.map_err(|e| format!("stdin: {e}"))?;
         // Blank lines separate batches without producing a response.
         if line.trim().is_empty() {
-            flush_batch(&mut engine, &mut pending, &mut stdout)?;
+            flush_batch(&mut engine, &mut pending, &mut stdout, &mut snap_file)?;
             continue;
         }
         pending.push(line);
         if pending.len() >= batch_size {
-            flush_batch(&mut engine, &mut pending, &mut stdout)?;
+            flush_batch(&mut engine, &mut pending, &mut stdout, &mut snap_file)?;
         }
     }
-    flush_batch(&mut engine, &mut pending, &mut stdout)?;
+    flush_batch(&mut engine, &mut pending, &mut stdout, &mut snap_file)?;
+    drop(stdout);
     eprintln!("{}", engine.summary_line());
     if telemetry_mode.is_some() {
         let recorder = storage_alloc::sap_core::Recorder::new();
@@ -373,6 +431,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         match telemetry_mode {
             Some("tree") => eprint!("{}", recorder.to_tree_string()),
             _ => eprintln!("{}", recorder.to_json_string()),
+        }
+    }
+    if let Some(path) = trace_path {
+        if let Some(trace) = engine.trace_json() {
+            std::fs::write(path, trace).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+    }
+    if want_obs {
+        if let Some(obs) = engine.obs_json() {
+            eprintln!("{obs}");
         }
     }
     Ok(())

@@ -79,8 +79,27 @@
 //! *within* a batch are solved once: the first occurrence leads, later
 //! occurrences copy its response at merge time. Hit/miss/eviction
 //! counts are exposed as telemetry counters (`serve.cache.*`).
+//!
+//! ## Observability
+//!
+//! With the obs plane on (`--obs`, `--snapshot-every`, or `--trace`),
+//! an [`sap_core::Aggregator`] folds every request's finished recorder
+//! tree into a service-lifetime hierarchical profile, flat counters,
+//! per-tenant rows, and log-2 work histograms. Aggregation happens in
+//! the sequential index-order merge pass — never on worker threads —
+//! and cache replays contribute the *cached solve's* meters (winner,
+//! per-class [`sap_core::WorkProfile`], span snapshot ride along with
+//! the payload in the LRU), so the snapshot stream emitted by
+//! [`ServeEngine::maybe_snapshot`] is byte-identical at any worker
+//! width, any cache warmth, and on replay. Warmth-variant facts
+//! (solved vs replayed counts, amortized-work histograms) live in a
+//! segregated ops plane that only the shutdown [`ServeEngine::obs_json`]
+//! export shows. [`ServeEngine::trace_json`] renders the lifetime
+//! profile as Chrome trace-event JSON on the deterministic work-unit
+//! clock. See DESIGN.md §9.1.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::admission::{
     estimate_units, AdmissionConfig, AdmissionController, Decision, Rung, ShedReason,
@@ -90,7 +109,11 @@ use sap_algs::SapParams;
 #[cfg(feature = "fault-injection")]
 use sap_core::FaultPlan;
 use sap_core::json::{self, Json};
-use sap_core::{map_reduce_isolated, run_isolated, Budget, Fnv1a, LruCache, Recorder, Telemetry};
+use sap_core::obs::{chrome_trace, Aggregator, TraceClock};
+use sap_core::{
+    map_reduce_isolated, run_isolated, Budget, Fnv1a, LruCache, Recorder, SolveReport, SpanData,
+    Telemetry, WorkProfile,
+};
 
 /// Response schema version, bumped on breaking changes to the line
 /// format.
@@ -135,6 +158,13 @@ pub struct ServeOptions {
     /// Per-tenant token-bucket refill per batch tick (`None` = tenants
     /// unmetered).
     pub tenant_quota: Option<u64>,
+    /// Emit a deterministic observability snapshot record every N
+    /// batch ticks (`0` = no snapshot stream). Implies obs collection.
+    pub snapshot_every: u64,
+    /// Collect the cumulative observability aggregator
+    /// ([`sap_core::obs::Aggregator`]) even without a snapshot cadence
+    /// — required for the `--trace` / `--obs` shutdown exports.
+    pub obs: bool,
     /// Deterministic fault plan for chaos testing (serve-level
     /// injections: `fail_admission`, `exhaust_tenant_at`,
     /// `panic_request`).
@@ -152,6 +182,8 @@ impl Default for ServeOptions {
             cache_size: 256,
             max_inflight_units: None,
             tenant_quota: None,
+            snapshot_every: 0,
+            obs: false,
             #[cfg(feature = "fault-injection")]
             fault: FaultPlan::default(),
         }
@@ -299,16 +331,59 @@ enum RespKind {
     Shed,
 }
 
+/// What the observability plane needs to know about one ok response
+/// besides its bytes. Cached (and replayed) together with the payload,
+/// so every aggregator update derived from it is cache-warmth- and
+/// width-invariant: a replayed response contributes exactly what its
+/// original solve did.
+#[derive(Debug, Clone)]
+struct OkMeta {
+    /// Winning arm name from the report.
+    winner: &'static str,
+    /// The request's metered work ([`report_work_profile`]).
+    work: WorkProfile,
+    /// Snapshot of the request's telemetry tree (collected only while
+    /// the obs plane is on; `Arc` so replays don't deep-copy).
+    span: Option<Arc<SpanData>>,
+}
+
+/// A cached ok response: the exact payload bytes plus the obs metadata
+/// that must replay with them.
+#[derive(Debug, Clone)]
+struct CachedOk {
+    payload: String,
+    meta: OkMeta,
+}
+
 /// What a successful solve hands back to the merge pass.
 struct SolveOk {
     payload: String,
-    winner: &'static str,
     outcomes: Vec<&'static str>,
+    meta: OkMeta,
+}
+
+/// The per-request work meter folded per class from a finished report:
+/// each arm's [`WorkProfile`] plus the driver's own orchestration
+/// units. The cumulative `obs.work.*` counters sum exactly this
+/// quantity over ok responses, and the conservation test re-derives it
+/// from the response bytes (the payload embeds the same report).
+fn report_work_profile(report: &SolveReport) -> WorkProfile {
+    let mut w = WorkProfile::default();
+    for arm in &report.arms {
+        w.lp_pivot = w.lp_pivot.saturating_add(arm.work.lp_pivot);
+        w.dp_row = w.dp_row.saturating_add(arm.work.dp_row);
+        w.pack_sweep = w.pack_sweep.saturating_add(arm.work.pack_sweep);
+        w.driver = w.driver.saturating_add(arm.work.driver);
+    }
+    w.driver = w.driver.saturating_add(report.driver_work);
+    w
 }
 
 /// Runs one request to completion: build the instance, solve it under
 /// its own budget and telemetry recorder, assemble the response line.
-fn solve_request(req: &Request) -> Result<SolveOk, String> {
+/// `want_span` additionally snapshots the telemetry tree for the
+/// cumulative profile (only requested while the obs plane is on).
+fn solve_request(req: &Request, want_span: bool) -> Result<SolveOk, String> {
     let instance = req.dto.to_instance().map_err(|e| format!("invalid instance: {e}"))?;
     let ids = instance.all_ids();
     let params = SapParams { workers: req.solve_workers, ..Default::default() };
@@ -337,19 +412,130 @@ fn solve_request(req: &Request) -> Result<SolveOk, String> {
     ])
     .to_string_compact();
     let outcomes = report.arms.iter().map(|a| a.outcome.as_str()).collect();
-    Ok(SolveOk { payload, winner: report.winner, outcomes })
+    let meta = OkMeta {
+        winner: report.winner,
+        work: report_work_profile(&report),
+        span: want_span.then(|| Arc::new(recorder.snapshot())),
+    };
+    Ok(SolveOk { payload, outcomes, meta })
 }
 
 /// How one input line will be answered, decided by the sequential
 /// classification pass before the parallel fan-out.
 enum Slot {
-    /// Response already known (parse error, admission shed, or cache
-    /// hit), with its classification.
+    /// Response already known (parse error or admission shed), with its
+    /// classification.
     Ready(String, RespKind),
+    /// Cross-batch cache hit: the stored payload plus the obs metadata
+    /// that replays with it.
+    Hit(CachedOk),
     /// First occurrence of a novel request — index into the job list.
     Leader(usize),
     /// Within-batch duplicate — index of its leader's *line*.
     Follower(usize),
+}
+
+/// What the admission/decode step decided about one line — the obs
+/// attribution recorded during the sequential classification pass.
+#[derive(Debug, Clone)]
+enum ObsOutcome {
+    /// The line never decoded to a request.
+    ParseErr,
+    /// Admission refused the request.
+    Shed(ShedReason),
+    /// Admitted at this degradation-ladder rung.
+    Admitted(Rung),
+}
+
+/// Per-line obs attribution (collected only while the obs plane is on).
+#[derive(Debug, Clone)]
+struct ObsAttr {
+    tenant: Option<String>,
+    outcome: ObsOutcome,
+}
+
+/// Folds a dynamic winner-arm name onto the fixed `obs.winner.*`
+/// counter set (same contract as [`winner_counter`]).
+fn obs_winner_counter(winner: &str) -> &'static str {
+    match winner {
+        "small" => "obs.winner.small",
+        "medium" => "obs.winner.medium",
+        "large" => "obs.winner.large",
+        "lemma13" => "obs.winner.lemma13",
+        "greedy" => "obs.winner.greedy",
+        _ => {
+            debug_assert!(false, "unmapped winner arm {winner:?}: extend obs_winner_counter");
+            "obs.winner.other"
+        }
+    }
+}
+
+/// Applies one resolved response line to the cumulative aggregator.
+///
+/// Runs in the sequential merge pass, in input order. Every snapshot
+/// counter updated here is a pure function of the request stream:
+/// admission attribution was fixed in the classification pass, and
+/// replayed responses carry their original solve's winner/work/span in
+/// [`OkMeta`]. Only the `count_ops` solves/replayed split (and the
+/// amortization histogram) may vary with cache warmth — those stay out
+/// of the snapshot stream by construction.
+fn note_obs(
+    agg: &mut Aggregator,
+    attr: &ObsAttr,
+    kind: RespKind,
+    meta: Option<&OkMeta>,
+    replayed: bool,
+) {
+    agg.count("obs.requests", 1);
+    match attr.outcome {
+        ObsOutcome::Admitted(Rung::Full) => agg.count("obs.rung.full", 1),
+        ObsOutcome::Admitted(Rung::Lemma13) => agg.count("obs.rung.lemma13", 1),
+        ObsOutcome::Admitted(Rung::Greedy) => agg.count("obs.rung.greedy", 1),
+        ObsOutcome::Shed(ShedReason::Capacity) => agg.count("obs.shed.capacity", 1),
+        ObsOutcome::Shed(ShedReason::Quota) => agg.count("obs.shed.quota", 1),
+        ObsOutcome::ParseErr => {}
+    }
+    match kind {
+        RespKind::Ok => agg.count("obs.ok", 1),
+        RespKind::Err => agg.count("obs.err", 1),
+        RespKind::Shed => agg.count("obs.shed", 1),
+    }
+    let total = meta.map_or(0, |m| m.work.total());
+    // Per-request work distribution. Error and shed lines observe a
+    // literal 0 — the histogram's dedicated zero bucket, never an alias
+    // of the [1,2) bucket.
+    agg.observe("obs.req.work", total);
+    if let Some(m) = meta {
+        agg.count("obs.work.lp_pivot", m.work.lp_pivot);
+        agg.count("obs.work.dp_row", m.work.dp_row);
+        agg.count("obs.work.pack_sweep", m.work.pack_sweep);
+        agg.count("obs.work.driver", m.work.driver);
+        agg.count(obs_winner_counter(m.winner), 1);
+        if let Some(span) = &m.span {
+            agg.merge_span(span);
+        }
+        if replayed {
+            agg.count_ops("obs.replayed", 1);
+            // Work units the replay did *not* spend, thanks to the
+            // cache / within-batch dedup.
+            agg.observe("obs.cache.amortized", total);
+        } else {
+            agg.count_ops("obs.solves", 1);
+        }
+    }
+    if let Some(tenant) = &attr.tenant {
+        let t = agg.tenant_mut(tenant);
+        t.requests = t.requests.saturating_add(1);
+        match kind {
+            RespKind::Ok => t.ok = t.ok.saturating_add(1),
+            RespKind::Err => t.err = t.err.saturating_add(1),
+            RespKind::Shed => t.shed = t.shed.saturating_add(1),
+        }
+        t.work = t.work.saturating_add(total);
+        if matches!(attr.outcome, ObsOutcome::Admitted(Rung::Lemma13 | Rung::Greedy)) {
+            t.degraded = t.degraded.saturating_add(1);
+        }
+    }
 }
 
 /// The serve engine: decode → admit → classify → fan out → merge, one
@@ -357,8 +543,10 @@ enum Slot {
 /// counters living across batches.
 pub struct ServeEngine {
     opts: ServeOptions,
-    cache: LruCache<CacheKey, String>,
+    cache: LruCache<CacheKey, CachedOk>,
     admission: AdmissionController,
+    /// The cumulative observability plane (`None` = not collecting).
+    obs: Option<Aggregator>,
     /// Solves dispatched over the engine's lifetime (the address space
     /// of the `panic_request` fault injection).
     solve_seq: u64,
@@ -378,7 +566,8 @@ impl ServeEngine {
         let admission = AdmissionController::new(cfg);
         #[cfg(feature = "fault-injection")]
         let admission = admission.with_fault_plan(opts.fault);
-        ServeEngine { opts, cache, admission, solve_seq: 0, stats: ServeStats::default() }
+        let obs = (opts.obs || opts.snapshot_every > 0).then(Aggregator::new);
+        ServeEngine { opts, cache, admission, obs, solve_seq: 0, stats: ServeStats::default() }
     }
 
     /// Read access to the cumulative admission counters.
@@ -446,6 +635,10 @@ impl ServeEngine {
     /// `workers` width and for cold vs warm cache.
     pub fn process_batch(&mut self, lines: &[&str]) -> Vec<String> {
         self.stats.batches += 1;
+        let collect_obs = self.obs.is_some();
+        if let Some(agg) = &mut self.obs {
+            agg.count("obs.batches", 1);
+        }
         // One logical admission tick per batch: replenish the global
         // pool and refill tenant buckets (no wall clock involved).
         self.admission.tick();
@@ -454,8 +647,11 @@ impl ServeEngine {
         // shed/hit/miss/leader pattern is independent of worker
         // scheduling. Admission charges happen *before* the cache
         // lookup — a cache hit pays the same as a solve, which keeps
-        // the decision sequence invariant under cache warmth.
+        // the decision sequence invariant under cache warmth. Obs
+        // attribution (tenant, rung) is fixed here too, for the same
+        // reason.
         let mut slots: Vec<Slot> = Vec::with_capacity(lines.len());
+        let mut attrs: Vec<ObsAttr> = Vec::new();
         let mut jobs: Vec<(Request, CacheKey, u64)> = Vec::new();
         let mut pending: HashMap<CacheKey, usize> = HashMap::new();
         for (idx, line) in lines.iter().enumerate() {
@@ -464,16 +660,33 @@ impl ServeEngine {
                 .map_err(|e| format!("bad request: {e}"))
                 .and_then(|v| self.decode_request(&v).map_err(|e| format!("bad request: {e}")));
             let slot = match decoded {
-                Err(msg) => Slot::Ready(error_response(&msg), RespKind::Err),
+                Err(msg) => {
+                    if collect_obs {
+                        attrs.push(ObsAttr { tenant: None, outcome: ObsOutcome::ParseErr });
+                    }
+                    Slot::Ready(error_response(&msg), RespKind::Err)
+                }
                 Ok(mut req) => {
                     let full_cost = req
                         .work_units
                         .unwrap_or_else(|| estimate_units(req.dto.tasks.len()));
                     match self.admission.decide(full_cost, req.tenant.as_deref()) {
                         Decision::Shed(reason) => {
+                            if collect_obs {
+                                attrs.push(ObsAttr {
+                                    tenant: req.tenant.clone(),
+                                    outcome: ObsOutcome::Shed(reason),
+                                });
+                            }
                             Slot::Ready(shed_response(reason), RespKind::Shed)
                         }
                         Decision::Admit { rung, cost } => {
+                            if collect_obs {
+                                attrs.push(ObsAttr {
+                                    tenant: req.tenant.clone(),
+                                    outcome: ObsOutcome::Admitted(rung),
+                                });
+                            }
                             // Degraded rungs enforce the admitted cost
                             // as the solve's actual budget; the full
                             // rung keeps the request's own (possibly
@@ -486,10 +699,10 @@ impl ServeEngine {
                                 algo: req.algo,
                                 work_units: req.work_units,
                             };
-                            if let Some(payload) = self.cache.get(&key) {
+                            if let Some(cached) = self.cache.get(&key) {
                                 // Only ok payloads are ever cached.
                                 self.stats.cache_hits += 1;
-                                Slot::Ready(payload.clone(), RespKind::Ok)
+                                Slot::Hit(cached.clone())
                             } else if let Some(&leader) = pending.get(&key) {
                                 self.stats.cache_hits += 1;
                                 Slot::Follower(leader)
@@ -515,6 +728,7 @@ impl ServeEngine {
         // worker width.
         #[cfg(feature = "fault-injection")]
         let fault = self.opts.fault;
+        let want_span = collect_obs;
         let results = map_reduce_isolated(
             &Budget::unlimited(),
             &jobs,
@@ -525,26 +739,33 @@ impl ServeEngine {
                     if fault.panic_request == Some(*_seq) {
                         panic!("injected panic_request #{_seq}");
                     }
-                    solve_request(req)
+                    solve_request(req, want_span)
                 }) {
                     Ok(inner) => inner,
                     Err(panic_msg) => Err(format!("solver panicked: {panic_msg}")),
                 })
             },
         );
-        // Sequential index-order merge: responses, counter updates, and
-        // cache insertions all happen in input order.
-        let mut out: Vec<(String, RespKind)> = Vec::with_capacity(slots.len());
-        for slot in &slots {
-            let entry = match slot {
-                Slot::Ready(line, kind) => (line.clone(), *kind),
+        // Sequential index-order merge: responses, counter updates,
+        // cache insertions, and obs aggregation all happen in input
+        // order, so aggregate state is identical at any worker width.
+        let mut out: Vec<(String, RespKind, Option<OkMeta>)> = Vec::with_capacity(slots.len());
+        for (idx, slot) in slots.iter().enumerate() {
+            let (line, kind, meta, replayed) = match slot {
+                Slot::Ready(line, kind) => (line.clone(), *kind, None, false),
+                Slot::Hit(cached) => {
+                    (cached.payload.clone(), RespKind::Ok, Some(cached.meta.clone()), true)
+                }
                 Slot::Follower(leader_line) => {
                     // The leader always precedes its followers.
                     match out.get(*leader_line) {
-                        Some(leader) => leader.clone(),
-                        None => {
-                            (error_response("internal error: missing leader"), RespKind::Err)
-                        }
+                        Some((line, kind, meta)) => (line.clone(), *kind, meta.clone(), true),
+                        None => (
+                            error_response("internal error: missing leader"),
+                            RespKind::Err,
+                            None,
+                            false,
+                        ),
                     }
                 }
                 Slot::Leader(job_idx) => {
@@ -560,29 +781,38 @@ impl ServeEngine {
                         .unwrap_or_else(|| Err("internal error: missing result".to_string()));
                     match outcome {
                         Ok(solved) => {
-                            bump(&mut self.stats.winners, winner_counter(solved.winner));
+                            bump(&mut self.stats.winners, winner_counter(solved.meta.winner));
                             for o in &solved.outcomes {
                                 bump(&mut self.stats.outcomes, outcome_counter(o));
                             }
                             if let Some((_, key, _)) = jobs.get(*job_idx) {
-                                if self.cache.insert(key.clone(), solved.payload.clone()) {
+                                let cached = CachedOk {
+                                    payload: solved.payload.clone(),
+                                    meta: solved.meta.clone(),
+                                };
+                                if self.cache.insert(key.clone(), cached) {
                                     self.stats.cache_evictions += 1;
                                 }
                             }
-                            (solved.payload.clone(), RespKind::Ok)
+                            (solved.payload.clone(), RespKind::Ok, Some(solved.meta.clone()), false)
                         }
-                        Err(msg) => (error_response(&msg), RespKind::Err),
+                        Err(msg) => (error_response(&msg), RespKind::Err, None, false),
                     }
                 }
             };
-            match entry.1 {
+            match kind {
                 RespKind::Ok => self.stats.ok += 1,
                 RespKind::Err => self.stats.errors += 1,
                 RespKind::Shed => self.stats.shed += 1,
             }
-            out.push(entry);
+            if let Some(agg) = &mut self.obs {
+                if let Some(attr) = attrs.get(idx) {
+                    note_obs(agg, attr, kind, meta.as_ref(), replayed);
+                }
+            }
+            out.push((line, kind, meta));
         }
-        out.into_iter().map(|(line, _)| line).collect()
+        out.into_iter().map(|(line, _, _)| line).collect()
     }
 
     /// Emits the cumulative counters onto a telemetry handle
@@ -611,6 +841,61 @@ impl ServeEngine {
         for &(name, n) in &self.stats.outcomes {
             tele.count(name, n);
         }
+    }
+
+    /// Whether the observability aggregator is active for this engine.
+    pub fn obs_enabled(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Emits a snapshot line if the batch counter has reached the next
+    /// `--snapshot-every` boundary (and obs is enabled). The tick is
+    /// the cumulative batch count, so the snapshot cadence — like every
+    /// other service decision — is a function of the input stream only.
+    pub fn maybe_snapshot(&mut self) -> Option<String> {
+        let every = self.opts.snapshot_every;
+        if every == 0 || self.stats.batches == 0 || self.stats.batches % every != 0 {
+            return None;
+        }
+        self.snapshot_now()
+    }
+
+    /// Emits a snapshot line unconditionally (used for the final
+    /// snapshot at shutdown and by `--snapshot-file` side channels).
+    pub fn snapshot_now(&mut self) -> Option<String> {
+        let tick = self.stats.batches;
+        self.sync_tenant_buckets();
+        self.obs.as_mut().map(|agg| agg.snapshot_line(tick))
+    }
+
+    /// Copies the admission controller's current per-tenant token
+    /// levels into the aggregator's tenant rows, so snapshots show
+    /// bucket state alongside the per-tenant traffic counters.
+    fn sync_tenant_buckets(&mut self) {
+        let Some(agg) = self.obs.as_mut() else { return };
+        for (name, level) in self.admission.bucket_levels() {
+            agg.tenant_mut(name).bucket = level;
+        }
+    }
+
+    /// Full aggregator export (`kind:"obs"`), including the ops-plane
+    /// counters and the hierarchical profile.
+    pub fn obs_json(&mut self) -> Option<String> {
+        self.sync_tenant_buckets();
+        self.obs.as_ref().map(Aggregator::to_json_string)
+    }
+
+    /// Chrome trace-event export of the service-lifetime profile, on
+    /// the deterministic work-unit clock.
+    pub fn trace_json(&self) -> Option<String> {
+        self.obs
+            .as_ref()
+            .map(|agg| chrome_trace(agg.profile(), TraceClock::WorkUnits))
+    }
+
+    /// Read access to the aggregator (tests and the bench suite).
+    pub fn aggregator(&self) -> Option<&Aggregator> {
+        self.obs.as_ref()
     }
 
     /// One-line human summary for stderr (deterministic).
