@@ -77,7 +77,7 @@ pub fn try_solve(
                     instance,
                     &classified.small,
                     params.small_algo,
-                    params.lp_max_iters,
+                    params.lp_options(),
                     params.workers,
                     &small_b,
                 )

@@ -20,7 +20,7 @@
 //! per-item share of the arm budget, so metered runs degrade
 //! byte-identically at any worker count.
 
-use lp_solver::LpStatus;
+use lp_solver::{LpStatus, SimplexOptions};
 use sap_core::budget::{Budget, CheckpointClass};
 use sap_core::error::SapResult;
 use sap_core::{
@@ -60,7 +60,8 @@ pub struct SmallRun {
 pub fn solve_small(instance: &Instance, ids: &[TaskId], algo: SmallAlgo) -> SapSolution {
     // An unlimited budget cannot trip, so the Err arm is dead; greedy
     // keeps the wrapper total without a panic path.
-    let sol = match try_solve_small(instance, ids, algo, 0, 0, &Budget::unlimited()) {
+    let sol =
+        match try_solve_small(instance, ids, algo, SimplexOptions::default(), 0, &Budget::unlimited()) {
         Ok(run) => run.solution,
         Err(_) => greedy_sap_best(instance, ids),
     };
@@ -71,7 +72,7 @@ pub fn solve_small(instance: &Instance, ids: &[TaskId], algo: SmallAlgo) -> SapS
 /// Budget-aware fallible Strip-Pack.
 ///
 /// Per stratum, the LP solve is charged against `budget` (`LpPivot`
-/// units, at most `lp_max_iters` pivots, `0` = automatic) plus one
+/// units, at most `opts.max_pivots` pivots, `0` = automatic) plus one
 /// `Driver` unit. The strata fan out through
 /// [`sap_core::map_reduce_isolated`]: each stratum runs on a fixed
 /// per-item share of the budget's remaining work units, so the trip
@@ -86,7 +87,7 @@ pub fn try_solve_small(
     instance: &Instance,
     ids: &[TaskId],
     algo: SmallAlgo,
-    lp_max_iters: usize,
+    opts: SimplexOptions,
     workers: usize,
     budget: &Budget,
 ) -> SapResult<SmallRun> {
@@ -94,7 +95,7 @@ pub fn try_solve_small(
     budget.telemetry().count("strata", strata.len() as u64);
     let parts: Vec<SapResult<(SapSolution, bool)>> =
         map_reduce_isolated(budget, &strata, workers, |(t, members), b| {
-            pack_stratum(instance, *t, members, algo, lp_max_iters, b)
+            pack_stratum(instance, *t, members, algo, opts, b)
         });
     let mut sols = Vec::with_capacity(parts.len());
     let mut lp_ok = true;
@@ -126,7 +127,7 @@ fn pack_stratum(
     t: u32,
     members: &[TaskId],
     algo: SmallAlgo,
-    lp_max_iters: usize,
+    opts: SimplexOptions,
     budget: &Budget,
 ) -> SapResult<(SapSolution, bool)> {
     let phase = budget.telemetry().span("stratum");
@@ -147,8 +148,7 @@ fn pack_stratum(
     // Step 2: half-B-packable UFPP solution.
     let ufpp_sol = match algo {
         SmallAlgo::LpRounding => {
-            let strip =
-                ufpp::round_scaled_lp_budgeted(&sub, &sub_ids, half, lp_max_iters, budget)?;
+            let strip = ufpp::round_scaled_lp_budgeted(&sub, &sub_ids, half, opts, budget)?;
             if strip.lp_status != LpStatus::Optimal {
                 // Lemma 5 needs the fractional optimum; discard.
                 return Ok((SapSolution::empty(), false));

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod lp_bench;
 pub mod obs_bench;
 pub mod overload_bench;
 pub mod serve_bench;

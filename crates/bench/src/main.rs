@@ -68,8 +68,13 @@ fn main() {
             let errors = sap_bench::obs_bench::validate_obs_report(&doc);
             (doc, errors)
         }
+        "lp" => {
+            let doc = sap_bench::lp_bench::run_lp(&config);
+            let errors = sap_bench::lp_bench::validate_lp_report(&doc);
+            (doc, errors)
+        }
         other => {
-            usage(&format!("unknown suite {other:?} (available: core, serve, overload, obs)"))
+            usage(&format!("unknown suite {other:?} (available: core, serve, overload, obs, lp)"))
         }
     };
     if !errors.is_empty() {
@@ -90,7 +95,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("sap-bench: {msg}");
     eprintln!(
-        "usage: sap-bench [--suite core|serve|overload|obs] [--smoke] [--workers 1,8] [--out report.json]"
+        "usage: sap-bench [--suite core|serve|overload|obs|lp] [--smoke] [--workers 1,8] [--out report.json]"
     );
     std::process::exit(2);
 }

@@ -142,6 +142,11 @@ pub struct FaultPlan {
     /// Fail the Nth LP solve (1-based) as if the solver returned a
     /// non-optimal status.
     pub fail_lp_solve: Option<u64>,
+    /// Fail the Nth basis refactorization (1-based) inside the sparse
+    /// simplex, which then reports a singular basis. Every LP solve
+    /// refactorizes before its first pivot, so `Some(1)` fires on the
+    /// first budgeted solve deterministically.
+    pub fail_refactor: Option<u64>,
     /// Panic inside the portfolio worker with this index (0 = small,
     /// 1 = medium, 2 = large).
     pub panic_worker: Option<usize>,
@@ -174,8 +179,9 @@ impl FaultPlan {
     /// Each of the three *solver* fault dimensions independently fires
     /// with probability 1/2, so seed sweeps exercise single and combined
     /// faults. Seed 0 yields the empty plan. The serve-level dimensions
-    /// (`fail_admission`, `exhaust_tenant_at`, `panic_request`) are not
-    /// seeded — the serve chaos tests address them explicitly.
+    /// (`fail_admission`, `exhaust_tenant_at`, `panic_request`) and
+    /// `fail_refactor` are not seeded — the serve and refactorization
+    /// chaos tests address them explicitly.
     pub fn from_seed(seed: u64) -> FaultPlan {
         if seed == 0 {
             return FaultPlan::default();
@@ -240,6 +246,8 @@ pub struct Budget {
     fault: FaultPlan,
     #[cfg(feature = "fault-injection")]
     lp_solves: AtomicU64,
+    #[cfg(feature = "fault-injection")]
+    refactors: AtomicU64,
 }
 
 impl Default for Budget {
@@ -264,6 +272,8 @@ impl Budget {
             fault: FaultPlan::default(),
             #[cfg(feature = "fault-injection")]
             lp_solves: AtomicU64::new(0),
+            #[cfg(feature = "fault-injection")]
+            refactors: AtomicU64::new(0),
         }
     }
 
@@ -312,6 +322,8 @@ impl Budget {
             fault: self.fault,
             #[cfg(feature = "fault-injection")]
             lp_solves: AtomicU64::new(0),
+            #[cfg(feature = "fault-injection")]
+            refactors: AtomicU64::new(0),
         }
     }
 
@@ -358,6 +370,8 @@ impl Budget {
                     fault: self.fault,
                     #[cfg(feature = "fault-injection")]
                     lp_solves: AtomicU64::new(0),
+                    #[cfg(feature = "fault-injection")]
+                    refactors: AtomicU64::new(0),
                 }
             })
             .collect()
@@ -528,6 +542,23 @@ impl Budget {
     /// `fault-injection` feature.
     #[cfg(not(feature = "fault-injection"))]
     pub fn lp_solve_fault(&self) -> bool {
+        false
+    }
+
+    /// Fault-injection hook counting basis refactorizations: returns
+    /// `true` when this refactorization (1-based, per budget) is planned
+    /// to fail and the simplex should report a singular basis. Always
+    /// `false` without the feature.
+    #[cfg(feature = "fault-injection")]
+    pub fn refactor_fault(&self) -> bool {
+        let nth = self.refactors.fetch_add(1, Ordering::Relaxed).saturating_add(1);
+        self.fault.fail_refactor == Some(nth)
+    }
+
+    /// Fault-injection hook counting basis refactorizations; compiled
+    /// out without the `fault-injection` feature.
+    #[cfg(not(feature = "fault-injection"))]
+    pub fn refactor_fault(&self) -> bool {
         false
     }
 }
@@ -957,6 +988,18 @@ mod tests {
             let child = b.child();
             assert!(!child.lp_solve_fault());
             assert!(child.lp_solve_fault());
+        }
+
+        #[test]
+        fn refactor_fault_counts_per_budget() {
+            let plan = FaultPlan { fail_refactor: Some(2), ..FaultPlan::default() };
+            let b = Budget::unlimited().with_fault_plan(plan);
+            assert!(!b.refactor_fault());
+            assert!(b.refactor_fault());
+            assert!(!b.refactor_fault());
+            let child = b.child();
+            assert!(!child.refactor_fault());
+            assert!(child.refactor_fault());
         }
 
         #[test]

@@ -1,0 +1,297 @@
+//! Bounded branch-and-bound integerization over binary packing LPs.
+//!
+//! [`solve_binary_bnb`] searches for the best **integral** point of a
+//! packing LP whose variables are all 0/1 (`u_j = 1`): best-bound node
+//! selection with deterministic tie-breaks (equal bounds break towards
+//! the lower node id, which is the creation order), branching on the
+//! most fractional variable (ties towards the lower variable index),
+//! and the LP dual objective as the node bound — always valid, because
+//! the solver's returned duals are dual-feasible even at an iteration
+//! limit. The node budget bounds the search: when it is exhausted the
+//! incumbent is returned with `proven_optimal = false`.
+//!
+//! Every node charges one `DpRow` work unit and checkpoints the shared
+//! [`Budget`], so the driver's degradation ladder can cut an
+//! integerization short exactly like any other arm.
+
+use sap_core::budget::{Budget, CheckpointClass};
+use sap_core::error::SapResult;
+
+use crate::simplex::{LpProblem, LpStatus, Scratch, SimplexOptions, TOL};
+
+/// Node ceiling when [`SimplexOptions::max_bnb_nodes`] is 0.
+const DEFAULT_MAX_NODES: usize = 4096;
+/// A variable value within this of 0 or 1 counts as integral.
+const INT_TOL: f64 = 1e-6;
+
+/// Fixing state per variable inside a node.
+const FREE: u8 = 0;
+const ONE: u8 = 1;
+const ZERO: u8 = 2;
+
+/// Result of a branch-and-bound integerization.
+#[derive(Debug, Clone)]
+pub struct BnbSolution {
+    /// Indices of the variables set to 1, ascending.
+    pub chosen: Vec<usize>,
+    /// Total objective of the chosen set.
+    pub objective: f64,
+    /// True when the search closed the tree (no node or budget ceiling
+    /// cut it short) — the chosen set is then a true integral optimum.
+    pub proven_optimal: bool,
+    /// Nodes expanded.
+    pub nodes: u64,
+}
+
+struct Node {
+    fixed: Vec<u8>,
+    bound: f64,
+    id: u64,
+}
+
+/// Best-bound branch-and-bound over a binary packing LP.
+///
+/// # Panics
+///
+/// Panics when some variable has an upper bound other than 1 (the
+/// search only branches on 0/1 variables).
+pub fn solve_binary_bnb(
+    p: &LpProblem,
+    opts: SimplexOptions,
+    budget: &Budget,
+) -> SapResult<BnbSolution> {
+    assert!(
+        (0..p.num_vars()).all(|j| (p.upper[j] - 1.0).abs() < 1e-9),
+        "bnb requires binary (0/1) upper bounds"
+    );
+    let n = p.num_vars();
+    let max_nodes = if opts.max_bnb_nodes == 0 { DEFAULT_MAX_NODES } else { opts.max_bnb_nodes };
+    let mut scratch = Scratch::new();
+    let mut best_val = 0.0f64;
+    let mut best_chosen: Vec<usize> = Vec::new();
+    let mut frontier = vec![Node { fixed: vec![FREE; n], bound: f64::INFINITY, id: 0 }];
+    let mut next_id = 1u64;
+    let mut nodes = 0u64;
+    let mut proven = true;
+
+    while let Some(pick) = select_best(&frontier) {
+        if nodes as usize >= max_nodes {
+            proven = false;
+            break;
+        }
+        let node = frontier.swap_remove(pick);
+        if node.bound <= best_val + TOL {
+            continue;
+        }
+        nodes += 1;
+        budget.tick(CheckpointClass::DpRow, 1);
+        budget.checkpoint(CheckpointClass::DpRow, 1)?;
+
+        // Reduce the rhs by the columns fixed to one; an overdrawn row
+        // makes the node infeasible.
+        let mut rhs = p.rhs().to_vec();
+        let mut base_val = 0.0;
+        let mut infeasible = false;
+        for j in 0..n {
+            if node.fixed[j] == ONE {
+                base_val += p.obj[j];
+                for (r, a) in p.col(j) {
+                    rhs[r] -= a;
+                }
+            }
+        }
+        for b in rhs.iter_mut() {
+            if *b < -TOL {
+                infeasible = true;
+            }
+            *b = b.max(0.0);
+        }
+        if infeasible {
+            continue;
+        }
+
+        // Relaxation over the free variables only.
+        let free: Vec<usize> = (0..n).filter(|&j| node.fixed[j] == FREE).collect();
+        let nnz: usize = free.iter().map(|&j| p.col(j).count()).sum();
+        let sub = LpProblem::with_columns(
+            rhs,
+            nnz,
+            free.iter().map(|&j| (p.obj[j], 1.0, p.col(j))),
+        );
+        let sol = sub.solve_budgeted_with_options(opts, budget, &mut scratch)?;
+        let ub = base_val + sol.dual_objective(&sub).max(sol.objective);
+        if ub <= best_val + TOL {
+            continue;
+        }
+
+        // Branch on the most fractional free variable; none ⇒ the node's
+        // LP point is integral and becomes an incumbent candidate.
+        let mut branch: Option<(usize, f64)> = None;
+        for (f, &orig) in free.iter().enumerate() {
+            let xv = sol.x[f];
+            if xv < INT_TOL || xv > 1.0 - INT_TOL {
+                continue;
+            }
+            let score = (xv - 0.5).abs();
+            match branch {
+                Some((_, s)) if score >= s => {}
+                _ => branch = Some((orig, score)),
+            }
+        }
+        match branch {
+            None => {
+                let mut chosen: Vec<usize> = (0..n).filter(|&j| node.fixed[j] == ONE).collect();
+                let mut val = base_val;
+                for (f, &orig) in free.iter().enumerate() {
+                    if sol.x[f] > 0.5 {
+                        chosen.push(orig);
+                        val += p.obj[orig];
+                    }
+                }
+                chosen.sort_unstable();
+                if val > best_val + TOL && integral_point_feasible(p, &chosen, &mut scratch) {
+                    best_val = val;
+                    best_chosen = chosen;
+                }
+                // A non-optimal node LP leaves room above this incumbent
+                // that the bound cannot close; the remaining frontier
+                // still covers it, so the search stays exact.
+                if sol.status != LpStatus::Optimal && ub > best_val + TOL {
+                    proven = false;
+                }
+            }
+            Some((var, _)) => {
+                let mut one = node.fixed.clone();
+                one[var] = ONE;
+                frontier.push(Node { fixed: one, bound: ub, id: next_id });
+                next_id += 1;
+                let mut zero = node.fixed;
+                zero[var] = ZERO;
+                frontier.push(Node { fixed: zero, bound: ub, id: next_id });
+                next_id += 1;
+            }
+        }
+    }
+
+    Ok(BnbSolution { chosen: best_chosen, objective: best_val, proven_optimal: proven, nodes })
+}
+
+/// Index of the frontier node with the highest bound (ties: lowest id),
+/// or `None` when the frontier is empty.
+fn select_best(frontier: &[Node]) -> Option<usize> {
+    let mut pick: Option<usize> = None;
+    for (i, node) in frontier.iter().enumerate() {
+        let better = match pick {
+            None => true,
+            Some(b) => match node.bound.total_cmp(&frontier[b].bound) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Equal => node.id < frontier[b].id,
+                std::cmp::Ordering::Less => false,
+            },
+        };
+        if better {
+            pick = Some(i);
+        }
+    }
+    pick
+}
+
+/// Exact feasibility of a 0/1 chosen set against the packing rows.
+fn integral_point_feasible(p: &LpProblem, chosen: &[usize], scratch: &mut Scratch) -> bool {
+    let mut x = vec![0.0; p.num_vars()];
+    for &j in chosen {
+        x[j] = 1.0;
+    }
+    p.is_feasible_with(&x, INT_TOL, scratch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn knapsack(cap: f64, items: &[(f64, f64)]) -> LpProblem {
+        let mut p = LpProblem::new(vec![cap]);
+        for &(w, v) in items {
+            p.add_var(v, 1.0, &[(0, w)]);
+        }
+        p
+    }
+
+    /// Brute-force 0/1 optimum over all subsets.
+    fn brute(p: &LpProblem) -> f64 {
+        let n = p.num_vars();
+        let mut best = 0.0f64;
+        for mask in 0u32..(1 << n) {
+            let x: Vec<f64> =
+                (0..n).map(|j| if mask & (1 << j) != 0 { 1.0 } else { 0.0 }).collect();
+            if p.is_feasible(&x, 1e-9) {
+                best = best.max(p.objective_of(&x));
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn closes_small_knapsacks_exactly() {
+        let cases = [
+            knapsack(10.0, &[(6.0, 30.0), (5.0, 25.0), (4.0, 19.0), (3.0, 12.0)]),
+            knapsack(7.0, &[(3.0, 5.0), (3.0, 5.0), (3.0, 5.0), (2.0, 2.0)]),
+            knapsack(1.0, &[(2.0, 9.0), (3.0, 9.0)]),
+        ];
+        for (i, p) in cases.iter().enumerate() {
+            let sol =
+                solve_binary_bnb(p, SimplexOptions::default(), &Budget::unlimited()).unwrap();
+            assert!(sol.proven_optimal, "case {i}");
+            assert!((sol.objective - brute(p)).abs() < 1e-6, "case {i}: {}", sol.objective);
+            let mut x = vec![0.0; p.num_vars()];
+            for &j in &sol.chosen {
+                x[j] = 1.0;
+            }
+            assert!(p.is_feasible(&x, 1e-9), "case {i}");
+            assert!((p.objective_of(&x) - sol.objective).abs() < 1e-9, "case {i}");
+        }
+    }
+
+    #[test]
+    fn multi_row_instance_matches_bruteforce() {
+        let mut p = LpProblem::new(vec![4.0, 3.0]);
+        p.add_var(7.0, 1.0, &[(0, 2.0), (1, 2.0)]);
+        p.add_var(5.0, 1.0, &[(0, 2.0)]);
+        p.add_var(4.0, 1.0, &[(1, 1.0)]);
+        p.add_var(3.0, 1.0, &[(0, 1.0), (1, 1.0)]);
+        let sol = solve_binary_bnb(&p, SimplexOptions::default(), &Budget::unlimited()).unwrap();
+        assert!(sol.proven_optimal);
+        assert!((sol.objective - brute(&p)).abs() < 1e-6, "got {}", sol.objective);
+    }
+
+    #[test]
+    fn node_ceiling_returns_incumbent_unproven() {
+        // The root relaxation is fractional (greedy fills 5, then half of
+        // the 4-item), so one node cannot close the tree.
+        let p = knapsack(7.0, &[(5.0, 10.0), (4.0, 7.0), (3.0, 5.0)]);
+        let opts = SimplexOptions { max_bnb_nodes: 1, ..SimplexOptions::default() };
+        let sol = solve_binary_bnb(&p, opts, &Budget::unlimited()).unwrap();
+        assert!(!sol.proven_optimal);
+        assert!(sol.nodes <= 1);
+        let mut x = vec![0.0; p.num_vars()];
+        for &j in &sol.chosen {
+            x[j] = 1.0;
+        }
+        assert!(p.is_feasible(&x, 1e-9));
+    }
+
+    #[test]
+    fn budget_trips_propagate() {
+        let p = knapsack(10.0, &[(6.0, 30.0), (5.0, 25.0), (4.0, 19.0), (3.0, 12.0)]);
+        let tight = Budget::unlimited().with_work_units(1);
+        assert!(solve_binary_bnb(&p, SimplexOptions::default(), &tight).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "binary")]
+    fn non_binary_bounds_panic() {
+        let mut p = LpProblem::new(vec![4.0]);
+        p.add_var(1.0, 2.0, &[(0, 1.0)]);
+        solve_binary_bnb(&p, SimplexOptions::default(), &Budget::unlimited()).unwrap();
+    }
+}

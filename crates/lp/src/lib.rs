@@ -1,7 +1,7 @@
 //! # lp-solver
 //!
-//! A from-scratch dense **bounded-variable revised simplex** solver for the
-//! packing linear programs that arise in this workspace:
+//! A from-scratch **sparse bounded-variable revised simplex** solver for
+//! the packing linear programs that arise in this workspace:
 //!
 //! ```text
 //!   max  c·x
@@ -19,19 +19,33 @@
 //!    any integral solution is a feasible LP point).
 //!
 //! Because `x = 0` is feasible for packing programs, no phase-1 is needed.
-//! The solver keeps an explicit dense basis inverse, prices with Dantzig's
-//! rule and falls back to Bland's rule when progress stalls (anti-cycling).
-//! [`LpSolution::duality_gap`] exposes an optimality certificate used by
-//! the tests: the returned duals are always dual-feasible, so a zero gap
-//! proves optimality.
+//!
+//! ## The sparse core
+//!
+//! The matrix lives in a CSC column store (flat `row_idx`/`val`/`col_ptr`
+//! arrays; [`LpProblem::with_columns`] builds it in bulk) and the basis
+//! inverse is kept in **product form**: an eta file of sparse pivot
+//! columns replayed in fixed index order, with a deterministic periodic
+//! refactorization every [`SimplexOptions::refactor_every`] etas. FTRAN
+//! and BTRAN skip zero etas exactly, so pricing and column updates cost
+//! O(nnz) instead of O(m²). Pricing is deterministic partial pricing
+//! over fixed 32-wide candidate segments (Dantzig within the first
+//! segment holding an eligible candidate), with Bland's rule as the
+//! anti-cycling fallback. [`LpSolution::duality_gap`] exposes an
+//! optimality certificate used by the tests: the returned duals are
+//! always dual-feasible, so a zero gap proves optimality.
 //!
 //! Repeated solves can share a [`Scratch`] workspace
 //! ([`LpProblem::solve_with_scratch`] /
-//! [`LpProblem::solve_budgeted_with_scratch`]): the basis, pricing and
-//! column buffers are reused instead of reallocated, and the cached
-//! pricing is guaranteed to pick the exact same pivots as a cold solve
-//! (every buffer cell is rewritten from the problem data before the
-//! first iteration).
+//! [`LpProblem::solve_budgeted_with_scratch`]): the basis, eta-file and
+//! pricing buffers are reused instead of reallocated, and reuse is
+//! guaranteed to pick the exact same pivots as a cold solve (every
+//! buffer cell is rewritten from the problem data before the first
+//! iteration). A [`ScratchPool`] extends the same guarantee across
+//! many problems, keyed by shape. The pre-sparse dense solver survives
+//! as [`dense::solve_dense`], the differential oracle of the property
+//! tests, and [`bnb::solve_binary_bnb`] adds an opt-in bounded
+//! branch-and-bound integerization for 0/1 problems.
 
 //! ## Example
 //!
@@ -50,6 +64,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bnb;
+pub mod dense;
+pub mod pool;
 pub mod simplex;
 
-pub use simplex::{LpProblem, LpSolution, LpStatus, PivotRecord, Scratch};
+pub use bnb::{solve_binary_bnb, BnbSolution};
+pub use dense::solve_dense;
+pub use pool::ScratchPool;
+pub use simplex::{
+    LpProblem, LpSolution, LpStatus, PivotRecord, Scratch, SimplexOptions, SolveStats,
+};

@@ -18,29 +18,51 @@
 
 use std::cell::RefCell;
 
-use lp_solver::{LpProblem, LpSolution, LpStatus, Scratch};
+use lp_solver::{LpProblem, LpSolution, LpStatus, Scratch, ScratchPool, SimplexOptions, SolveStats};
 use sap_core::budget::Budget;
 use sap_core::error::SapResult;
 use sap_core::{Instance, TaskId, UfppSolution};
 
 use crate::relax::build_relaxation;
 
+/// Warm workspaces parked per worker thread (shape-keyed; see
+/// [`ScratchPool`]).
+const POOL_CAPACITY: usize = 8;
+
 thread_local! {
-    /// Per-thread LP workspace: the strata a worker thread packs reuse
-    /// one [`Scratch`] across their repeated solves, so steady-state LP
-    /// solves perform zero workspace allocations. Determinism is
-    /// unaffected — a warm scratch is pivot-identical to a cold one
-    /// (see [`lp_solver::Scratch`]).
-    static LP_SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+    /// Per-thread warm-start pool: the strata a worker thread packs (and
+    /// consecutive requests it serves) check [`Scratch`] workspaces in
+    /// and out by LP shape, so steady-state LP solves perform zero
+    /// workspace allocations even across differently-sized strata.
+    /// Determinism is unaffected — a warm scratch is pivot-identical to
+    /// a cold one (see [`lp_solver::Scratch`]), which is why sharing
+    /// across strata cannot change any solution, trace or counter.
+    static LP_POOL: RefCell<ScratchPool> = RefCell::new(ScratchPool::new(POOL_CAPACITY));
 }
 
-/// Solve through the thread's shared workspace; a re-entrant borrow
-/// (impossible today — the LP solver never calls back into this module)
-/// degrades to a one-shot workspace instead of panicking.
-fn solve_pooled(lp: &LpProblem, max_iters: usize, budget: &Budget) -> SapResult<LpSolution> {
-    LP_SCRATCH.with(|cell| match cell.try_borrow_mut() {
-        Ok(mut scratch) => lp.solve_budgeted_with_scratch(max_iters, budget, &mut scratch),
-        Err(_) => lp.solve_budgeted(max_iters, budget),
+/// Solve through the thread's shared warm-start pool; a re-entrant
+/// borrow (impossible today — the LP solver never calls back into this
+/// module) degrades to a one-shot workspace instead of panicking.
+/// Returns the solution together with the solve's work counters.
+fn solve_pooled(
+    lp: &LpProblem,
+    opts: SimplexOptions,
+    budget: &Budget,
+) -> SapResult<(LpSolution, SolveStats)> {
+    LP_POOL.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut pool) => {
+            let mut scratch = pool.checkout(lp);
+            let out = lp.solve_budgeted_with_options(opts, budget, &mut scratch);
+            let stats = scratch.stats();
+            pool.checkin(lp, scratch);
+            out.map(|sol| (sol, stats))
+        }
+        Err(_) => {
+            let mut scratch = Scratch::new();
+            let out = lp.solve_budgeted_with_options(opts, budget, &mut scratch);
+            let stats = scratch.stats();
+            out.map(|sol| (sol, stats))
+        }
     })
 }
 
@@ -68,32 +90,50 @@ pub struct RoundedStrip {
 /// edge. Returns a `bound`-packable UFPP solution over `ids`.
 pub fn round_scaled_lp(instance: &Instance, ids: &[TaskId], bound: u64) -> RoundedStrip {
     let lp = build_relaxation(instance, ids);
-    let sol = LP_SCRATCH.with(|cell| match cell.try_borrow_mut() {
-        Ok(mut scratch) => lp.solve_with_scratch(0, &mut scratch),
+    let sol = LP_POOL.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut pool) => {
+            let mut scratch = pool.checkout(&lp);
+            let sol = lp.solve_with_scratch(0, &mut scratch);
+            pool.checkin(&lp, scratch);
+            sol
+        }
         Err(_) => lp.solve(0),
     });
     round_solution(instance, ids, bound, sol)
 }
 
 /// Budget-aware variant of [`round_scaled_lp`]: the LP solve is charged
-/// against `budget` (one `LpPivot` unit per pivot, capped at `max_iters`
-/// pivots, `0` = automatic) and the fault-injection hook
-/// [`Budget::lp_solve_fault`] can force a non-optimal status.
+/// against `budget` (one `LpPivot` unit per pivot, capped at
+/// `opts.max_pivots` pivots, `0` = automatic) and the fault-injection
+/// hooks [`Budget::lp_solve_fault`] / [`Budget::refactor_fault`] can
+/// force a non-optimal status.
+///
+/// Emits the sparse-core work counters under the `lp.solve` span:
+/// `lp.etas`, `lp.refactors`, `lp.pricing.scanned`, and
+/// `lp.refactor_failed` when the solve reports a singular basis. All of
+/// them are per-stratum-deterministic (pure functions of the problem
+/// data), so telemetry exports stay byte-identical at any worker width.
 ///
 /// Returns `Err(BudgetExhausted)` when the budget trips mid-solve; a
-/// pivot-limit stop is reported in-band via
-/// [`RoundedStrip::lp_status`].
+/// pivot-limit stop or an injected singular basis is reported in-band
+/// via [`RoundedStrip::lp_status`].
 pub fn round_scaled_lp_budgeted(
     instance: &Instance,
     ids: &[TaskId],
     bound: u64,
-    max_iters: usize,
+    opts: SimplexOptions,
     budget: &Budget,
 ) -> SapResult<RoundedStrip> {
     let phase = budget.telemetry().span("lp.solve");
     phase.count("solves", 1);
     let lp = build_relaxation(instance, ids);
-    let mut lp_sol = solve_pooled(&lp, max_iters, budget)?;
+    let (mut lp_sol, stats) = solve_pooled(&lp, opts, budget)?;
+    phase.count("lp.etas", stats.etas);
+    phase.count("lp.refactors", stats.refactors);
+    phase.count("lp.pricing.scanned", stats.pricing_scanned);
+    if lp_sol.status == LpStatus::SingularBasis {
+        phase.count("lp.refactor_failed", 1);
+    }
     if budget.lp_solve_fault() {
         phase.count("faulted", 1);
         lp_sol.status = LpStatus::IterationLimit;

@@ -35,6 +35,13 @@
 #      snapshot file, and the trace must all be byte-identical across
 #      the three runs, snapshots must actually appear, and the trace
 #      must contain a non-vacuous span pair (more than the bare root).
+#  11. the LP core gate: the sparse-simplex bench suite in --smoke mode
+#      swept at --workers 1,8 must emit a schema-valid report whose
+#      invariants hold (sparse/dense solution agreement, O(1) CSC build
+#      allocations, byte-identical runs across worker widths, warm and
+#      cold pivot traces identical and non-empty), and two back-to-back
+#      runs of the suite must produce byte-identical reports (wall-clock
+#      fields excluded — they are the only machine-dependent fields).
 #
 # Run from anywhere inside the repository.
 set -euo pipefail
@@ -167,5 +174,19 @@ grep -q '"kind":"snapshot"' "$tmpdir/obs-snap-w1a.ndjson" \
 # A non-vacuous trace nests at least one named child span under root.
 grep -q '"name":"medium","ph":"B"' "$tmpdir/obs-trace-w1a.json" \
     || { echo "trace holds no solver span pair — gate is vacuous" >&2; exit 1; }
+
+echo "==> LP core gate"
+cargo run --release -p sap-bench -- --suite lp --smoke --workers 1,8 \
+    --out "$tmpdir/bench-lp-a.json"
+cargo run --release -p sap-bench -- --suite lp --smoke --workers 1,8 \
+    --out "$tmpdir/bench-lp-b.json"
+# The validator already gated agreement / determinism / trace identity
+# inside each run (a violated invariant exits nonzero before the file is
+# written). Cross-run: strip the wall-clock fields, then byte-compare.
+strip_wall() { sed -E 's/"[a-z_]*_?ms":[0-9]+\.[0-9]+,?//g' "$1"; }
+diff <(strip_wall "$tmpdir/bench-lp-a.json") <(strip_wall "$tmpdir/bench-lp-b.json") \
+    || { echo "lp suite report is not deterministic across runs" >&2; exit 1; }
+grep -q '"traces_identical":true' "$tmpdir/bench-lp-a.json" \
+    || { echo "lp trace family missing — gate is vacuous" >&2; exit 1; }
 
 echo "ci: all gates passed"

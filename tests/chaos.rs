@@ -9,7 +9,7 @@
 
 use storage_alloc::prelude::*;
 use storage_alloc::sap_algs::try_solve;
-use storage_alloc::sap_core::{ArmOutcome, Budget, CheckpointClass, FaultPlan};
+use storage_alloc::sap_core::{ArmOutcome, Budget, CheckpointClass, FaultPlan, Recorder};
 use storage_alloc::sap_gen::{generate, CapacityProfile, DemandRegime, GenConfig};
 
 fn workload(seed: u64) -> Instance {
@@ -100,6 +100,43 @@ fn first_lp_solve_failure_actually_fires() {
     let plan = FaultPlan { fail_lp_solve: Some(1), ..Default::default() };
     let report = check(&inst, plan);
     assert_eq!(report.arm("small").unwrap().outcome, ArmOutcome::LpNonOptimal, "{report:?}");
+}
+
+#[test]
+fn injected_refactor_failures_degrade_the_small_arm() {
+    // A singular basis out of the Nth refactorization must be handled
+    // exactly like a pivot-limited LP: the small arm degrades to greedy,
+    // the report labels it, and telemetry attributes the cause. Every
+    // solve refactorizes once before its first pivot, so `Some(1)` fires
+    // on every stratum deterministically.
+    let inst = generate(
+        &GenConfig {
+            num_edges: 10,
+            num_tasks: 40,
+            profile: CapacityProfile::Random { lo: 32, hi: 128 },
+            regime: DemandRegime::Small { delta_inv: 16 },
+            max_span: 5,
+            max_weight: 30,
+        },
+        7,
+    );
+    let rec = Recorder::new();
+    let plan = FaultPlan { fail_refactor: Some(1), ..Default::default() };
+    let budget =
+        Budget::unlimited().with_fault_plan(plan).with_telemetry(rec.handle());
+    let (sol, report) =
+        try_solve(&inst, &inst.all_ids(), &SapParams::default(), &budget).unwrap();
+    sol.validate(&inst).unwrap();
+    let small = report.arm("small").unwrap();
+    assert_eq!(small.outcome, ArmOutcome::LpNonOptimal, "{report:?}");
+    assert_eq!(small.fallback, Some("greedy"), "{report:?}");
+    // Non-vacuity: the counter proves a refactorization actually failed
+    // (rather than the arm degrading for some unrelated reason).
+    let tele = rec.to_json_string();
+    assert!(
+        tele.contains("lp.refactor_failed"),
+        "telemetry must attribute the singular basis: {tele}"
+    );
 }
 
 #[test]
