@@ -27,6 +27,7 @@
 
 pub mod experiments;
 pub mod lp_bench;
+pub mod net_bench;
 pub mod obs_bench;
 pub mod overload_bench;
 pub mod serve_bench;

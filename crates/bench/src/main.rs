@@ -73,8 +73,15 @@ fn main() {
             let errors = sap_bench::lp_bench::validate_lp_report(&doc);
             (doc, errors)
         }
+        "net" => {
+            let doc = sap_bench::net_bench::run_net(&config);
+            let errors = sap_bench::net_bench::validate_net_report(&doc);
+            (doc, errors)
+        }
         other => {
-            usage(&format!("unknown suite {other:?} (available: core, serve, overload, obs, lp)"))
+            usage(&format!(
+                "unknown suite {other:?} (available: core, serve, overload, obs, lp, net)"
+            ))
         }
     };
     if !errors.is_empty() {
@@ -95,7 +102,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("sap-bench: {msg}");
     eprintln!(
-        "usage: sap-bench [--suite core|serve|overload|obs|lp] [--smoke] [--workers 1,8] [--out report.json]"
+        "usage: sap-bench [--suite core|serve|overload|obs|lp|net] [--smoke] [--workers 1,8] [--out report.json]"
     );
     std::process::exit(2);
 }

@@ -1,0 +1,272 @@
+//! The `net` bench suite: concurrent-connection throughput of
+//! `sap serve --listen` over a real loopback socket.
+//!
+//! ```text
+//! cargo run -p sap-bench --release -- --suite net --out BENCH_net.json
+//! cargo run -p sap-bench --release -- --suite net --smoke
+//! ```
+//!
+//! The workload runs [`storage_alloc::net::run_server`] in-process on
+//! `127.0.0.1:0` and drives it with `conns` concurrent client threads,
+//! each writing a duplicate-heavy NDJSON stream (the uniques are shared
+//! across connections, so the sharded response cache sees real
+//! cross-connection traffic). One full round per configured `--workers`
+//! width.
+//!
+//! The report records wall-clock and lines/second for the widest round
+//! (machine-dependent, recorded for honesty, never thresholded) plus
+//! the machine-independent invariants the validator enforces: every
+//! connection's response stream is byte-identical to running its lines
+//! through a batch-mode [`ServeEngine`] at every width, every line is
+//! answered, and the service totals add up.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use sap_gen::{generate, CapacityProfile, DemandRegime, GenConfig};
+use storage_alloc::io::{InstanceDto, JsonDto};
+use storage_alloc::net::{run_server, NetOptions, NetSummary};
+use storage_alloc::serve::{ServeEngine, ServeOptions};
+
+use crate::suite::SuiteConfig;
+
+fn fmt_ms(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Builds one connection's request lines: `lines_per_conn` lines drawn
+/// round-robin from a pool of `uniques` instances shared by every
+/// connection (offset by the connection index so streams differ while
+/// overlapping heavily).
+fn conn_lines(conn: usize, conns: usize, uniques: usize, lines_per_conn: usize, smoke: bool) -> Vec<String> {
+    let pool: Vec<String> = (0..uniques)
+        .map(|i| {
+            let inst = generate(
+                &GenConfig {
+                    num_edges: if smoke { 8 } else { 12 },
+                    num_tasks: if smoke { 20 } else { 80 },
+                    profile: CapacityProfile::RandomWalk { lo: 32, hi: 512 },
+                    regime: DemandRegime::Mixed,
+                    max_span: 4,
+                    max_weight: 40,
+                },
+                9000 + i as u64,
+            );
+            InstanceDto::from_instance(&inst).to_json_string()
+        })
+        .collect();
+    (0..lines_per_conn).map(|i| pool[(conn + i * conns) % uniques].clone()).collect()
+}
+
+/// Batch-mode reference for one connection's stream: a fresh engine,
+/// one batch (the streams stay under the default batch size).
+fn reference(lines: &[String], opts: &ServeOptions) -> String {
+    let mut engine = ServeEngine::new(opts.clone());
+    let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+    let mut out = String::new();
+    for response in engine.process_batch(&refs) {
+        out.push_str(&response);
+        out.push('\n');
+    }
+    out
+}
+
+/// One full round: serve `streams.len()` concurrent connections,
+/// returning each connection's response bytes, the wall time, and the
+/// service summary.
+fn round(
+    streams: &[Vec<String>],
+    opts: &ServeOptions,
+    tag: &str,
+) -> Result<(Vec<String>, f64, NetSummary), String> {
+    let port_file = std::env::temp_dir()
+        .join(format!("sap-bench-net-{}-{tag}.addr", std::process::id()));
+    let _ = std::fs::remove_file(&port_file);
+    let net = NetOptions {
+        listen: "127.0.0.1:0".to_string(),
+        max_conns: Some(streams.len() as u64),
+        port_file: Some(port_file.display().to_string()),
+        ..Default::default()
+    };
+    let server_opts = opts.clone();
+    let server = std::thread::spawn(move || run_server(&server_opts, &net));
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr: SocketAddr = loop {
+        if let Ok(contents) = std::fs::read_to_string(&port_file) {
+            if let Ok(addr) = contents.trim().parse() {
+                break addr;
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err("server never published its address".to_string());
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    let _ = std::fs::remove_file(&port_file);
+    let start = Instant::now();
+    let clients: Vec<_> = streams
+        .iter()
+        .map(|lines| {
+            let payload = lines.join("\n") + "\n";
+            std::thread::spawn(move || -> Result<String, String> {
+                let mut stream =
+                    TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+                stream
+                    .write_all(payload.as_bytes())
+                    .map_err(|e| format!("write: {e}"))?;
+                stream.shutdown(Shutdown::Write).map_err(|e| format!("half-close: {e}"))?;
+                let mut response = String::new();
+                stream.read_to_string(&mut response).map_err(|e| format!("read: {e}"))?;
+                Ok(response)
+            })
+        })
+        .collect();
+    let mut responses = Vec::with_capacity(clients.len());
+    for client in clients {
+        responses.push(client.join().map_err(|_| "client thread panicked".to_string())??);
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let summary = server
+        .join()
+        .map_err(|_| "server thread panicked".to_string())??;
+    Ok((responses, wall_ms, summary))
+}
+
+/// Runs the `net` suite and renders the report as a JSON document.
+pub fn run_net(config: &SuiteConfig) -> String {
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let conns = if config.smoke { 3 } else { 8 };
+    let uniques = if config.smoke { 4 } else { 10 };
+    let lines_per_conn = if config.smoke { 6 } else { 24 };
+    let streams: Vec<Vec<String>> =
+        (0..conns).map(|c| conn_lines(c, conns, uniques, lines_per_conn, config.smoke)).collect();
+    let requests = conns * lines_per_conn;
+
+    let mut deterministic = true;
+    let mut wall_ms = 0.0;
+    let mut last_summary = NetSummary::default();
+    let mut failures: Vec<String> = Vec::new();
+    for &w in &config.workers {
+        let opts = ServeOptions { workers: w, ..Default::default() };
+        let expected: Vec<String> = streams.iter().map(|s| reference(s, &opts)).collect();
+        match round(&streams, &opts, &format!("w{w}")) {
+            Ok((responses, ms, summary)) => {
+                if responses != expected {
+                    deterministic = false;
+                }
+                wall_ms = ms;
+                last_summary = summary;
+            }
+            Err(e) => failures.push(format!("workers={w}: {e}")),
+        }
+    }
+    if !failures.is_empty() {
+        deterministic = false;
+    }
+    let throughput = if wall_ms > 0.0 { requests as f64 / (wall_ms / 1e3) } else { 0.0 };
+    let workers: Vec<String> = config.workers.iter().map(|w| w.to_string()).collect();
+    format!(
+        "{{\"schema\":\"sap-bench/1\",\"suite\":\"net\",\"smoke\":{},\
+         \"hardware_threads\":{},\"workers\":[{}],\"conns\":{},\"uniques\":{},\
+         \"lines_per_conn\":{},\"requests\":{},\"deterministic\":{},\
+         \"wall_ms\":{},\"throughput_lps\":{:.1},\
+         \"summary\":{{\"conns\":{},\"lines\":{},\"responses\":{},\"ok\":{},\
+         \"errors\":{},\"oversized\":{},\"cache_hits\":{},\"cache_misses\":{}}}}}",
+        config.smoke,
+        hw,
+        workers.join(","),
+        conns,
+        uniques,
+        lines_per_conn,
+        requests,
+        deterministic,
+        fmt_ms(wall_ms),
+        throughput,
+        last_summary.conns,
+        last_summary.lines,
+        last_summary.responses,
+        last_summary.ok,
+        last_summary.errors,
+        last_summary.oversized,
+        last_summary.cache_hits,
+        last_summary.cache_misses,
+    )
+}
+
+/// Validates a `net` suite report. Returns the violations (empty =
+/// valid). All checked invariants are machine-independent:
+///
+/// * schema/suite tags present;
+/// * `deterministic` is `true` — every connection's socket stream was
+///   byte-identical to its batch-mode reference at every width;
+/// * conservation — the served round answered every line: summary
+///   `conns`/`lines`/`responses`/`ok` all match the workload, with no
+///   errors and no oversized rejections.
+///
+/// Wall-clock and throughput are recorded but never thresholded.
+pub fn validate_net_report(doc: &str) -> Vec<String> {
+    let mut errors = Vec::new();
+    let v = match crate::json::parse(doc) {
+        Ok(v) => v,
+        Err(e) => return vec![format!("not valid JSON: {e}")],
+    };
+    if v.get("schema").and_then(|s| s.as_str()) != Some("sap-bench/1") {
+        errors.push("schema tag missing or wrong".to_string());
+    }
+    if v.get("suite").and_then(|s| s.as_str()) != Some("net") {
+        errors.push("suite tag missing or wrong".to_string());
+    }
+    if v.get("deterministic").and_then(|d| d.as_bool()) != Some(true) {
+        errors.push("socket streams were not byte-identical to batch mode".to_string());
+    }
+    let num = |path: &[&str]| -> Option<u64> {
+        let mut cur = &v;
+        for key in path {
+            cur = cur.get(key)?;
+        }
+        cur.as_u64()
+    };
+    let (Some(conns), Some(requests)) = (num(&["conns"]), num(&["requests"])) else {
+        errors.push("conns/requests missing".to_string());
+        return errors;
+    };
+    let expect = |path: &[&str], want: u64, errors: &mut Vec<String>| match num(path) {
+        Some(got) if got == want => {}
+        got => errors.push(format!("{}: expected {want}, got {got:?}", path.join("."))),
+    };
+    expect(&["summary", "conns"], conns, &mut errors);
+    expect(&["summary", "lines"], requests, &mut errors);
+    expect(&["summary", "responses"], requests, &mut errors);
+    expect(&["summary", "ok"], requests, &mut errors);
+    expect(&["summary", "errors"], 0, &mut errors);
+    expect(&["summary", "oversized"], 0, &mut errors);
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_net_suite_is_valid() {
+        let config = SuiteConfig { smoke: true, workers: vec![1, 2] };
+        let doc = run_net(&config);
+        let errors = validate_net_report(&doc);
+        assert!(errors.is_empty(), "violations: {errors:?}\n{doc}");
+    }
+
+    #[test]
+    fn net_validator_rejects_broken_documents() {
+        assert!(!validate_net_report("{").is_empty());
+        assert!(!validate_net_report("{\"schema\":\"sap-bench/1\"}").is_empty());
+        let tampered = "{\"schema\":\"sap-bench/1\",\"suite\":\"net\",\
+            \"deterministic\":false,\"conns\":3,\"requests\":18,\
+            \"summary\":{\"conns\":3,\"lines\":18,\"responses\":17,\"ok\":18,\
+            \"errors\":0,\"oversized\":1}}";
+        let errors = validate_net_report(tampered);
+        assert!(errors.iter().any(|e| e.contains("byte-identical")), "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("summary.responses")), "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("summary.oversized")), "{errors:?}");
+    }
+}

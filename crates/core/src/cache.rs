@@ -11,6 +11,7 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::sync::Mutex;
 
 /// Streaming 64-bit FNV-1a hasher.
 ///
@@ -31,6 +32,15 @@ impl Fnv1a {
     /// A fresh hasher at the offset basis.
     pub fn new() -> Self {
         Fnv1a(FNV_OFFSET)
+    }
+
+    /// A fresh hasher at a caller-chosen basis. Two hashers with
+    /// different bases form (near-)independent hash functions over the
+    /// same byte stream — the serve cache uses a second keyed instance
+    /// as a collision check on its primary fingerprint, so an FNV-1a
+    /// collision in one stream does not alias in the other.
+    pub fn with_basis(basis: u64) -> Self {
+        Fnv1a(basis)
     }
 
     /// Feeds raw bytes.
@@ -86,6 +96,11 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// Number of live entries.
     pub fn len(&self) -> usize {
         self.slots.len()
+    }
+
+    /// The configured capacity (0 = caching disabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Whether the cache is empty.
@@ -161,6 +176,100 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         }
         self.slots.insert(key, Slot { value, last_used: tick });
         evicted
+    }
+}
+
+/// A sharded LRU: `N` independent [`LruCache`] shards, each behind its
+/// own lock, with entries routed by `route % N` (the serve layer routes
+/// by canonical instance fingerprint). Concurrent connections touching
+/// different shards never contend, so cache traffic cannot serialize
+/// the solve hot path.
+///
+/// Capacity is split `ceil(capacity / N)` per shard, so the **total**
+/// capacity never rounds below the configured one (it may round up by
+/// at most `N - 1` entries). A capacity of zero disables every shard,
+/// preserving [`LruCache`]'s uniform "cache off" switch.
+///
+/// Recency and eviction stay per-shard deterministic: each shard keeps
+/// its own logical tick, so for a fixed per-shard operation sequence
+/// the hit/miss/eviction pattern is a pure function of that sequence.
+/// Values are returned by clone — entries stay small (the serve layer
+/// stores `Arc`-backed metadata next to the payload string).
+#[derive(Debug)]
+pub struct ShardedLru<K, V> {
+    shards: Vec<Mutex<LruCache<K, V>>>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
+    /// A cache of `capacity` total entries split over `shards` shards
+    /// (`shards` is clamped to at least 1).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let n = shards.max(1);
+        let per_shard = if capacity == 0 { 0 } else { capacity.div_ceil(n) };
+        ShardedLru {
+            shards: (0..n).map(|_| Mutex::new(LruCache::new(per_shard))).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Sum of the per-shard capacities (≥ the configured capacity).
+    pub fn total_capacity(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| Self::lock(s).capacity())
+            .fold(0usize, usize::saturating_add)
+    }
+
+    /// Total live entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| Self::lock(s).len())
+            .fold(0usize, usize::saturating_add)
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| Self::lock(s).is_empty())
+    }
+
+    /// Live entries per shard, in shard order (telemetry: the hottest
+    /// shard is `shard_lens().max()`).
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| Self::lock(s).len()).collect()
+    }
+
+    /// A poisoned shard lock only means another thread panicked mid-
+    /// operation; the shard data itself is always in a consistent state
+    /// (LruCache never panics between linked updates), so recover the
+    /// guard rather than poisoning the whole service.
+    fn lock<'a>(shard: &'a Mutex<LruCache<K, V>>) -> std::sync::MutexGuard<'a, LruCache<K, V>> {
+        match shard.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn shard_for(&self, route: u64) -> &Mutex<LruCache<K, V>> {
+        let idx = (route % self.shards.len() as u64) as usize;
+        &self.shards[idx]
+    }
+
+    /// Looks up `key` in the shard selected by `route`, marking it
+    /// most-recently-used on a hit. Returns a clone of the value.
+    pub fn get(&self, route: u64, key: &K) -> Option<V> {
+        Self::lock(self.shard_for(route)).get(key).cloned()
+    }
+
+    /// Inserts (or replaces) `key` in the shard selected by `route`,
+    /// evicting that shard's LRU entry if it is full. Returns `true`
+    /// iff an eviction happened.
+    pub fn insert(&self, route: u64, key: K, value: V) -> bool {
+        Self::lock(self.shard_for(route)).insert(key, value)
     }
 }
 
@@ -259,6 +368,87 @@ mod tests {
             evictions
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn keyed_basis_gives_an_independent_hash() {
+        let mut a = Fnv1a::new();
+        let mut b = Fnv1a::with_basis(FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15);
+        a.write_bytes(b"same input");
+        b.write_bytes(b"same input");
+        assert_ne!(a.finish(), b.finish());
+        // The default-basis constructor and with_basis(FNV_OFFSET) agree.
+        let mut c = Fnv1a::with_basis(FNV_OFFSET);
+        c.write_bytes(b"same input");
+        let mut d = Fnv1a::new();
+        d.write_bytes(b"same input");
+        assert_eq!(c.finish(), d.finish());
+    }
+
+    #[test]
+    fn sharded_capacity_never_rounds_below_configured() {
+        for capacity in [1usize, 2, 3, 7, 64, 100, 256, 1000] {
+            for shards in [1usize, 2, 3, 5, 8, 16, 64] {
+                let cache: ShardedLru<u64, u64> = ShardedLru::new(capacity, shards);
+                assert_eq!(cache.shard_count(), shards);
+                assert!(
+                    cache.total_capacity() >= capacity,
+                    "capacity {capacity} over {shards} shards rounded down to {}",
+                    cache.total_capacity()
+                );
+                // And never rounds up by a whole extra shard's worth.
+                assert!(cache.total_capacity() < capacity.saturating_add(shards));
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_zero_capacity_disables_every_shard() {
+        let cache: ShardedLru<u64, u64> = ShardedLru::new(0, 8);
+        assert!(!cache.insert(3, 3, 30));
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(3, &3), None);
+        assert_eq!(cache.total_capacity(), 0);
+    }
+
+    #[test]
+    fn sharded_routes_by_modulo_and_keeps_shards_independent() {
+        let cache: ShardedLru<u64, &str> = ShardedLru::new(8, 4);
+        // Keys routed to shard 1 (route % 4 == 1) and shard 2.
+        assert!(!cache.insert(1, 1, "one"));
+        assert!(!cache.insert(5, 5, "five"));
+        assert!(!cache.insert(2, 2, "two"));
+        assert_eq!(cache.get(1, &1), Some("one"));
+        assert_eq!(cache.get(5, &5), Some("five"));
+        assert_eq!(cache.get(2, &2), Some("two"));
+        // A key is only visible through its own route's shard.
+        assert_eq!(cache.get(0, &1), None);
+        assert_eq!(cache.len(), 3);
+        let lens = cache.shard_lens();
+        assert_eq!(lens.len(), 4);
+        assert_eq!(lens.iter().sum::<usize>(), 3);
+        assert_eq!(lens[1], 2, "routes 1 and 5 share shard 1");
+    }
+
+    #[test]
+    fn sharded_clamps_zero_shards_to_one() {
+        let cache: ShardedLru<u64, u64> = ShardedLru::new(4, 0);
+        assert_eq!(cache.shard_count(), 1);
+        assert!(!cache.insert(9, 9, 90));
+        assert_eq!(cache.get(9, &9), Some(90));
+    }
+
+    #[test]
+    fn sharded_eviction_is_per_shard_lru() {
+        // Single shard of capacity 2 behaves exactly like LruCache.
+        let cache: ShardedLru<u64, u64> = ShardedLru::new(2, 1);
+        assert!(!cache.insert(1, 1, 10));
+        assert!(!cache.insert(2, 2, 20));
+        assert_eq!(cache.get(1, &1), Some(10)); // touch 1; 2 is LRU
+        assert!(cache.insert(3, 3, 30));
+        assert_eq!(cache.get(2, &2), None);
+        assert_eq!(cache.get(1, &1), Some(10));
+        assert_eq!(cache.get(3, &3), Some(30));
     }
 
     #[test]

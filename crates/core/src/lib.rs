@@ -67,7 +67,7 @@ pub use budget::{
     ArmOutcome, ArmReport, Budget, CheckpointClass, SolveReport, WorkProfile,
     REPORT_SCHEMA_VERSION,
 };
-pub use cache::{Fnv1a, LruCache};
+pub use cache::{Fnv1a, LruCache, ShardedLru};
 pub use classify::{
     classes_k_ell, classify_by_size, is_delta_large, is_delta_small, strata_by_bottleneck,
     stratum_of, ClassifiedTasks, SizeClass,

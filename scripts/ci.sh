@@ -42,6 +42,14 @@
 #      cold pivot traces identical and non-empty), and two back-to-back
 #      runs of the suite must produce byte-identical reports (wall-clock
 #      fields excluded — they are the only machine-dependent fields).
+#  12. the network serve gate: `sap serve --listen` loopback e2e over
+#      bash's /dev/tcp — three concurrent connections with interleaved
+#      line-by-line writes (one stream includes a malformed line, one
+#      repeats an instance so the shared cache crosses connections).
+#      Each connection's response stream must be byte-identical to
+#      feeding the same lines through batch-mode serve on stdin at both
+#      --workers 1 and --workers 8, and the server must report exactly
+#      three connections served.
 #
 # Run from anywhere inside the repository.
 set -euo pipefail
@@ -62,7 +70,8 @@ cargo run --release -p xtask -- lint --deny all
 
 echo "==> telemetry determinism gate"
 tmpdir="$(mktemp -d)"
-trap 'rm -rf "$tmpdir"' EXIT
+net_pid=""
+trap '[ -n "$net_pid" ] && kill "$net_pid" 2>/dev/null; rm -rf "$tmpdir"' EXIT
 ./target/release/sap generate --edges 10 --tasks 40 --seed 7 > "$tmpdir/inst.json"
 ./target/release/sap solve "$tmpdir/inst.json" --algo combined --telemetry=json \
     2>"$tmpdir/tele-a.json" >/dev/null
@@ -80,6 +89,8 @@ cargo run --release -p sap-bench -- --suite overload --smoke --workers 1,2 \
     --out "$tmpdir/bench-overload-smoke.json"
 cargo run --release -p sap-bench -- --suite obs --smoke --workers 1,2 \
     --out "$tmpdir/bench-obs-smoke.json"
+cargo run --release -p sap-bench -- --suite net --smoke --workers 1,2 \
+    --out "$tmpdir/bench-net-smoke.json"
 
 echo "==> serve determinism gate"
 # Each pretty-printed instance is flattened to one NDJSON line (instance
@@ -188,5 +199,64 @@ diff <(strip_wall "$tmpdir/bench-lp-a.json") <(strip_wall "$tmpdir/bench-lp-b.js
     || { echo "lp suite report is not deterministic across runs" >&2; exit 1; }
 grep -q '"traces_identical":true' "$tmpdir/bench-lp-a.json" \
     || { echo "lp trace family missing — gate is vacuous" >&2; exit 1; }
+
+echo "==> network serve gate"
+# Three concurrent /dev/tcp connections with interleaved writes. Bash
+# cannot half-close a socket, so each stream ends with a blank line (a
+# batch boundary, which flushes) and the expected number of responses is
+# read back with a timeout before the fd is closed.
+net_a="$(./target/release/sap generate --edges 8 --tasks 24 --seed 31 | tr -d ' \n')"
+net_b="$(./target/release/sap generate --edges 6 --tasks 18 --seed 32 | tr -d ' \n')"
+net_c="$(./target/release/sap generate --edges 7 --tasks 20 --seed 33 | tr -d ' \n')"
+printf '%s\n%s\n' "$net_a" "$net_b"            > "$tmpdir/net-c1.ndjson"
+printf '%s\n{oops\n%s\n' "$net_b" "$net_a"     > "$tmpdir/net-c2.ndjson"
+printf '%s\n%s\n' "$net_c" "$net_c"            > "$tmpdir/net-c3.ndjson"
+./target/release/sap serve --listen 127.0.0.1:0 --max-conns 3 \
+    --port-file "$tmpdir/net-port" --workers 8 2>"$tmpdir/net-server.log" &
+net_pid=$!
+for _ in $(seq 1 200); do [ -s "$tmpdir/net-port" ] && break; sleep 0.05; done
+[ -s "$tmpdir/net-port" ] || { echo "server never published its port" >&2; exit 1; }
+net_addr="$(cat "$tmpdir/net-port")"
+net_port="${net_addr##*:}"
+exec 3<>"/dev/tcp/127.0.0.1/$net_port"
+exec 4<>"/dev/tcp/127.0.0.1/$net_port"
+exec 5<>"/dev/tcp/127.0.0.1/$net_port"
+mapfile -t net_l1 < "$tmpdir/net-c1.ndjson"
+mapfile -t net_l2 < "$tmpdir/net-c2.ndjson"
+mapfile -t net_l3 < "$tmpdir/net-c3.ndjson"
+for ((i = 0; i < 3; i++)); do
+    [ "$i" -lt "${#net_l1[@]}" ] && printf '%s\n' "${net_l1[$i]}" >&3
+    [ "$i" -lt "${#net_l2[@]}" ] && printf '%s\n' "${net_l2[$i]}" >&4
+    [ "$i" -lt "${#net_l3[@]}" ] && printf '%s\n' "${net_l3[$i]}" >&5
+    sleep 0.02
+done
+printf '\n' >&3
+printf '\n' >&4
+printf '\n' >&5
+read_responses() { # fd count out
+    local fd="$1" count="$2" out="$3" j line
+    : > "$out"
+    for ((j = 0; j < count; j++)); do
+        IFS= read -t 15 -r -u "$fd" line \
+            || { echo "timed out reading response $((j + 1)) on fd $fd" >&2; exit 1; }
+        printf '%s\n' "$line" >> "$out"
+    done
+}
+read_responses 3 2 "$tmpdir/net-r1.ndjson"
+read_responses 4 3 "$tmpdir/net-r2.ndjson"
+read_responses 5 2 "$tmpdir/net-r3.ndjson"
+exec 3<&- 3>&- 4<&- 4>&- 5<&- 5>&-
+wait "$net_pid" || { echo "serve --listen exited nonzero" >&2; exit 1; }
+net_pid=""
+grep -q 'net: 3 conns' "$tmpdir/net-server.log" \
+    || { echo "server did not report 3 connections — gate is vacuous" >&2; exit 1; }
+for w in 1 8; do
+    for c in 1 2 3; do
+        ./target/release/sap serve --workers "$w" < "$tmpdir/net-c$c.ndjson" \
+            2>/dev/null > "$tmpdir/net-ref-w$w-c$c.ndjson"
+        diff "$tmpdir/net-r$c.ndjson" "$tmpdir/net-ref-w$w-c$c.ndjson" \
+            || { echo "connection $c stream diverges from batch mode at --workers $w" >&2; exit 1; }
+    done
+done
 
 echo "ci: all gates passed"

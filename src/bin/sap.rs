@@ -9,9 +9,10 @@
 //! sap generate --edges 8 --tasks 6 --seed 1 | tr -d '\n' | sap serve
 //! ```
 
-use std::io::{BufRead, Write};
+use std::io::{Read, Write};
 use std::process::ExitCode;
 
+use storage_alloc::net::{BatchPump, Framed, LineFramer};
 use storage_alloc::serve::{ServeAlgo, ServeEngine, ServeOptions};
 
 use storage_alloc::io::{
@@ -45,11 +46,13 @@ fn main() -> ExitCode {
                  sap ring-solve <ring.json> [-o solution.json]\n\
                  sap info <inst.json>\n\
                  sap serve [--algo combined|practical] [--workers N] [--solve-workers N]\n\
-                 \x20         [--work-units N] [--cache-size N] [--batch N]\n\
-                 \x20         [--max-inflight-units N] [--tenant-quota N]\n\
+                 \x20         [--work-units N] [--cache-size N] [--cache-shards N] [--batch N]\n\
+                 \x20         [--max-line-bytes N] [--max-inflight-units N] [--tenant-quota N]\n\
                  \x20         [--snapshot-every N] [--snapshot-file f.ndjson]\n\
                  \x20         [--trace out.json] [--obs]\n\
-                 \x20         [--telemetry[=json|tree]]   (NDJSON on stdin/stdout)"
+                 \x20         [--telemetry[=json|tree]]   (NDJSON on stdin/stdout)\n\
+                 sap serve --listen ADDR[:0] [--max-conns N] [--port-file f]  (NDJSON over TCP;\n\
+                 \x20         same solve/cache/admission flags; obs/snapshot/trace are stdin-only)"
             );
             return ExitCode::from(2);
         }
@@ -320,6 +323,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(v) = flag_value(args, "--cache-size") {
         opts.cache_size = v.parse().map_err(|_| "--cache-size must be a number (0 = off)")?;
     }
+    if let Some(v) = flag_value(args, "--cache-shards") {
+        let shards: usize =
+            v.parse().map_err(|_| "--cache-shards must be a positive number")?;
+        if shards == 0 {
+            return Err("--cache-shards must be a positive number".to_string());
+        }
+        opts.cache_shards = shards;
+    }
     if let Some(v) = flag_value(args, "--max-inflight-units") {
         let units: u64 =
             v.parse().map_err(|_| "--max-inflight-units must be a positive number")?;
@@ -344,6 +355,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             n
         }
         None => 64,
+    };
+    let max_line_bytes: usize = match flag_value(args, "--max-line-bytes") {
+        Some(v) => {
+            let n = v.parse().map_err(|_| "--max-line-bytes must be a positive number")?;
+            if n == 0 {
+                return Err("--max-line-bytes must be a positive number".to_string());
+            }
+            n
+        }
+        None => storage_alloc::net::DEFAULT_MAX_LINE_BYTES,
     };
     let telemetry_mode: Option<&str> = args.iter().find_map(|a| {
         a.strip_prefix("--telemetry")
@@ -374,6 +395,51 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         None => 0,
     };
     opts.obs = want_obs || trace_path.is_some();
+    // Network mode: same engine, same flags, but the byte stream comes
+    // off TCP connections instead of stdin. The obs plane is stdin-only
+    // — per-connection engines would each hold a fragment of the
+    // aggregator, so a service-lifetime snapshot/trace would be a lie.
+    if let Some(listen) = flag_value(args, "--listen") {
+        if snapshot_every_flag.is_some()
+            || snapshot_path.is_some()
+            || trace_path.is_some()
+            || want_obs
+        {
+            return Err(
+                "--listen is incompatible with --snapshot-every/--snapshot-file/--trace/--obs \
+                 (the obs plane aggregates one engine; network mode runs one engine per \
+                 connection)"
+                    .to_string(),
+            );
+        }
+        let mut net = storage_alloc::net::NetOptions {
+            listen: listen.to_string(),
+            max_line_bytes,
+            batch_size,
+            ..Default::default()
+        };
+        if let Some(v) = flag_value(args, "--max-conns") {
+            let n: u64 = v.parse().map_err(|_| "--max-conns must be a positive number")?;
+            if n == 0 {
+                return Err("--max-conns must be a positive number".to_string());
+            }
+            net.max_conns = Some(n);
+        }
+        if let Some(path) = flag_value(args, "--port-file") {
+            net.port_file = Some(path.to_string());
+        }
+        let summary = storage_alloc::net::run_server(&opts, &net)?;
+        eprintln!("{}", summary.summary_line());
+        if telemetry_mode.is_some() {
+            let recorder = storage_alloc::sap_core::Recorder::new();
+            summary.record_telemetry(&recorder.handle());
+            match telemetry_mode {
+                Some("tree") => eprint!("{}", recorder.to_tree_string()),
+                _ => eprintln!("{}", recorder.to_json_string()),
+            }
+        }
+        return Ok(());
+    }
     let snapshots_on_stdout = snapshot_every_flag.is_some();
     let mut snap_file = match snapshot_path {
         Some(path) => {
@@ -382,47 +448,74 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         None => None,
     };
 
-    let mut engine = ServeEngine::new(opts);
+    // Stdin mode drives the same framer → pump path as every network
+    // connection, so CRLF/final-line/oversized handling and batch
+    // boundaries (blank line, --batch, EOF — never read timing) are
+    // identical in both modes.
+    let engine = ServeEngine::new(opts);
+    let mut pump = BatchPump::new(engine, batch_size);
+    let mut framer = LineFramer::new(max_line_bytes);
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout().lock();
-    let mut pending: Vec<String> = Vec::new();
-    let flush_batch = |engine: &mut ServeEngine,
-                           pending: &mut Vec<String>,
-                           stdout: &mut dyn Write,
-                           snap_file: &mut Option<std::fs::File>|
+    let drain = |pump: &mut BatchPump,
+                     item: Framed,
+                     stdout: &mut dyn Write,
+                     snap_file: &mut Option<std::fs::File>|
      -> Result<(), String> {
-        if pending.is_empty() {
+        let before = pump.engine().stats.batches;
+        let Some(responses) = pump.feed(item) else {
             return Ok(());
-        }
-        let lines: Vec<&str> = pending.iter().map(String::as_str).collect();
-        for response in engine.process_batch(&lines) {
+        };
+        for response in responses {
             writeln!(stdout, "{response}").map_err(|e| format!("stdout: {e}"))?;
         }
-        if let Some(snapshot) = engine.maybe_snapshot() {
-            if snapshots_on_stdout {
-                writeln!(stdout, "{snapshot}").map_err(|e| format!("stdout: {e}"))?;
-            }
-            if let Some(f) = snap_file {
-                writeln!(f, "{snapshot}").map_err(|e| format!("snapshot file: {e}"))?;
+        // Snapshot cadence ticks on processed batches; a flush that
+        // never reached the engine (only oversized junk) doesn't tick.
+        if pump.engine().stats.batches != before {
+            if let Some(snapshot) = pump.engine_mut().maybe_snapshot() {
+                if snapshots_on_stdout {
+                    writeln!(stdout, "{snapshot}").map_err(|e| format!("stdout: {e}"))?;
+                }
+                if let Some(f) = snap_file {
+                    writeln!(f, "{snapshot}").map_err(|e| format!("snapshot file: {e}"))?;
+                }
             }
         }
         stdout.flush().map_err(|e| format!("stdout: {e}"))?;
-        pending.clear();
         Ok(())
     };
-    for line in stdin.lock().lines() {
-        let line = line.map_err(|e| format!("stdin: {e}"))?;
-        // Blank lines separate batches without producing a response.
-        if line.trim().is_empty() {
-            flush_batch(&mut engine, &mut pending, &mut stdout, &mut snap_file)?;
-            continue;
+    let mut reader = stdin.lock();
+    let mut chunk = [0u8; 8192];
+    loop {
+        let n = reader.read(&mut chunk).map_err(|e| format!("stdin: {e}"))?;
+        if n == 0 {
+            break;
         }
-        pending.push(line);
-        if pending.len() >= batch_size {
-            flush_batch(&mut engine, &mut pending, &mut stdout, &mut snap_file)?;
+        for item in framer.push(&chunk[..n]) {
+            drain(&mut pump, item, &mut stdout, &mut snap_file)?;
         }
     }
-    flush_batch(&mut engine, &mut pending, &mut stdout, &mut snap_file)?;
+    if let Some(item) = framer.finish() {
+        drain(&mut pump, item, &mut stdout, &mut snap_file)?;
+    }
+    let before = pump.engine().stats.batches;
+    if let Some(responses) = pump.finish() {
+        for response in responses {
+            writeln!(stdout, "{response}").map_err(|e| format!("stdout: {e}"))?;
+        }
+        if pump.engine().stats.batches != before {
+            if let Some(snapshot) = pump.engine_mut().maybe_snapshot() {
+                if snapshots_on_stdout {
+                    writeln!(stdout, "{snapshot}").map_err(|e| format!("stdout: {e}"))?;
+                }
+                if let Some(f) = &mut snap_file {
+                    writeln!(f, "{snapshot}").map_err(|e| format!("snapshot file: {e}"))?;
+                }
+            }
+        }
+        stdout.flush().map_err(|e| format!("stdout: {e}"))?;
+    }
+    let mut engine = pump.into_engine();
     drop(stdout);
     eprintln!("{}", engine.summary_line());
     if telemetry_mode.is_some() {

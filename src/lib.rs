@@ -57,6 +57,7 @@
 
 pub mod admission;
 pub mod io;
+pub mod net;
 pub mod serve;
 
 pub use sap_core::json;

@@ -111,8 +111,8 @@ use sap_core::FaultPlan;
 use sap_core::json::{self, Json};
 use sap_core::obs::{chrome_trace, Aggregator, TraceClock};
 use sap_core::{
-    map_reduce_isolated, run_isolated, Budget, Fnv1a, LruCache, Recorder, SolveReport, SpanData,
-    Telemetry, WorkProfile,
+    map_reduce_isolated, run_isolated, Budget, Fnv1a, Recorder, ShardedLru, SolveReport,
+    SpanData, Telemetry, WorkProfile,
 };
 
 /// Response schema version, bumped on breaking changes to the line
@@ -153,6 +153,11 @@ pub struct ServeOptions {
     pub work_units: Option<u64>,
     /// Solution cache capacity in entries (`0` disables caching).
     pub cache_size: usize,
+    /// Number of independent cache shards (entries route by canonical
+    /// fingerprint, `shard = fp % N`). Output-invariant: shard count
+    /// changes lock granularity and eviction locality, never response
+    /// bytes. Clamped to at least 1.
+    pub cache_shards: usize,
     /// Global admission pool per batch tick (`None` = unlimited).
     pub max_inflight_units: Option<u64>,
     /// Per-tenant token-bucket refill per batch tick (`None` = tenants
@@ -180,6 +185,7 @@ impl Default for ServeOptions {
             solve_workers: 0,
             work_units: None,
             cache_size: 256,
+            cache_shards: 8,
             max_inflight_units: None,
             tenant_quota: None,
             snapshot_every: 0,
@@ -210,6 +216,13 @@ pub struct ServeStats {
     pub cache_misses: u64,
     /// Cache evictions.
     pub cache_evictions: u64,
+    /// Cache hits whose verification hash disagreed with the stored
+    /// entry — a primary-fingerprint collision, served as a miss.
+    pub fp_conflicts: u64,
+    /// Input lines rejected by the framing layer for exceeding
+    /// `--max-line-bytes` (bumped by [`crate::net::process_items`]; the
+    /// engine itself never sees the oversized bytes).
+    pub oversized: u64,
     /// Winning-arm counts across executed solves, as
     /// (`serve.winner.*` counter name, count).
     pub winners: Vec<(&'static str, u64)>,
@@ -278,16 +291,15 @@ struct Request {
 /// [`sap_core::map_reduce_isolated`] contract, so requests differing
 /// only in width share an entry.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct CacheKey {
+pub(crate) struct CacheKey {
     fp: u64,
     algo: ServeAlgo,
     work_units: Option<u64>,
 }
 
-/// FNV-1a fingerprint of an instance DTO over its canonical field
-/// order, so key order and whitespace in the source line don't matter.
-fn fingerprint(dto: &InstanceDto) -> u64 {
-    let mut h = Fnv1a::new();
+/// Feeds an instance DTO's canonical field order into a hasher, so key
+/// order and whitespace in the source line don't matter.
+fn feed_canonical(h: &mut Fnv1a, dto: &InstanceDto) {
     h.write_u64(dto.capacities.len() as u64);
     for &c in &dto.capacities {
         h.write_u64(c);
@@ -299,11 +311,39 @@ fn fingerprint(dto: &InstanceDto) -> u64 {
         h.write_u64(t.demand);
         h.write_u64(t.weight);
     }
+}
+
+/// Primary FNV-1a fingerprint of an instance DTO (the cache key and the
+/// shard route).
+fn fingerprint(dto: &InstanceDto) -> u64 {
+    let mut h = Fnv1a::new();
+    feed_canonical(&mut h, dto);
+    h.finish()
+}
+
+/// Basis of the secondary verification hash: the FNV offset basis keyed
+/// with a fixed odd constant, so the two digests are (near-)independent
+/// functions of the same canonical stream.
+const VERIFY_BASIS: u64 = 0xcbf2_9ce4_8422_2325 ^ 0x9e37_79b9_7f4a_7c15;
+
+/// Independent verification hash stored *inside* each cache entry. A
+/// 64-bit fingerprint can collide; an entry whose stored verification
+/// hash disagrees with the request's is a collision, not a hit — the
+/// engine treats it as a miss (and counts `serve.cache.fp_conflict`)
+/// instead of silently aliasing another instance's response bytes.
+fn fingerprint_verify(dto: &InstanceDto) -> u64 {
+    let mut h = Fnv1a::with_basis(VERIFY_BASIS);
+    feed_canonical(&mut h, dto);
+    // Fold the canonical element count in again at the tail: two
+    // streams that collide under both FNV bases must now also agree on
+    // a length term hashed in a third position.
+    h.write_u64(dto.capacities.len() as u64);
+    h.write_u64(dto.tasks.len() as u64);
     h.finish()
 }
 
 /// Builds an error response line.
-fn error_response(message: &str) -> String {
+pub(crate) fn error_response(message: &str) -> String {
     Json::Object(vec![
         ("v".into(), Json::UInt(SERVE_SCHEMA_VERSION)),
         ("status".into(), Json::Str("error".into())),
@@ -348,11 +388,23 @@ struct OkMeta {
 }
 
 /// A cached ok response: the exact payload bytes plus the obs metadata
-/// that must replay with them.
+/// that must replay with them and the secondary verification hash that
+/// guards the primary fingerprint against collisions.
 #[derive(Debug, Clone)]
-struct CachedOk {
+pub(crate) struct CachedOk {
     payload: String,
+    verify: u64,
     meta: OkMeta,
+}
+
+/// The response cache shared by every engine of one service: a sharded
+/// LRU routed by canonical fingerprint. Network mode hands one of these
+/// to every connection's engine; batch mode owns a private one.
+pub(crate) type SharedCache = Arc<ShardedLru<CacheKey, CachedOk>>;
+
+/// Builds the shared response cache an engine (or a whole server) uses.
+pub(crate) fn make_cache(opts: &ServeOptions) -> SharedCache {
+    Arc::new(ShardedLru::new(opts.cache_size, opts.cache_shards))
 }
 
 /// What a successful solve hands back to the merge pass.
@@ -543,7 +595,7 @@ fn note_obs(
 /// counters living across batches.
 pub struct ServeEngine {
     opts: ServeOptions,
-    cache: LruCache<CacheKey, CachedOk>,
+    cache: SharedCache,
     admission: AdmissionController,
     /// The cumulative observability plane (`None` = not collecting).
     obs: Option<Aggregator>,
@@ -558,7 +610,16 @@ pub struct ServeEngine {
 impl ServeEngine {
     /// A fresh engine with an empty cache and full admission pools.
     pub fn new(opts: ServeOptions) -> Self {
-        let cache = LruCache::new(opts.cache_size);
+        let cache = make_cache(&opts);
+        Self::with_cache(opts, cache)
+    }
+
+    /// An engine wired to an existing shared response cache (network
+    /// mode: one cache across every connection's engine). Admission
+    /// pools, counters, and the obs plane stay per-engine — only the
+    /// cache is shared, and cached payloads are exact response bytes,
+    /// so sharing cannot change what any engine emits.
+    pub(crate) fn with_cache(opts: ServeOptions, cache: SharedCache) -> Self {
         let cfg = AdmissionConfig {
             max_inflight_units: opts.max_inflight_units,
             tenant_quota: opts.tenant_quota,
@@ -652,8 +713,10 @@ impl ServeEngine {
         // reason.
         let mut slots: Vec<Slot> = Vec::with_capacity(lines.len());
         let mut attrs: Vec<ObsAttr> = Vec::new();
-        let mut jobs: Vec<(Request, CacheKey, u64)> = Vec::new();
-        let mut pending: HashMap<CacheKey, usize> = HashMap::new();
+        let mut jobs: Vec<(Request, CacheKey, u64, u64)> = Vec::new();
+        // Within-batch dedup keys on (cache key, verify hash): two lines
+        // whose primary fingerprints collide must not follower-alias.
+        let mut pending: HashMap<(CacheKey, u64), usize> = HashMap::new();
         for (idx, line) in lines.iter().enumerate() {
             self.stats.requests += 1;
             let decoded = json::parse(line)
@@ -699,18 +762,31 @@ impl ServeEngine {
                                 algo: req.algo,
                                 work_units: req.work_units,
                             };
-                            if let Some(cached) = self.cache.get(&key) {
+                            let verify = fingerprint_verify(&req.dto);
+                            // A stored entry whose verification hash
+                            // disagrees is another instance that collided
+                            // on the primary fingerprint — miss, never
+                            // alias.
+                            let hit = match self.cache.get(key.fp, &key) {
+                                Some(cached) if cached.verify == verify => Some(cached),
+                                Some(_) => {
+                                    self.stats.fp_conflicts += 1;
+                                    None
+                                }
+                                None => None,
+                            };
+                            if let Some(cached) = hit {
                                 // Only ok payloads are ever cached.
                                 self.stats.cache_hits += 1;
-                                Slot::Hit(cached.clone())
-                            } else if let Some(&leader) = pending.get(&key) {
+                                Slot::Hit(cached)
+                            } else if let Some(&leader) = pending.get(&(key.clone(), verify)) {
                                 self.stats.cache_hits += 1;
                                 Slot::Follower(leader)
                             } else {
                                 self.stats.cache_misses += 1;
-                                pending.insert(key.clone(), idx);
+                                pending.insert((key.clone(), verify), idx);
                                 self.solve_seq = self.solve_seq.saturating_add(1);
-                                jobs.push((req, key, self.solve_seq));
+                                jobs.push((req, key, verify, self.solve_seq));
                                 Slot::Leader(jobs.len() - 1)
                             }
                         }
@@ -733,7 +809,7 @@ impl ServeEngine {
             &Budget::unlimited(),
             &jobs,
             self.opts.workers,
-            |(req, _key, _seq), _b| {
+            |(req, _key, _verify, _seq), _b| {
                 Ok(match run_isolated(|| {
                     #[cfg(feature = "fault-injection")]
                     if fault.panic_request == Some(*_seq) {
@@ -785,12 +861,13 @@ impl ServeEngine {
                             for o in &solved.outcomes {
                                 bump(&mut self.stats.outcomes, outcome_counter(o));
                             }
-                            if let Some((_, key, _)) = jobs.get(*job_idx) {
+                            if let Some((_, key, verify, _)) = jobs.get(*job_idx) {
                                 let cached = CachedOk {
                                     payload: solved.payload.clone(),
+                                    verify: *verify,
                                     meta: solved.meta.clone(),
                                 };
-                                if self.cache.insert(key.clone(), cached) {
+                                if self.cache.insert(key.fp, key.clone(), cached) {
                                     self.stats.cache_evictions += 1;
                                 }
                             }
@@ -826,6 +903,11 @@ impl ServeEngine {
         tele.count("serve.cache.misses", self.stats.cache_misses);
         tele.count("serve.cache.evictions", self.stats.cache_evictions);
         tele.count("serve.cache.entries", self.cache.len() as u64);
+        tele.count("serve.cache.fp_conflict", self.stats.fp_conflicts);
+        tele.count("serve.oversized", self.stats.oversized);
+        tele.count("serve.shard.count", self.cache.shard_count() as u64);
+        let max_shard = self.cache.shard_lens().into_iter().max().unwrap_or(0);
+        tele.count("serve.shard.max_entries", max_shard as u64);
         let adm = &self.admission.stats;
         tele.count("serve.admitted", adm.admitted);
         tele.count("serve.degraded.lemma13", adm.degraded_lemma13);
@@ -1060,6 +1142,74 @@ mod tests {
         let _ = warm.process_batch(&[line.as_str()]); // warm the cache
         let warm_out = warm.process_batch(&lines);
         assert_eq!(cold_out, warm_out);
+    }
+
+    #[test]
+    fn fingerprint_collision_is_a_miss_not_an_alias() {
+        // Constructed collision: poison the cache with an entry stored
+        // under this instance's primary fingerprint but carrying a
+        // different verification hash (as another colliding instance
+        // would). The engine must treat the hit as a miss and re-solve
+        // instead of serving the alien payload.
+        let opts = ServeOptions::default();
+        let cache = make_cache(&opts);
+        let mut engine = ServeEngine::with_cache(opts, Arc::clone(&cache));
+        let line = inst_line();
+        let out1 = engine.process_batch(&[line.as_str()]);
+        assert!(out1[0].starts_with(r#"{"v":1,"status":"ok""#), "{}", out1[0]);
+        assert_eq!(engine.stats.cache_misses, 1);
+
+        let dto = InstanceDto::from_json_str(&line).unwrap();
+        let key = CacheKey {
+            fp: fingerprint(&dto),
+            algo: ServeAlgo::Practical,
+            work_units: None,
+        };
+        let poison = CachedOk {
+            payload: r#"{"v":1,"status":"ok","weight":0,"poison":true}"#.to_string(),
+            verify: fingerprint_verify(&dto) ^ 1,
+            meta: OkMeta { winner: "greedy", work: WorkProfile::default(), span: None },
+        };
+        cache.insert(key.fp, key, poison);
+
+        let out2 = engine.process_batch(&[line.as_str()]);
+        assert_eq!(out2[0], out1[0], "collision must not alias the poisoned payload");
+        assert_eq!(engine.stats.fp_conflicts, 1);
+        assert_eq!(engine.stats.cache_misses, 2);
+        assert_eq!(engine.stats.cache_hits, 0);
+
+        // The re-solve overwrote the poisoned entry: clean hit now.
+        let out3 = engine.process_batch(&[line.as_str()]);
+        assert_eq!(out3[0], out1[0]);
+        assert_eq!(engine.stats.cache_hits, 1);
+        assert_eq!(engine.stats.fp_conflicts, 1);
+    }
+
+    #[test]
+    fn shard_count_never_changes_bytes_or_totals() {
+        // Duplicate-heavy stream over three distinct instances, run at
+        // shard counts 1/2/8: response bytes and hit/miss/eviction
+        // totals must be identical (the working set fits every shard
+        // layout, so eviction totals are comparable: all zero).
+        let a = inst_line();
+        let b = r#"{"capacities":[5,5],"tasks":[{"lo":0,"hi":2,"demand":2,"weight":7}]}"#;
+        let c = r#"{"capacities":[9],"tasks":[{"lo":0,"hi":1,"demand":4,"weight":3}]}"#;
+        let stream = [a.as_str(), b, a.as_str(), c, b, a.as_str(), c, c];
+        let mut baseline: Option<(Vec<String>, ServeStats)> = None;
+        for shards in [1usize, 2, 8] {
+            let opts = ServeOptions { cache_shards: shards, ..Default::default() };
+            let mut engine = ServeEngine::new(opts);
+            let mut out = engine.process_batch(&stream[..4]);
+            out.extend(engine.process_batch(&stream[4..]));
+            assert_eq!(engine.stats.cache_evictions, 0, "shards={shards}");
+            match &baseline {
+                None => baseline = Some((out, engine.stats.clone())),
+                Some((bytes, stats)) => {
+                    assert_eq!(&out, bytes, "shards={shards}");
+                    assert_eq!(&engine.stats, stats, "shards={shards}");
+                }
+            }
+        }
     }
 
     #[test]

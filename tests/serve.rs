@@ -114,7 +114,11 @@ fn budgeted_requests_degrade_deterministically() {
 
 #[test]
 fn cache_evictions_are_counted_and_bounded() {
-    let opts = ServeOptions { cache_size: 1, ..Default::default() };
+    // One shard pins the classic single-LRU behaviour; with N shards a
+    // 1-entry cache rounds up to 1 entry per shard (capacity is a floor,
+    // never silently lowered — see the sharded rounding tests in
+    // sap_core::cache).
+    let opts = ServeOptions { cache_size: 1, cache_shards: 1, ..Default::default() };
     let (_, engine) = run_engine(opts, &[vec![inst_a()], vec![inst_b()], vec![inst_a()]]);
     // inst_b evicts inst_a, the second inst_a evicts inst_b: 2 evictions,
     // 3 misses, 0 hits.
@@ -471,4 +475,98 @@ fn serve_engine_algo_names_round_trip() {
     assert_eq!(ServeAlgo::from_name("combined"), Some(ServeAlgo::Combined));
     assert_eq!(ServeAlgo::from_name("practical"), Some(ServeAlgo::Practical));
     assert_eq!(ServeAlgo::from_name("exact"), None);
+}
+
+// ---------------------------------------------------------------------
+// Input-path hardening (ISSUE 10), over real pipes: CRLF and missing
+// final newlines frame like LF, oversized lines get the structured
+// error, and the sharded cache is output-invariant. The counter names
+// asserted here double as the `t2` registration for
+// serve.cache.fp_conflict / serve.oversized / serve.shard.*.
+// ---------------------------------------------------------------------
+
+#[test]
+fn crlf_and_missing_final_newline_frame_like_lf() {
+    let lf = format!("{}\n{}\n", inst_a(), inst_b());
+    let (base, _) = run_serve_binary(&[], &lf);
+    let variants = [
+        ("crlf", format!("{}\r\n{}\r\n", inst_a(), inst_b())),
+        ("no_final_newline", format!("{}\n{}", inst_a(), inst_b())),
+        ("crlf_no_final_newline", format!("{}\r\n{}", inst_a(), inst_b())),
+    ];
+    for (name, input) in variants {
+        let (out, _) = run_serve_binary(&[], &input);
+        assert_eq!(out, base, "{name} framing diverged from LF");
+    }
+}
+
+#[test]
+fn oversized_stdin_lines_answer_the_structured_error() {
+    // A 10 KiB junk line between two good requests, capped at 256 bytes:
+    // the junk is answered in stream order and never buffered whole.
+    let junk = "x".repeat(10 * 1024);
+    let input = format!("{}\n{junk}\n{}\n", inst_a(), inst_b());
+    let (stdout, stderr) =
+        run_serve_binary(&["--max-line-bytes", "256", "--telemetry=json"], &input);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "{stdout}");
+    assert!(lines[0].starts_with(r#"{"v":1,"status":"ok""#), "{}", lines[0]);
+    assert_eq!(lines[1], r#"{"v":1,"status":"error","reason":"oversized"}"#);
+    assert!(lines[2].starts_with(r#"{"v":1,"status":"ok""#), "{}", lines[2]);
+    assert!(stderr.contains(r#""serve.oversized":1"#), "{stderr}");
+    // The good lines are unaffected by the cap.
+    let (clean, _) = run_serve_binary(&[], &format!("{}\n{}\n", inst_a(), inst_b()));
+    let clean_lines: Vec<&str> = clean.lines().collect();
+    assert_eq!(lines[0], clean_lines[0]);
+    assert_eq!(lines[2], clean_lines[1]);
+}
+
+#[test]
+fn serve_binary_rejects_zero_framing_and_shard_flags() {
+    for flag in ["--max-line-bytes", "--cache-shards"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_sap"))
+            .args(["serve", flag, "0"])
+            .stdin(Stdio::null())
+            .stderr(Stdio::piped())
+            .output()
+            .expect("run sap serve");
+        assert!(!out.status.success(), "{flag}=0 should be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(flag), "{stderr}");
+    }
+}
+
+#[test]
+fn shard_count_is_output_invariant_through_the_binary() {
+    // Duplicate-heavy stream across two batches; shard counts 1/2/8
+    // must produce identical stdout AND identical cache totals (the
+    // stderr summary carries hits/misses/evictions).
+    let round = [inst_a(), inst_b(), inst_a_respelled(), inst_b(), inst_a()].join("\n");
+    let input = format!("{round}\n\n{round}\n");
+    let mut baseline: Option<(String, String)> = None;
+    for shards in ["1", "2", "8"] {
+        let (stdout, stderr) = run_serve_binary(&["--cache-shards", shards], &input);
+        match &baseline {
+            None => baseline = Some((stdout, stderr)),
+            Some((base_out, base_err)) => {
+                assert_eq!(&stdout, base_out, "shards={shards} changed response bytes");
+                assert_eq!(&stderr, base_err, "shards={shards} changed cache totals");
+            }
+        }
+    }
+}
+
+#[test]
+fn shard_telemetry_counters_are_exported() {
+    let input = format!("{}\n{}\n", inst_a(), inst_b());
+    let (_, stderr) =
+        run_serve_binary(&["--cache-shards", "4", "--telemetry=json"], &input);
+    for needle in [
+        r#""serve.shard.count":4"#,
+        "serve.shard.max_entries",
+        r#""serve.cache.fp_conflict":0"#,
+        r#""serve.oversized":0"#,
+    ] {
+        assert!(stderr.contains(needle), "stderr missing {needle}:\n{stderr}");
+    }
 }
